@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §2): the PS/AR baselines ride the framework
+ * network stack while iSwitch speaks its raw protocol. This sweep
+ * shows how the per-message host overhead moves the PS-vs-AR
+ * crossover for a small model (the paper's PPO observation: AR is
+ * bandwidth-optimal yet *slower* than PS for 40 KB gradients because
+ * of its 2(N-1) per-step message costs).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+namespace {
+
+double
+periterMs(dist::StrategyKind k, sim::TimeNs send_oh, sim::TimeNs recv_oh)
+{
+    dist::JobConfig cfg = harness::timingJob(rl::Algo::kPpo, k);
+    cfg.overhead.send = send_oh;
+    cfg.overhead.recv = recv_oh;
+    cfg.stop.max_iterations = 25;
+    return dist::runJob(cfg).perIterationMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation — per-message host overhead vs the AR/PS crossover (PPO)");
+
+    harness::Table t({"send/recv overhead (us)", "PS per-iter (ms)",
+                      "AR per-iter (ms)", "AR vs PS", "iSW per-iter (ms)"});
+    const double isw =
+        periterMs(dist::StrategyKind::kSyncIswitch, 30 * sim::kUsec,
+                  20 * sim::kUsec);
+    for (sim::TimeNs oh_us : {25u, 100u, 400u, 1500u, 4000u}) {
+        const sim::TimeNs send = oh_us * sim::kUsec;
+        const sim::TimeNs recv = send * 2 / 3;
+        const double ps = periterMs(dist::StrategyKind::kSyncPs, send, recv);
+        const double ar =
+            periterMs(dist::StrategyKind::kSyncAllReduce, send, recv);
+        t.row({std::to_string(oh_us) + "/" + std::to_string(oh_us * 2 / 3),
+               harness::fmt(ps, 2), harness::fmt(ar, 2),
+               bench::speedupStr(ps / ar), harness::fmt(isw, 2)});
+    }
+    t.print();
+
+    std::cout << "\nAR loses to PS once per-message costs dominate the tiny"
+              << "\ntransfer — the paper's Table 3 PPO/DDPG rows (0.91x,"
+              << "\n0.90x). iSwitch is unaffected: its raw protocol posts"
+              << "\none message per iteration.\n";
+    return 0;
+}

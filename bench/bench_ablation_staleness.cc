@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation (paper §4.1 design choice): the effect of the staleness
+ * bound S on asynchronous iSwitch. S=3 is the paper's operating
+ * point; tighter bounds skip more gradients, looser bounds admit
+ * staler ones.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "dist/iswitch_async.hh"
+
+using namespace isw;
+
+int
+main()
+{
+    bench::printHeader("Ablation — staleness bound S in Async iSwitch");
+
+    harness::Table t({"S", "updates", "committed", "skipped", "skip rate",
+                      "final reward"});
+    for (std::uint32_t s : {0u, 1u, 3u, 8u}) {
+        dist::JobConfig cfg = harness::learningJob(
+            rl::Algo::kPpo, dist::StrategyKind::kAsyncIswitch);
+        cfg.staleness_bound = s;
+        cfg.stop.target_reward = 1e18; // fixed budget: compare rewards
+        cfg.stop.max_iterations = 600;
+        // Stress the aggregation path so staleness actually builds:
+        // a DQN-sized wire footprint over slow 1 GbE links makes the
+        // GA stage lag the pipelined LGC stage.
+        cfg.wire_model_bytes = 3 * 1024 * 1024;
+        cfg.cluster.edge_link.bandwidth_bps = 1e9;
+        auto job = std::make_unique<dist::AsyncIswitchJob>(cfg);
+        dist::AsyncIswitchJob *raw = job.get();
+        const dist::RunResult res = job->run();
+        const double total = static_cast<double>(
+            raw->gradientsCommitted() + raw->gradientsSkipped());
+        t.row({std::to_string(s), std::to_string(res.iterations),
+               std::to_string(raw->gradientsCommitted()),
+               std::to_string(raw->gradientsSkipped()),
+               harness::fmt(100.0 * raw->gradientsSkipped() /
+                                std::max(total, 1.0),
+                            1) + "%",
+               harness::fmt(res.final_avg_reward, 2)});
+    }
+    t.print();
+
+    std::cout << "\nThe paper bounds staleness at S=3: loose enough that"
+              << "\nhealthy pipelines skip almost nothing, tight enough to"
+              << "\nprotect convergence when aggregation lags.\n";
+    return 0;
+}

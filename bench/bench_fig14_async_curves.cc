@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: asynchronous DQN training curves for
+ * Async PS vs Async iSwitch (both with staleness bound S = 3). The
+ * two strategies genuinely diverge in iteration space — iSwitch's
+ * fresher gradients converge in fewer updates — and in time space via
+ * their different update intervals.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+int
+main()
+{
+    bench::printHeader("Figure 14 — async DQN training curves (reward vs time)");
+    bench::TimingCache cache;
+
+    dist::JobConfig ps_learn =
+        harness::learningJob(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs);
+    dist::JobConfig isw_learn =
+        harness::learningJob(rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch);
+    ps_learn.curve_every = 200;
+    isw_learn.curve_every = 200;
+    const dist::RunResult ps = dist::runJob(ps_learn);
+    const dist::RunResult isw = dist::runJob(isw_learn);
+
+    const double ps_ms =
+        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs);
+    const double isw_ms =
+        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch);
+
+    harness::banner("Async PS curve");
+    {
+        harness::Table t({"iteration", "reward", "time (s)"});
+        std::size_t iter = 0;
+        for (const auto &p : ps.reward_curve.points()) {
+            iter += ps_learn.curve_every;
+            t.row({std::to_string(iter), harness::fmt(p.v, 2),
+                   harness::fmt(iter * ps_ms / 1000.0, 1)});
+        }
+        t.print();
+    }
+    harness::banner("Async iSW curve");
+    {
+        harness::Table t({"iteration", "reward", "time (s)"});
+        std::size_t iter = 0;
+        for (const auto &p : isw.reward_curve.points()) {
+            iter += isw_learn.curve_every;
+            t.row({std::to_string(iter), harness::fmt(p.v, 2),
+                   harness::fmt(iter * isw_ms / 1000.0, 1)});
+        }
+        t.print();
+    }
+
+    std::cout << "\nAsync PS: " << ps.iterations << " updates to reward "
+              << harness::fmt(ps.final_avg_reward, 2) << "; Async iSW: "
+              << isw.iterations << " updates to reward "
+              << harness::fmt(isw.final_avg_reward, 2)
+              << "\n(paper: iSwitch converges in 44.4%-77.8% fewer"
+              << " iterations thanks to fresher gradients).\n";
+    return 0;
+}

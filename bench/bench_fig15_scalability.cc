@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: scalability of PPO and DDPG training —
+ * sync (PS/AR/iSW) and async (PS/iSW) — with 4, 6, 9, and 12 workers
+ * on the rack-scale topology (racks of 3 under a core switch, as in
+ * the paper's emulation setup, §5.3).
+ *
+ * Speedup(N) = end-to-end(4 workers) / end-to-end(N workers), with a
+ * fixed total sample budget: N workers collect N trajectories per
+ * iteration, so iterations(N) = iterations(4) x 4/N, and per-iteration
+ * times come from paper-wire timing runs on the tree topology. The
+ * "Ideal" column is N/4.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+namespace {
+
+const std::array<std::size_t, 4> kWorkerCounts{4, 6, 9, 12};
+
+void
+panel(bench::TimingCache &cache, rl::Algo algo,
+      const std::vector<dist::StrategyKind> &strategies, const char *title)
+{
+    harness::banner(std::string(rl::algoName(algo)) + " — " + title);
+    std::vector<std::string> headers{"Workers"};
+    for (auto k : strategies)
+        headers.push_back(dist::strategyName(k));
+    headers.push_back("Ideal");
+    harness::Table t(headers);
+
+    std::map<dist::StrategyKind, double> base;
+    for (auto k : strategies)
+        base[k] = cache.perIterMs(algo, k, 4, /*tree=*/true);
+
+    for (std::size_t n : kWorkerCounts) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (auto k : strategies) {
+            const double periter = cache.perIterMs(algo, k, n, true);
+            // Fixed total gradient-sample budget G. One Async PS
+            // update consumes one gradient (updates = G); every other
+            // strategy's update consumes N gradients (updates = G/N).
+            const double per_update_samples =
+                k == dist::StrategyKind::kAsyncPs
+                    ? 1.0
+                    : static_cast<double>(n);
+            const double t_n = periter / per_update_samples;
+            const double t_4 =
+                base[k] / (k == dist::StrategyKind::kAsyncPs ? 1.0 : 4.0);
+            row.push_back(bench::speedupStr(t_4 / t_n));
+        }
+        row.push_back(bench::speedupStr(static_cast<double>(n) / 4.0));
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Figure 15 — rack-scale scalability (racks of 3)");
+    bench::TimingCache cache;
+
+    const std::vector<dist::StrategyKind> sync{
+        dist::StrategyKind::kSyncPs, dist::StrategyKind::kSyncAllReduce,
+        dist::StrategyKind::kSyncIswitch};
+    const std::vector<dist::StrategyKind> async_k{
+        dist::StrategyKind::kAsyncPs, dist::StrategyKind::kAsyncIswitch};
+
+    panel(cache, rl::Algo::kPpo, sync, "synchronous (Fig. 15a)");
+    panel(cache, rl::Algo::kPpo, async_k, "asynchronous (Fig. 15b)");
+    panel(cache, rl::Algo::kDdpg, sync, "synchronous (Fig. 15c)");
+    panel(cache, rl::Algo::kDdpg, async_k, "asynchronous (Fig. 15d)");
+
+    std::cout << "\nExpected shape (paper): AR scales worst (hop count"
+              << "\nlinear in N), PS second (central bottleneck), iSwitch"
+              << "\nbest via hierarchical in-switch aggregation; async"
+              << "\niSwitch approaches linear speedup.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: per-iteration breakdown of synchronous
+ * distributed RL training under the PS and AllReduce baselines. The
+ * headline claim is that gradient aggregation occupies 49.9%-83.2% of
+ * each iteration.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+namespace {
+
+void
+breakdownTable(bench::TimingCache &cache, dist::StrategyKind k)
+{
+    harness::banner(std::string("Figure 4") +
+                    (k == dist::StrategyKind::kSyncPs ? "a — PS"
+                                                      : "b — AllReduce"));
+    std::vector<std::string> headers{"Component"};
+    for (auto algo : bench::kAlgos)
+        headers.push_back(rl::algoName(algo));
+    harness::Table t(headers);
+
+    for (std::size_t c = 0; c < dist::kNumComponents; ++c) {
+        const auto comp = static_cast<dist::IterComponent>(c);
+        std::vector<std::string> row{dist::componentName(comp)};
+        for (auto algo : bench::kAlgos) {
+            const auto &res = cache.result(algo, k);
+            row.push_back(
+                harness::fmt(res.breakdown.fraction(comp) * 100.0, 1) + "%");
+        }
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 4 — per-iteration breakdown of PS and AllReduce training");
+    bench::TimingCache cache;
+
+    breakdownTable(cache, dist::StrategyKind::kSyncPs);
+    breakdownTable(cache, dist::StrategyKind::kSyncAllReduce);
+
+    harness::banner("Gradient-aggregation share (paper: 49.9%-83.2%)");
+    harness::Table t({"Algorithm", "PS agg share", "AR agg share"});
+    double lo = 1.0, hi = 0.0;
+    for (auto algo : bench::kAlgos) {
+        const double ps = cache.result(algo, dist::StrategyKind::kSyncPs)
+                              .breakdown.fraction(
+                                  dist::IterComponent::kGradAggregation);
+        const double ar =
+            cache.result(algo, dist::StrategyKind::kSyncAllReduce)
+                .breakdown.fraction(
+                    dist::IterComponent::kGradAggregation);
+        lo = std::min({lo, ps, ar});
+        hi = std::max({hi, ps, ar});
+        t.row({rl::algoName(algo), harness::fmt(ps * 100.0, 1) + "%",
+               harness::fmt(ar * 100.0, 1) + "%"});
+    }
+    t.print();
+    std::cout << "measured range: " << harness::fmt(lo * 100.0, 1) << "%-"
+              << harness::fmt(hi * 100.0, 1)
+              << "% (paper reports 49.9%-83.2%)\n";
+    return 0;
+}

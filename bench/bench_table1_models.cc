@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces paper Table 1: "A study of popular RL algorithms" —
+ * per-algorithm environment, model size, and training iterations,
+ * with our substitute environments and local model sizes alongside.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "rl/model_zoo.hh"
+
+using namespace isw;
+
+int
+main()
+{
+    bench::printHeader("Table 1 — study of popular RL algorithms");
+
+    harness::Table t({"RL Algorithm", "Paper Env", "Local Env",
+                      "Model Size (paper)", "Model Size (local)",
+                      "Training Iteration (paper)"});
+    for (const auto &spec : rl::benchmarks()) {
+        auto agent = rl::makeAgent(spec.algo, spec.config, 1, 2);
+        const double paper_kb =
+            static_cast<double>(spec.paper_model_bytes) / 1024.0;
+        const double local_kb =
+            static_cast<double>(agent->paramCount()) * 4.0 / 1024.0;
+        t.row({rl::algoName(spec.algo), spec.paper_env, spec.local_env,
+               paper_kb >= 1024.0
+                   ? harness::fmt(paper_kb / 1024.0, 2) + " MB"
+                   : harness::fmt(paper_kb, 2) + " KB",
+               harness::fmt(local_kb, 2) + " KB",
+               harness::fmtSci(
+                   static_cast<double>(spec.paper_iterations))});
+    }
+    t.print();
+
+    std::cout << "\nThe local models are laptop-scale learnable stand-ins;"
+              << "\nthe transport carries the paper-sized wire footprint"
+              << "\n(DESIGN.md section 2).\n";
+    return 0;
+}

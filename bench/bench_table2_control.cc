@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Exercises paper Table 2: every iSwitch control message against a
+ * simulated programmable switch, reporting the round-trip latency of
+ * the acknowledged actions and the side effects of the rest.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/programmable_switch.hh"
+#include "net/topology.hh"
+
+using namespace isw;
+
+namespace {
+
+struct ControlBench
+{
+    sim::Simulation s{1};
+    net::Topology topo{s};
+    core::ProgrammableSwitch *sw = nullptr;
+    net::Host *worker = nullptr;
+    sim::TimeNs last_ack_rtt = 0;
+    std::uint64_t acks = 0;
+
+    ControlBench()
+    {
+        core::ProgrammableSwitchConfig cfg;
+        cfg.ip = net::Ipv4Addr(10, 0, 0, 1);
+        sw = topo.addSwitch<core::ProgrammableSwitch>("sw0", 4, cfg);
+        worker = topo.addHost("w0", net::Ipv4Addr(10, 0, 0, 2));
+        topo.connectHost(worker, sw, 0);
+        worker->setReceiveHandler([this](net::PacketPtr pkt) {
+            const auto *c =
+                std::get_if<net::ControlPayload>(&pkt->payload);
+            if (c != nullptr && c->action == net::Action::kAck) {
+                ++acks;
+                last_ack_rtt = s.now() - send_time_;
+            }
+        });
+    }
+
+    sim::TimeNs send_time_ = 0;
+
+    /** Send one control message and run to quiescence. */
+    void
+    send(net::Action a, std::uint64_t value, bool has_value)
+    {
+        send_time_ = s.now();
+        net::ControlPayload c;
+        c.action = a;
+        c.value = value;
+        c.has_value = has_value;
+        worker->sendTo(sw->ip(), 9000, 9999, net::kTosControl, c);
+        s.run();
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 2 — control messages in the iSwitch protocol");
+    ControlBench b;
+
+    harness::Table t({"Name", "Description (observed effect)",
+                      "Ack RTT (us)"});
+
+    b.send(net::Action::kJoin,
+           core::encodeJoinValue(9999, core::MemberType::kWorker), true);
+    t.row({"Join",
+           "membership=" + std::to_string(b.sw->controlPlane().table().size()) +
+               ", H=" + std::to_string(b.sw->accelerator().threshold()),
+           harness::fmt(sim::toMillis(b.last_ack_rtt) * 1000.0, 2)});
+
+    b.send(net::Action::kSetH, 3, true);
+    t.row({"SetH", "H=" + std::to_string(b.sw->accelerator().threshold()),
+           harness::fmt(sim::toMillis(b.last_ack_rtt) * 1000.0, 2)});
+
+    // Stage a partial segment, then drive FBcast/Help/Reset at it.
+    net::ChunkPayload chunk;
+    chunk.seg = 0;
+    chunk.wire_floats = 4;
+    chunk.values = {1, 2, 3, 4};
+    b.worker->sendTo(b.sw->ip(), 9000, 9999, net::kTosData, chunk);
+    b.s.run();
+
+    b.send(net::Action::kFBcast, 0, true);
+    t.row({"FBcast",
+           "partial broadcast, segs_left=" +
+               std::to_string(b.sw->accelerator().pool().activeSegments()),
+           "-"});
+
+    b.send(net::Action::kHelp, core::helpValue(1, 0), true);
+    t.row({"Help",
+           "cached result re-sent (cache=" +
+               std::to_string(b.sw->cachedResults()) + ")",
+           "-"});
+
+    b.worker->sendTo(b.sw->ip(), 9000, 9999, net::kTosData, chunk);
+    b.s.run();
+    b.send(net::Action::kReset, 0, false);
+    t.row({"Reset",
+           "buffers/counters cleared, segs=" +
+               std::to_string(b.sw->accelerator().pool().activeSegments()),
+           harness::fmt(sim::toMillis(b.last_ack_rtt) * 1000.0, 2)});
+
+    b.send(net::Action::kHalt, 0, false);
+    t.row({"Halt",
+           std::string("training suspended, halted=") +
+               (b.sw->controlPlane().halted() ? "true" : "false"),
+           harness::fmt(sim::toMillis(b.last_ack_rtt) * 1000.0, 2)});
+
+    b.send(net::Action::kLeave, 0, false);
+    t.row({"Leave",
+           "membership=" +
+               std::to_string(b.sw->controlPlane().table().size()),
+           harness::fmt(sim::toMillis(b.last_ack_rtt) * 1000.0, 2)});
+
+    const std::uint64_t before = b.acks;
+    b.send(net::Action::kAck, 1, true);
+    t.row({"Ack",
+           std::string("terminal, no reply (acks unchanged: ") +
+               (b.acks == before ? "yes" : "no") + ")",
+           "-"});
+
+    t.print();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Table 4: synchronous training — number of
+ * iterations, end-to-end training time, and final average reward for
+ * PS / AR / iSW on all four benchmarks.
+ *
+ * Method: the three synchronous strategies are mathematically
+ * equivalent (verified by tests), so one learning run per benchmark
+ * yields the iteration count and reward; paper-wire timing runs yield
+ * each strategy's per-iteration time; end-to-end = iterations x
+ * per-iteration time (see EXPERIMENTS.md).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+int
+main()
+{
+    bench::printHeader("Table 4 — synchronous training comparison");
+    bench::TimingCache cache;
+
+    harness::Table t({"Benchmark", "Iterations", "Final Avg Reward",
+                      "PS end-to-end (s)", "AR end-to-end (s)",
+                      "iSW end-to-end (s)", "iSW speedup vs PS",
+                      "paper speedup"});
+
+    for (auto algo : bench::kAlgos) {
+        dist::JobConfig learn =
+            harness::learningJob(algo, dist::StrategyKind::kSyncIswitch);
+        const dist::RunResult lr = dist::runJob(learn);
+
+        const double iters = static_cast<double>(lr.iterations);
+        const double ps_s =
+            iters * cache.perIterMs(algo, dist::StrategyKind::kSyncPs) /
+            1000.0;
+        const double ar_s =
+            iters *
+            cache.perIterMs(algo, dist::StrategyKind::kSyncAllReduce) /
+            1000.0;
+        const double isw_s =
+            iters * cache.perIterMs(algo, dist::StrategyKind::kSyncIswitch) /
+            1000.0;
+
+        t.row({rl::algoName(algo),
+               harness::fmtSci(iters) +
+                   (lr.reached_target ? " (to target)" : " (cap)"),
+               harness::fmt(lr.final_avg_reward, 2), harness::fmt(ps_s, 2),
+               harness::fmt(ar_s, 2), harness::fmt(isw_s, 2),
+               bench::speedupStr(ps_s / isw_s),
+               bench::speedupStr(harness::paperSyncSpeedup(
+                   algo, dist::StrategyKind::kSyncIswitch))});
+    }
+    t.print();
+
+    harness::banner("Paper Table 4 (for reference)");
+    harness::Table p({"Benchmark", "Iterations", "PS (hrs)", "AR (hrs)",
+                      "iSW (hrs)", "Rewards PS/AR/iSW"});
+    for (const auto &row : harness::paperSyncTable()) {
+        p.row({rl::algoName(row.algo), harness::fmtSci(row.iterations),
+               harness::fmt(row.ps_hours, 2), harness::fmt(row.ar_hours, 2),
+               harness::fmt(row.isw_hours, 2),
+               harness::fmt(row.ps_reward, 2) + "/" +
+                   harness::fmt(row.ar_reward, 2) + "/" +
+                   harness::fmt(row.isw_reward, 2)});
+    }
+    p.print();
+    std::cout << "\nAbsolute times differ (local envs, laptop-scale models,"
+              << "\nscaled iteration budgets); orderings and speedup shapes"
+              << "\nare the reproduction target.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Table 5: asynchronous training — number of
+ * iterations (weight updates), per-iteration time, end-to-end time,
+ * and final average reward for Async PS vs Async iSwitch, both under
+ * the same staleness bound S = 3.
+ *
+ * Unlike the synchronous case, the two async strategies genuinely
+ * diverge (different staleness distributions), so both run real
+ * training; per-iteration times come from paper-wire timing runs.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace isw;
+
+int
+main()
+{
+    bench::printHeader("Table 5 — asynchronous training comparison (S=3)");
+    bench::TimingCache cache;
+
+    harness::Table t(
+        {"Benchmark", "PS iters", "iSW iters", "iter reduction",
+         "PS per-iter (ms)", "iSW per-iter (ms)", "PS e2e (s)",
+         "iSW e2e (s)", "speedup", "paper", "rewards PS/iSW"});
+
+    for (auto algo : bench::kAlgos) {
+        dist::JobConfig ps_learn =
+            harness::learningJob(algo, dist::StrategyKind::kAsyncPs);
+        dist::JobConfig isw_learn =
+            harness::learningJob(algo, dist::StrategyKind::kAsyncIswitch);
+        const dist::RunResult ps = dist::runJob(ps_learn);
+        const dist::RunResult isw = dist::runJob(isw_learn);
+
+        const double ps_periter =
+            cache.perIterMs(algo, dist::StrategyKind::kAsyncPs);
+        const double isw_periter =
+            cache.perIterMs(algo, dist::StrategyKind::kAsyncIswitch);
+        const double ps_e2e =
+            static_cast<double>(ps.iterations) * ps_periter / 1000.0;
+        const double isw_e2e =
+            static_cast<double>(isw.iterations) * isw_periter / 1000.0;
+
+        t.row({rl::algoName(algo),
+               harness::fmtSci(static_cast<double>(ps.iterations)),
+               harness::fmtSci(static_cast<double>(isw.iterations)),
+               harness::fmt(
+                   (1.0 - static_cast<double>(isw.iterations) /
+                              static_cast<double>(ps.iterations)) *
+                       100.0,
+                   1) + "%",
+               harness::fmt(ps_periter, 2), harness::fmt(isw_periter, 2),
+               harness::fmt(ps_e2e, 2), harness::fmt(isw_e2e, 2),
+               bench::speedupStr(ps_e2e / isw_e2e),
+               bench::speedupStr(harness::paperAsyncSpeedup(algo)),
+               harness::fmt(ps.final_avg_reward, 2) + "/" +
+                   harness::fmt(isw.final_avg_reward, 2)});
+    }
+    t.print();
+
+    harness::banner("Paper Table 5 (for reference)");
+    harness::Table p({"Benchmark", "PS iters", "iSW iters",
+                      "PS per-iter (ms)", "iSW per-iter (ms)", "PS (hrs)",
+                      "iSW (hrs)"});
+    for (const auto &row : harness::paperAsyncTable()) {
+        p.row({rl::algoName(row.algo), harness::fmtSci(row.ps_iterations),
+               harness::fmtSci(row.isw_iterations),
+               harness::fmt(row.ps_periter_ms, 2),
+               harness::fmt(row.isw_periter_ms, 2),
+               harness::fmt(row.ps_hours, 2),
+               harness::fmt(row.isw_hours, 2)});
+    }
+    p.print();
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "common.hh"
+
+#include <iostream>
+#include <sstream>
+
+namespace isw::bench {
+
+double
+TimingCache::perIterMs(rl::Algo algo, dist::StrategyKind k,
+                       std::size_t workers, bool tree)
+{
+    return result(algo, k, workers, tree).perIterationMs();
+}
+
+const dist::RunResult &
+TimingCache::result(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
+                    bool tree)
+{
+    std::ostringstream key;
+    key << rl::algoName(algo) << "/" << dist::strategyName(k) << "/"
+        << workers << "/" << tree;
+    auto it = cache_.find(key.str());
+    if (it == cache_.end()) {
+        dist::JobConfig cfg = harness::timingJob(algo, k, workers);
+        cfg.use_tree = tree;
+        it = cache_.emplace(key.str(), dist::runJob(cfg)).first;
+    }
+    return it->second;
+}
+
+void
+printHeader(const std::string &what)
+{
+    const auto opts = harness::benchOptions();
+    std::cout << "#\n# iswitch-sim reproduction: " << what << "\n"
+              << "# scale: " << (opts.full ? "full" : "quick")
+              << " (set ISW_BENCH_SCALE=full for paper-scale runs)\n#\n";
+}
+
+std::string
+speedupStr(double s)
+{
+    return harness::fmt(s, 2) + "x";
+}
+
+} // namespace isw::bench

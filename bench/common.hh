@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+
+#ifndef ISW_BENCH_COMMON_HH
+#define ISW_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+
+#include "harness/calibration.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+namespace isw::bench {
+
+/** All four paper benchmarks in Table 1 order. */
+inline const std::array<rl::Algo, 4> kAlgos{rl::Algo::kDqn, rl::Algo::kA2c,
+                                            rl::Algo::kPpo, rl::Algo::kDdpg};
+
+/** The three synchronous strategies in paper order. */
+inline const std::array<dist::StrategyKind, 3> kSyncStrategies{
+    dist::StrategyKind::kSyncPs, dist::StrategyKind::kSyncAllReduce,
+    dist::StrategyKind::kSyncIswitch};
+
+/** Cache of timing runs keyed by (algo, strategy, workers, tree). */
+class TimingCache
+{
+  public:
+    /** Per-iteration milliseconds for a paper-wire timing run. */
+    double perIterMs(rl::Algo algo, dist::StrategyKind k,
+                     std::size_t workers = 4, bool tree = false);
+
+    /** Full result of the cached timing run. */
+    const dist::RunResult &result(rl::Algo algo, dist::StrategyKind k,
+                                  std::size_t workers = 4,
+                                  bool tree = false);
+
+  private:
+    std::map<std::string, dist::RunResult> cache_;
+};
+
+/** Print the standard bench header (scale mode etc.). */
+void printHeader(const std::string &what);
+
+/** "x.xx" ratio formatting with a trailing 'x'. */
+std::string speedupStr(double s);
+
+} // namespace isw::bench
+
+#endif // ISW_BENCH_COMMON_HH

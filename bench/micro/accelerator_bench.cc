@@ -1,0 +1,80 @@
+/** @file Microbenchmarks: in-switch aggregation engine hot paths. */
+
+#include <benchmark/benchmark.h>
+
+#include "core/accelerator.hh"
+#include "core/seg_buffer.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace isw;
+
+/** Raw per-packet accumulate cost at full MTU. */
+void
+BM_SegBufferAccumulate(benchmark::State &state)
+{
+    core::SegBufferPool pool;
+    net::ChunkPayload chunk;
+    chunk.seg = 0;
+    chunk.wire_floats = 366;
+    chunk.values.assign(366, 1.0f);
+    std::uint64_t seg = 0;
+    for (auto _ : state) {
+        chunk.seg = seg++ % 64;
+        benchmark::DoNotOptimize(pool.accumulate(chunk, 1u << 30));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            366 * 4);
+}
+BENCHMARK(BM_SegBufferAccumulate);
+
+/** Full accelerator path: ingest -> event -> accumulate -> emit. */
+void
+BM_AcceleratorRound(benchmark::State &state)
+{
+    const auto workers = static_cast<std::uint32_t>(state.range(0));
+    net::ChunkPayload chunk;
+    chunk.seg = 0;
+    chunk.wire_floats = 366;
+    chunk.values.assign(366, 1.0f);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulation s{1};
+        core::Accelerator accel{s};
+        accel.setThreshold(workers);
+        std::size_t emitted = 0;
+        accel.setEmit(
+            [&emitted](std::uint64_t, core::SegState) { ++emitted; });
+        state.ResumeTiming();
+        for (std::uint32_t w = 0; w < workers; ++w)
+            accel.ingest(chunk);
+        s.run();
+        benchmark::DoNotOptimize(emitted);
+    }
+}
+BENCHMARK(BM_AcceleratorRound)->Arg(4)->Arg(12)->Arg(48);
+
+/** Dedupe overhead (sync-mode loss recovery). */
+void
+BM_AcceleratorDedupe(benchmark::State &state)
+{
+    net::ChunkPayload chunk;
+    chunk.seg = 0;
+    chunk.wire_floats = 366;
+    chunk.values.assign(366, 1.0f);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulation s{1};
+        core::Accelerator accel{s};
+        accel.setThreshold(4);
+        accel.setDedupeContributors(true);
+        state.ResumeTiming();
+        for (std::uint32_t w = 0; w < 4; ++w)
+            accel.ingest(chunk, w);
+        s.run();
+    }
+}
+BENCHMARK(BM_AcceleratorDedupe);
+
+} // namespace

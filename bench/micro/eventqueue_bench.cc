@@ -1,0 +1,74 @@
+/** @file Microbenchmarks: discrete-event kernel throughput. */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace isw::sim;
+
+void
+BM_ScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        EventQueue q;
+        std::size_t fired = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            q.schedule(i, [&fired] { ++fired; });
+        q.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_RandomOrderSchedule(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(7);
+    for (auto _ : state) {
+        EventQueue q;
+        std::size_t fired = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            q.schedule(static_cast<TimeNs>(rng.uniformInt(0, 1 << 20)),
+                       [&fired] { ++fired; });
+        }
+        q.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RandomOrderSchedule)->Arg(65536);
+
+void
+BM_CancelHeavy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        std::vector<EventId> ids;
+        ids.reserve(4096);
+        for (int i = 0; i < 4096; ++i)
+            ids.push_back(q.schedule(static_cast<TimeNs>(i), [] {}));
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            q.cancel(ids[i]);
+        q.runAll();
+    }
+}
+BENCHMARK(BM_CancelHeavy);
+
+void
+BM_RngLognormal(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.lognormalMeanCv(1e6, 0.03));
+}
+BENCHMARK(BM_RngLognormal);
+
+} // namespace

@@ -1,0 +1,61 @@
+/** @file Microbenchmarks: iSwitch wire codec. */
+
+#include <benchmark/benchmark.h>
+
+#include "core/protocol.hh"
+
+namespace {
+
+using namespace isw;
+
+void
+BM_EncodeDataMtu(benchmark::State &state)
+{
+    net::ChunkPayload d;
+    d.seg = 42;
+    d.wire_floats = 366;
+    d.values.assign(366, 1.5f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::encodeData(d));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (8 + 366 * 4));
+}
+BENCHMARK(BM_EncodeDataMtu);
+
+void
+BM_DecodeDataMtu(benchmark::State &state)
+{
+    net::ChunkPayload d;
+    d.seg = 42;
+    d.wire_floats = 366;
+    d.values.assign(366, 1.5f);
+    const auto bytes = core::encodeData(d);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::decodeData(bytes));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeDataMtu);
+
+void
+BM_ControlRoundTrip(benchmark::State &state)
+{
+    net::ControlPayload c{net::Action::kSetH, 1234567, true};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::decodeControl(core::encodeControl(c)));
+}
+BENCHMARK(BM_ControlRoundTrip);
+
+void
+BM_SegArithmetic(benchmark::State &state)
+{
+    const std::uint64_t bytes = 6722519; // 6.41 MB
+    std::uint64_t seg = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::floatsInSeg(seg++ % core::segCount(bytes), bytes));
+    }
+}
+BENCHMARK(BM_SegArithmetic);
+
+} // namespace

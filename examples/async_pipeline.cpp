@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Asynchronous training with the three-stage pipeline (paper §4.1,
+ * Algorithm 1): LGC runs back-to-back on every worker, the switch
+ * aggregates whatever arrives once H vectors are in, and the LWU
+ * thread applies each broadcast. Shows the staleness bound at work
+ * and compares convergence against the asynchronous parameter server.
+ */
+
+#include <cstdio>
+
+#include "dist/iswitch_async.hh"
+#include "harness/experiment.hh"
+
+int
+main()
+{
+    using namespace isw;
+
+    // --- Async iSwitch with the paper's staleness bound S=3 ----------
+    dist::JobConfig cfg = dist::JobConfig::forBenchmark(
+        rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch, /*workers=*/4);
+    cfg.wire_model_bytes /= 8; // keep the demo snappy
+    cfg.stop.max_iterations = 1500;
+    cfg.curve_every = 250;
+
+    auto job = std::make_unique<dist::AsyncIswitchJob>(cfg);
+    dist::AsyncIswitchJob *raw = job.get();
+    std::printf("Async iSwitch, S=%u, %zu workers, pipelined LGC/GA/LWU\n",
+                cfg.staleness_bound, cfg.num_workers);
+    const dist::RunResult isw = job->run();
+
+    std::printf("  weight updates:      %llu\n",
+                static_cast<unsigned long long>(isw.iterations));
+    std::printf("  update interval:     %.2f ms\n", isw.perIterationMs());
+    std::printf("  gradients committed: %llu, skipped as stale: %llu\n",
+                static_cast<unsigned long long>(raw->gradientsCommitted()),
+                static_cast<unsigned long long>(raw->gradientsSkipped()));
+    std::printf("  final avg reward:    %.2f\n\n", isw.final_avg_reward);
+
+    // --- Async PS baseline on the same budget -------------------------
+    dist::JobConfig ps_cfg = cfg;
+    ps_cfg.strategy = dist::StrategyKind::kAsyncPs;
+    std::printf("Async parameter server, same S and budget\n");
+    const dist::RunResult ps = dist::runJob(ps_cfg);
+    std::printf("  weight updates:      %llu\n",
+                static_cast<unsigned long long>(ps.iterations));
+    std::printf("  update interval:     %.2f ms\n", ps.perIterationMs());
+    std::printf("  final avg reward:    %.2f\n\n", ps.final_avg_reward);
+
+    std::printf("Reward trajectories (per %zu updates):\n  iSW:",
+                cfg.curve_every);
+    for (const auto &p : isw.reward_curve.points())
+        std::printf(" %6.2f", p.v);
+    std::printf("\n  PS: ");
+    for (const auto &p : ps.reward_curve.points())
+        std::printf(" %6.2f", p.v);
+    std::printf("\n\nFresher gradients (in-switch aggregation) mean less"
+                "\nstaleness per update, which is the paper's source of"
+                "\nasync iteration savings (44.4%%-77.8%%).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Rack-scale training: 12 workers in racks of 3 under ToR switches
+ * with a core switch on top (paper Figure 10), using hierarchical
+ * in-switch aggregation — each ToR sums its rack, the core sums the
+ * racks, results fan back down. Compares against the centralized
+ * parameter server on the same fabric.
+ */
+
+#include <cstdio>
+
+#include "dist/strategy.hh"
+
+namespace {
+
+isw::dist::RunResult
+run(isw::dist::StrategyKind k)
+{
+    using namespace isw;
+    dist::JobConfig cfg =
+        dist::JobConfig::forBenchmark(rl::Algo::kA2c, k, /*workers=*/12);
+    cfg.use_tree = true;
+    cfg.cluster.per_rack = 3;
+    cfg.cluster.uplink.bandwidth_bps = 40e9; // faster ToR<->core links
+    cfg.stop.max_iterations = 60;
+
+    std::printf("=== %s on the rack-scale tree ===\n",
+                dist::strategyName(k));
+    auto job = dist::makeJob(cfg);
+    const dist::RunResult res = job->run();
+
+    std::printf("  racks: %zu ToR switches under one core\n",
+                job->cluster().leaves.size());
+    for (auto *tor : job->cluster().leaves) {
+        std::printf("  %-6s H=%u, aggregated %llu tagged packets, "
+                    "completed %llu segments\n",
+                    tor->name().c_str(), tor->accelerator().threshold(),
+                    static_cast<unsigned long long>(
+                        tor->accelerator().packetsIngested()),
+                    static_cast<unsigned long long>(
+                        tor->accelerator().segmentsEmitted()));
+    }
+    std::printf("  per-iteration: %.2f ms (aggregation %.2f ms), "
+                "reward %.2f\n\n",
+                res.perIterationMs(),
+                res.breakdown.meanMs(
+                    isw::dist::IterComponent::kGradAggregation),
+                res.final_avg_reward);
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace isw;
+    const dist::RunResult isw_res = run(dist::StrategyKind::kSyncIswitch);
+    const dist::RunResult ps_res = run(dist::StrategyKind::kSyncPs);
+
+    std::printf("hierarchical iSwitch vs central PS at 12 workers: "
+                "%.2fx faster per iteration\n",
+                ps_res.perIterationMs() / isw_res.perIterationMs());
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "core/accelerator.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isw::core {
+
+Accelerator::Accelerator(sim::Simulation &s, AcceleratorConfig cfg)
+    : sim_(s), cfg_(cfg)
+{
+    if (cfg_.clock_hz <= 0.0 || cfg_.burst_bytes == 0)
+        throw std::invalid_argument("Accelerator: bad config");
+}
+
+sim::TimeNs
+Accelerator::procTime(std::size_t wire_bytes) const
+{
+    const std::size_t bursts =
+        (wire_bytes + cfg_.burst_bytes - 1) / cfg_.burst_bytes;
+    const double ns = static_cast<double>(bursts) * 1e9 / cfg_.clock_hz;
+    return static_cast<sim::TimeNs>(std::llround(ns));
+}
+
+void
+Accelerator::ingest(const net::ChunkPayload &chunk, std::uint32_t src)
+{
+    ++ingested_;
+    const sim::TimeNs now = sim_.now();
+    const std::size_t bytes = 8 + std::size_t{chunk.wire_floats} * 4;
+    const sim::TimeNs start = std::max(now, busy_until_);
+    const sim::TimeNs done = start + procTime(bytes);
+    busy_until_ = done;
+
+    // Logic fires when the packet's last burst clears the adders.
+    sim_.at(done + cfg_.fixed_latency, [this, chunk, src] {
+        if (pool_.accumulate(chunk, threshold_, src, dedupe_))
+            emitSeg(chunk.seg);
+    });
+}
+
+void
+Accelerator::forceEmit(std::uint64_t seg)
+{
+    if (!pool_.has(seg))
+        return;
+    emitSeg(seg);
+}
+
+void
+Accelerator::emitSeg(std::uint64_t seg)
+{
+    SegState sum = pool_.harvest(seg);
+    ++emitted_;
+    if (emit_)
+        emit_(seg, std::move(sum));
+}
+
+} // namespace isw::core

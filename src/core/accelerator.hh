@@ -1,0 +1,113 @@
+/**
+ * @file
+ * In-switch aggregation accelerator (paper Figure 7).
+ *
+ * Functional model: per-segment accumulate-and-count with threshold H,
+ * emitting the summed segment the moment the H-th contribution lands
+ * (on-the-fly aggregation, Figure 8b).
+ *
+ * Timing model: the NetFPGA datapath moves 256-bit bursts at 200 MHz
+ * through eight parallel fp32 adders, so a packet of B wire bytes
+ * occupies the pipeline for ceil(B/32) cycles of 5 ns. The pipeline is
+ * modeled as a busy-until serialization point plus a small fixed
+ * latency, matching the "bump-in-the-wire" integration of Figure 6.
+ */
+
+#ifndef ISW_CORE_ACCELERATOR_HH
+#define ISW_CORE_ACCELERATOR_HH
+
+#include <functional>
+
+#include "core/seg_buffer.hh"
+#include "net/packet.hh"
+#include "sim/simulation.hh"
+
+namespace isw::core {
+
+/** Accelerator hardware parameters (defaults = paper's NetFPGA). */
+struct AcceleratorConfig
+{
+    double clock_hz = 200e6;         ///< datapath clock
+    std::size_t burst_bytes = 32;    ///< AXI4-Stream width: 256 bits
+    sim::TimeNs fixed_latency = 100; ///< parse/decode pipeline depth
+};
+
+/**
+ * The aggregation engine bolted onto a programmable switch.
+ *
+ * The owner (ProgrammableSwitch) feeds tagged data packets in via
+ * ingest(); when a segment completes (or is force-broadcast) the
+ * engine calls the emit callback with the harvested sum. Emission
+ * happens in simulated time after the pipeline delay.
+ */
+class Accelerator
+{
+  public:
+    /** Called when a segment's aggregate is ready to leave the chip. */
+    using EmitFn = std::function<void(std::uint64_t seg, SegState sum)>;
+
+    Accelerator(sim::Simulation &s, AcceleratorConfig cfg = {});
+
+    /** Install the emission callback (owned by the switch). */
+    void setEmit(EmitFn fn) { emit_ = std::move(fn); }
+
+    /** Aggregation threshold H (contributions per segment). */
+    void setThreshold(std::uint32_t h) { threshold_ = h; }
+    std::uint32_t threshold() const { return threshold_; }
+
+    /**
+     * Enable per-source contribution dedupe. Synchronous training
+     * turns this on so Help-driven retransmissions are idempotent;
+     * asynchronous training leaves it off because contributions from
+     * successive worker iterations legitimately share a buffer.
+     */
+    void setDedupeContributors(bool on) { dedupe_ = on; }
+    bool dedupeContributors() const { return dedupe_; }
+
+    /**
+     * Feed one tagged data packet into the pipeline. Accumulation and
+     * possible emission occur after the modeled processing delay.
+     * @param src Contributor identity (source IPv4 bits).
+     */
+    void ingest(const net::ChunkPayload &chunk, std::uint32_t src = 0);
+
+    /**
+     * Force emission of a (possibly partial) segment, clearing its
+     * buffer (control-plane FBcast). No-op if the segment is empty.
+     */
+    void forceEmit(std::uint64_t seg);
+
+    /** Clear all partial aggregation state (control-plane Reset). */
+    void reset() { pool_.clear(); }
+
+    /**
+     * Remove and return a segment's partial state without emitting
+     * (loss recovery: the partial may mix duplicate retransmissions).
+     */
+    SegState harvestPartial(std::uint64_t seg) { return pool_.harvest(seg); }
+
+    /** Pipeline occupancy time for a packet of @p wire_bytes. */
+    sim::TimeNs procTime(std::size_t wire_bytes) const;
+
+    const SegBufferPool &pool() const { return pool_; }
+
+    std::uint64_t packetsIngested() const { return ingested_; }
+    std::uint64_t segmentsEmitted() const { return emitted_; }
+
+  private:
+    void emitSeg(std::uint64_t seg);
+
+    sim::Simulation &sim_;
+    AcceleratorConfig cfg_;
+    SegBufferPool pool_;
+    std::uint32_t threshold_ = 1;
+    EmitFn emit_;
+    sim::TimeNs busy_until_ = 0;
+    bool dedupe_ = false;
+    std::uint64_t ingested_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace isw::core
+
+#endif // ISW_CORE_ACCELERATOR_HH

@@ -1,0 +1,148 @@
+#include "core/control.hh"
+
+namespace isw::core {
+
+std::uint32_t
+MembershipTable::join(net::Ipv4Addr ip, std::uint16_t udp_port,
+                      MemberType type)
+{
+    auto it = by_ip_.find(ip);
+    if (it != by_ip_.end()) {
+        it->second.udp_port = udp_port;
+        it->second.type = type;
+        return it->second.id;
+    }
+    const std::uint32_t id = next_id_++;
+    by_ip_[ip] = Member{id, ip, udp_port, type};
+    by_id_[id] = ip;
+    return id;
+}
+
+bool
+MembershipTable::leave(net::Ipv4Addr ip)
+{
+    auto it = by_ip_.find(ip);
+    if (it == by_ip_.end())
+        return false;
+    by_id_.erase(it->second.id);
+    by_ip_.erase(it);
+    return true;
+}
+
+std::optional<Member>
+MembershipTable::find(net::Ipv4Addr ip) const
+{
+    auto it = by_ip_.find(ip);
+    if (it == by_ip_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<Member>
+MembershipTable::members() const
+{
+    std::vector<Member> out;
+    out.reserve(by_id_.size());
+    for (const auto &[id, ip] : by_id_)
+        out.push_back(by_ip_.at(ip));
+    return out;
+}
+
+void
+ControlPlane::ack(net::Ipv4Addr ip, std::uint16_t port, bool ok)
+{
+    net::ControlPayload reply;
+    reply.action = net::Action::kAck;
+    reply.has_value = true;
+    reply.value = ok ? 1 : 0;
+    if (hooks_.send_control)
+        hooks_.send_control(Member{0, ip, port, MemberType::kWorker}, reply);
+}
+
+void
+ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
+                     const net::ControlPayload &msg)
+{
+    switch (msg.action) {
+      case net::Action::kJoin: {
+        const std::uint16_t port =
+            msg.has_value ? joinValuePort(msg.value) : src_port;
+        const MemberType type =
+            msg.has_value ? joinValueType(msg.value) : MemberType::kWorker;
+        table_.join(src_ip, port, type);
+        halted_ = false;
+        if (hooks_.membership_changed)
+            hooks_.membership_changed();
+        ack(src_ip, src_port, true);
+        break;
+      }
+      case net::Action::kLeave: {
+        const bool ok = table_.leave(src_ip);
+        if (hooks_.membership_changed)
+            hooks_.membership_changed();
+        ack(src_ip, src_port, ok);
+        break;
+      }
+      case net::Action::kReset: {
+        if (hooks_.reset_accel)
+            hooks_.reset_accel();
+        ack(src_ip, src_port, true);
+        break;
+      }
+      case net::Action::kSetH: {
+        if (msg.has_value && hooks_.set_threshold) {
+            hooks_.set_threshold(static_cast<std::uint32_t>(msg.value));
+            ack(src_ip, src_port, true);
+        } else {
+            ack(src_ip, src_port, false);
+        }
+        break;
+      }
+      case net::Action::kFBcast: {
+        if (msg.has_value && hooks_.force_broadcast)
+            hooks_.force_broadcast(msg.value);
+        break;
+      }
+      case net::Action::kHelp: {
+        auto requester = table_.find(src_ip);
+        Member req = requester.value_or(
+            Member{0, src_ip, src_port, MemberType::kWorker});
+        const bool served =
+            msg.has_value && hooks_.resend_cached &&
+            hooks_.resend_cached(msg.value, req);
+        if (!served && msg.has_value && hooks_.send_control) {
+            // The segment never completed: some contribution was lost
+            // upstream. Drop the partial sum (it may mix retransmitted
+            // duplicates otherwise) and ask every worker to retransmit
+            // the segment; the workers own recovery, the switch only
+            // relays (paper §3.3).
+            if (hooks_.clear_segment)
+                hooks_.clear_segment(helpSeg(msg.value));
+            net::ControlPayload retx;
+            retx.action = net::Action::kHelp;
+            retx.has_value = true;
+            retx.value = msg.value;
+            for (const Member &m : table_.members()) {
+                if (m.type == MemberType::kWorker)
+                    hooks_.send_control(m, retx);
+            }
+        }
+        break;
+      }
+      case net::Action::kHalt: {
+        halted_ = true;
+        net::ControlPayload halt;
+        halt.action = net::Action::kHalt;
+        if (hooks_.send_control) {
+            for (const Member &m : table_.members())
+                hooks_.send_control(m, halt);
+        }
+        ack(src_ip, src_port, true);
+        break;
+      }
+      case net::Action::kAck:
+        break; // confirmations terminate here
+    }
+}
+
+} // namespace isw::core

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * iSwitch control plane: membership table (paper Figure 9) and the
+ * control-message state machine (paper Table 2).
+ */
+
+#ifndef ISW_CORE_CONTROL_HH
+#define ISW_CORE_CONTROL_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace isw::core {
+
+/** Membership entry type (Figure 9's Type column). */
+enum class MemberType : std::uint8_t { kWorker = 0, kSwitch = 1 };
+
+/** One row of the membership table. */
+struct Member
+{
+    std::uint32_t id = 0;
+    net::Ipv4Addr ip;
+    std::uint16_t udp_port = 0;
+    MemberType type = MemberType::kWorker;
+};
+
+/**
+ * Pack a Join message's Value field: low 16 bits the member's UDP
+ * port, bit 16 the member type.
+ */
+constexpr std::uint64_t
+encodeJoinValue(std::uint16_t udp_port, MemberType type)
+{
+    return std::uint64_t{udp_port} |
+           (std::uint64_t{type == MemberType::kSwitch} << 16);
+}
+
+/** Unpack the UDP port from a Join Value. */
+constexpr std::uint16_t
+joinValuePort(std::uint64_t v)
+{
+    return static_cast<std::uint16_t>(v & 0xFFFF);
+}
+
+/** Unpack the member type from a Join Value. */
+constexpr MemberType
+joinValueType(std::uint64_t v)
+{
+    return (v >> 16) & 1 ? MemberType::kSwitch : MemberType::kWorker;
+}
+
+/** Pack a Help request Value: completion sequence number + segment. */
+constexpr std::uint64_t
+helpValue(std::uint64_t want_seq, std::uint64_t seg)
+{
+    return (want_seq << 32) | (seg & 0xFFFFFFFFULL);
+}
+
+/** Segment of a Help request Value. */
+constexpr std::uint64_t
+helpSeg(std::uint64_t v)
+{
+    return v & 0xFFFFFFFFULL;
+}
+
+/** Wanted completion sequence of a Help request Value. */
+constexpr std::uint64_t
+helpSeq(std::uint64_t v)
+{
+    return v >> 32;
+}
+
+/**
+ * The light-weight membership table maintained in the control plane.
+ * Keyed by member IP; ids are assigned on join and stable until leave.
+ */
+class MembershipTable
+{
+  public:
+    /** Add or refresh a member; returns its id. Idempotent per IP. */
+    std::uint32_t join(net::Ipv4Addr ip, std::uint16_t udp_port,
+                       MemberType type);
+
+    /** Remove a member; returns true if it existed. */
+    bool leave(net::Ipv4Addr ip);
+
+    /** Look up a member by IP. */
+    std::optional<Member> find(net::Ipv4Addr ip) const;
+
+    /** All members in id order. */
+    std::vector<Member> members() const;
+
+    std::size_t size() const { return by_ip_.size(); }
+    bool empty() const { return by_ip_.empty(); }
+
+  private:
+    std::map<std::uint32_t, net::Ipv4Addr> by_id_;
+    std::map<net::Ipv4Addr, Member> by_ip_;
+    std::uint32_t next_id_ = 0;
+};
+
+/**
+ * Control-plane logic, decoupled from the switch through callbacks so
+ * it can be unit-tested without a network.
+ */
+class ControlPlane
+{
+  public:
+    /** Operations the control plane invokes on its switch. */
+    struct Hooks
+    {
+        /** Send a control message to a member. */
+        std::function<void(const Member &, net::ControlPayload)> send_control;
+        /** Clear accelerator buffers/counters (Reset). */
+        std::function<void()> reset_accel;
+        /** Set aggregation threshold H (SetH). */
+        std::function<void(std::uint32_t)> set_threshold;
+        /** Force-broadcast a partially aggregated segment (FBcast). */
+        std::function<void(std::uint64_t seg)> force_broadcast;
+        /**
+         * Serve a Help request. The request value packs the wanted
+         * completion sequence number in the high 32 bits and the
+         * segment in the low 32 (helpValue()). Returns false when the
+         * switch has no matching completed copy; the control plane
+         * then clears the segment's partial state and asks all workers
+         * to retransmit it.
+         */
+        std::function<bool(std::uint64_t request, const Member &requester)>
+            resend_cached;
+        /** Drop a segment's partial aggregation state (Help retry). */
+        std::function<void(std::uint64_t seg)> clear_segment;
+        /** Membership changed (auto-H recomputation lives here). */
+        std::function<void()> membership_changed;
+    };
+
+    explicit ControlPlane(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+    /**
+     * Process one control message arriving from @p src_ip/@p src_port.
+     * Replies (Ack etc.) flow through the hooks.
+     */
+    void handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
+                const net::ControlPayload &msg);
+
+    MembershipTable &table() { return table_; }
+    const MembershipTable &table() const { return table_; }
+
+    /** Workers currently halted? (Halt toggles, Join clears.) */
+    bool halted() const { return halted_; }
+
+  private:
+    void ack(net::Ipv4Addr ip, std::uint16_t port, bool ok);
+
+    Hooks hooks_;
+    MembershipTable table_;
+    bool halted_ = false;
+};
+
+} // namespace isw::core
+
+#endif // ISW_CORE_CONTROL_HH

@@ -1,0 +1,220 @@
+#include "core/programmable_switch.hh"
+
+#include <utility>
+
+namespace isw::core {
+
+ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
+                                       std::size_t num_ports,
+                                       ProgrammableSwitchConfig cfg)
+    : net::EthSwitch(s, std::move(name), num_ports, cfg.base), cfg_(cfg),
+      accel_(s, cfg.accel),
+      ctrl_(ControlPlane::Hooks{
+          .send_control =
+              [this](const Member &m, net::ControlPayload msg) {
+                  sendControlTo(m, std::move(msg));
+              },
+          .reset_accel =
+              [this] {
+                  accel_.reset();
+                  result_cache_.clear();
+              },
+          .set_threshold =
+              [this](std::uint32_t h) {
+                  manual_threshold_ = true;
+                  accel_.setThreshold(h);
+              },
+          .force_broadcast =
+              [this](std::uint64_t seg) { accel_.forceEmit(seg); },
+          .resend_cached =
+              [this](std::uint64_t request, const Member &req) {
+                  const std::uint64_t seg = helpSeg(request);
+                  const std::uint64_t want = helpSeq(request);
+                  auto it = result_cache_.find(seg);
+                  if (it == result_cache_.end() ||
+                      (want != 0 && it->second.seq != want)) {
+                      return false; // wanted completion hasn't happened
+                  }
+                  sendResultTo(req, seg, it->second);
+                  return true;
+              },
+          .clear_segment =
+              [this](std::uint64_t seg) {
+                  if (accel_.pool().has(seg))
+                      (void)accel_.harvestPartial(seg);
+              },
+          .membership_changed = [this] { refreshThreshold(); },
+      }),
+      mac_(net::MacAddr(0x02EE'0000'0000ULL | cfg.ip.bits()))
+{
+    accel_.setEmit([this](std::uint64_t seg, SegState sum) {
+        onEmit(seg, std::move(sum));
+    });
+}
+
+void
+ProgrammableSwitch::adminJoin(net::Ipv4Addr ip, std::uint16_t udp_port,
+                              MemberType type)
+{
+    ctrl_.table().join(ip, udp_port, type);
+    refreshThreshold();
+}
+
+void
+ProgrammableSwitch::setManualThreshold(std::uint32_t h)
+{
+    manual_threshold_ = true;
+    accel_.setThreshold(h);
+}
+
+void
+ProgrammableSwitch::refreshThreshold()
+{
+    if (manual_threshold_)
+        return;
+    const auto n = static_cast<std::uint32_t>(ctrl_.table().size());
+    accel_.setThreshold(n == 0 ? 1 : n);
+}
+
+bool
+ProgrammableSwitch::interceptIngress(const net::PacketPtr &pkt,
+                                     std::size_t in_port)
+{
+    (void)in_port;
+    switch (pkt->ip.tos) {
+      case net::kTosData: {
+        // Contribution plane: aggregate regardless of addressing;
+        // every iSwitch hop on the path folds tagged gradients in.
+        if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
+            accel_.ingest(*chunk, pkt->ip.src.bits());
+            sim_.stats().counter("iswitch." + name() + ".data_in").inc();
+        }
+        return true;
+      }
+      case net::kTosControl: {
+        if (pkt->ip.dst == cfg_.ip) {
+            onControl(pkt);
+            return true;
+        }
+        return false; // control for someone else: regular forwarding
+      }
+      case net::kTosResult: {
+        if (pkt->ip.dst == cfg_.ip) {
+            onResult(pkt);
+            return true;
+        }
+        return false; // worker-addressed result: forward normally
+      }
+      default:
+        return false;
+    }
+}
+
+void
+ProgrammableSwitch::onControl(const net::PacketPtr &pkt)
+{
+    if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
+        sim_.stats().counter("iswitch." + name() + ".ctrl_in").inc();
+        ctrl_.handle(pkt->ip.src, pkt->udp.src_port, *c);
+    }
+}
+
+void
+ProgrammableSwitch::onResult(const net::PacketPtr &pkt)
+{
+    // A result from our parent: cache and fan out to our members.
+    if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
+        CachedResult res{chunk->values, chunk->wire_floats, 0,
+                         ++seg_completions_[chunk->seg]};
+        broadcastResult(chunk->seg, res);
+        result_cache_[chunk->seg] = std::move(res);
+        pruneCache(chunk->seg);
+    }
+}
+
+void
+ProgrammableSwitch::pruneCache(std::uint64_t latest_seg)
+{
+    max_seg_seen_ = std::max(max_seg_seen_, latest_seg);
+    // Amortized: sweep only once the cache doubles past its window, so
+    // the scan cost spreads over `cache_window` insertions.
+    if (max_seg_seen_ < cfg_.cache_window ||
+        result_cache_.size() < 2 * cfg_.cache_window)
+        return;
+    const std::uint64_t floor = max_seg_seen_ - cfg_.cache_window;
+    std::erase_if(result_cache_,
+                  [floor](const auto &kv) { return kv.first < floor; });
+    std::erase_if(seg_completions_,
+                  [floor](const auto &kv) { return kv.first < floor; });
+}
+
+void
+ProgrammableSwitch::onEmit(std::uint64_t seg, SegState sum)
+{
+    sim_.stats().counter("iswitch." + name() + ".segs_done").inc();
+    if (!isRoot()) {
+        // Forward the partial aggregate upward as a new contribution.
+        net::Packet pkt;
+        pkt.eth.src = mac_;
+        pkt.ip.src = cfg_.ip;
+        pkt.ip.dst = cfg_.parent;
+        pkt.ip.tos = net::kTosData;
+        pkt.udp.src_port = cfg_.udp_port;
+        pkt.udp.dst_port = cfg_.parent_port;
+        net::ChunkPayload chunk;
+        chunk.seg = seg;
+        chunk.wire_floats = sum.wire_floats;
+        chunk.values = std::move(sum.acc);
+        pkt.payload = std::move(chunk);
+        forward(net::makePacket(std::move(pkt)));
+        return;
+    }
+    CachedResult res{std::move(sum.acc), sum.wire_floats, sum.count,
+                     ++seg_completions_[seg]};
+    broadcastResult(seg, res);
+    result_cache_[seg] = std::move(res);
+    pruneCache(seg);
+}
+
+void
+ProgrammableSwitch::broadcastResult(std::uint64_t seg,
+                                    const CachedResult &res)
+{
+    for (const Member &m : ctrl_.table().members())
+        sendResultTo(m, seg, res);
+}
+
+void
+ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t seg,
+                                 const CachedResult &res)
+{
+    net::Packet pkt;
+    pkt.eth.src = mac_;
+    pkt.ip.src = cfg_.ip;
+    pkt.ip.dst = m.ip;
+    pkt.ip.tos = net::kTosResult;
+    pkt.udp.src_port = cfg_.udp_port;
+    pkt.udp.dst_port = m.udp_port;
+    net::ChunkPayload chunk;
+    chunk.seg = seg;
+    chunk.wire_floats = res.wire_floats;
+    chunk.values = res.values;
+    pkt.payload = std::move(chunk);
+    forward(net::makePacket(std::move(pkt)));
+}
+
+void
+ProgrammableSwitch::sendControlTo(const Member &m, net::ControlPayload msg)
+{
+    net::Packet pkt;
+    pkt.eth.src = mac_;
+    pkt.ip.src = cfg_.ip;
+    pkt.ip.dst = m.ip;
+    pkt.ip.tos = net::kTosControl;
+    pkt.udp.src_port = cfg_.udp_port;
+    pkt.udp.dst_port = m.udp_port;
+    pkt.payload = msg;
+    forward(net::makePacket(std::move(pkt)));
+}
+
+} // namespace isw::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The iSwitch programmable switch (paper Figure 6): a regular
+ * EthSwitch whose input arbiter diverts ToS-tagged packets to the
+ * aggregation accelerator and the control plane, leaving normal
+ * traffic untouched.
+ *
+ * Hierarchical aggregation (paper §3.4): a switch configured with a
+ * parent forwards each locally completed segment upward as a fresh
+ * contribution; the root broadcasts completed segments downward as
+ * result packets, which lower switches fan out to their members.
+ */
+
+#ifndef ISW_CORE_PROGRAMMABLE_SWITCH_HH
+#define ISW_CORE_PROGRAMMABLE_SWITCH_HH
+
+#include <unordered_map>
+
+#include "core/accelerator.hh"
+#include "core/control.hh"
+#include "net/switch.hh"
+
+namespace isw::core {
+
+/** Configuration of a programmable switch. */
+struct ProgrammableSwitchConfig
+{
+    net::SwitchConfig base;           ///< regular data-plane parameters
+    AcceleratorConfig accel;          ///< aggregation datapath
+    net::Ipv4Addr ip;                 ///< switch's own address
+    std::uint16_t udp_port = 9000;    ///< iSwitch service port
+    net::Ipv4Addr parent;             ///< upstream switch (unset = root)
+    std::uint16_t parent_port = 9000; ///< upstream service port
+    /**
+     * Result-cache retention window in segment indices. Synchronous
+     * training stripes the round number into the Seg field, so indices
+     * grow without bound; entries older than the highest-seen index
+     * minus this window are evicted (models finite switch SRAM).
+     */
+    std::uint64_t cache_window = 1ULL << 13;
+};
+
+/** An EthSwitch extended with the iSwitch accelerator. */
+class ProgrammableSwitch : public net::EthSwitch
+{
+  public:
+    ProgrammableSwitch(sim::Simulation &s, std::string name,
+                       std::size_t num_ports,
+                       ProgrammableSwitchConfig cfg = {});
+
+    Accelerator &accelerator() { return accel_; }
+    ControlPlane &controlPlane() { return ctrl_; }
+    net::Ipv4Addr ip() const { return cfg_.ip; }
+    bool isRoot() const { return cfg_.parent.isUnspecified(); }
+
+    /**
+     * Register a member without the Join handshake (used by tests and
+     * by harness builders that wire clusters programmatically).
+     */
+    void adminJoin(net::Ipv4Addr ip, std::uint16_t udp_port, MemberType type);
+
+    /**
+     * Pin the aggregation threshold H. Without this call H tracks the
+     * membership count (the paper's default: H = number of children).
+     */
+    void setManualThreshold(std::uint32_t h);
+
+    /** Completed results re-sendable via Help, keyed by segment. */
+    std::size_t cachedResults() const { return result_cache_.size(); }
+
+  protected:
+    bool interceptIngress(const net::PacketPtr &pkt,
+                          std::size_t in_port) override;
+
+  private:
+    /** A completed segment kept for Help-based recovery. */
+    struct CachedResult
+    {
+        std::vector<float> values;
+        std::uint32_t wire_floats = 0;
+        std::uint32_t count = 0;
+        std::uint64_t seq = 0; ///< how many completions this seg has had
+    };
+
+    void onEmit(std::uint64_t seg, SegState sum);
+    void onControl(const net::PacketPtr &pkt);
+    void onResult(const net::PacketPtr &pkt);
+
+    /** Fan a completed segment out to every member (result plane). */
+    void broadcastResult(std::uint64_t seg, const CachedResult &res);
+
+    /** Send one result packet to a member. */
+    void sendResultTo(const Member &m, std::uint64_t seg,
+                      const CachedResult &res);
+
+    void sendControlTo(const Member &m, net::ControlPayload msg);
+
+    /** Recompute auto threshold from membership. */
+    void refreshThreshold();
+
+    /** Evict cache entries that fell out of the retention window. */
+    void pruneCache(std::uint64_t latest_seg);
+
+    ProgrammableSwitchConfig cfg_;
+    Accelerator accel_;
+    ControlPlane ctrl_;
+    bool manual_threshold_ = false;
+    net::MacAddr mac_;
+    std::unordered_map<std::uint64_t, CachedResult> result_cache_;
+    std::unordered_map<std::uint64_t, std::uint64_t> seg_completions_;
+    std::uint64_t max_seg_seen_ = 0;
+};
+
+} // namespace isw::core
+
+#endif // ISW_CORE_PROGRAMMABLE_SWITCH_HH

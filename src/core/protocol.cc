@@ -1,0 +1,92 @@
+#include "core/protocol.hh"
+
+#include <cstring>
+
+namespace isw::core {
+
+namespace {
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 7; i >= 0; --i)
+        out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeControl(const net::ControlPayload &c)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(1 + (c.has_value ? 8 : 0));
+    out.push_back(static_cast<std::uint8_t>(c.action));
+    if (c.has_value)
+        putU64(out, c.value);
+    return out;
+}
+
+std::optional<net::ControlPayload>
+decodeControl(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() != 1 && bytes.size() != 9)
+        return std::nullopt;
+    const auto raw = bytes[0];
+    if (raw < static_cast<std::uint8_t>(net::Action::kJoin) ||
+        raw > static_cast<std::uint8_t>(net::Action::kAck)) {
+        return std::nullopt;
+    }
+    net::ControlPayload c;
+    c.action = static_cast<net::Action>(raw);
+    if (bytes.size() == 9) {
+        c.has_value = true;
+        c.value = getU64(bytes.data() + 1);
+    }
+    return c;
+}
+
+std::vector<std::uint8_t>
+encodeData(const net::ChunkPayload &d)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(8 + std::size_t{d.wire_floats} * 4);
+    putU64(out, d.seg);
+    for (std::uint32_t i = 0; i < d.wire_floats; ++i) {
+        float f = i < d.values.size() ? d.values[i] : 0.0f;
+        std::uint32_t bits;
+        std::memcpy(&bits, &f, sizeof(bits));
+        for (int b = 3; b >= 0; --b)
+            out.push_back(static_cast<std::uint8_t>((bits >> (8 * b)) & 0xFF));
+    }
+    return out;
+}
+
+std::optional<net::ChunkPayload>
+decodeData(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() < 8 || (bytes.size() - 8) % 4 != 0)
+        return std::nullopt;
+    net::ChunkPayload d;
+    d.seg = getU64(bytes.data());
+    d.wire_floats = static_cast<std::uint32_t>((bytes.size() - 8) / 4);
+    d.values.resize(d.wire_floats);
+    const std::uint8_t *p = bytes.data() + 8;
+    for (std::uint32_t i = 0; i < d.wire_floats; ++i, p += 4) {
+        std::uint32_t bits = (std::uint32_t{p[0]} << 24) |
+                             (std::uint32_t{p[1]} << 16) |
+                             (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+        std::memcpy(&d.values[i], &bits, sizeof(float));
+    }
+    return d;
+}
+
+} // namespace isw::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * iSwitch wire protocol (paper Figure 5): byte codecs for control and
+ * data packets, plus segment-chunking arithmetic.
+ *
+ * The simulator moves decoded packet structs for speed, but this codec
+ * defines the actual bytes-on-the-wire format and is round-trip tested
+ * so the protocol is fully specified:
+ *
+ *   control: [ToS-tagged IP/UDP] | action(1) | value(8, optional)
+ *   data:    [ToS-tagged IP/UDP] | seg(8)    | float32 payload
+ */
+
+#ifndef ISW_CORE_PROTOCOL_HH
+#define ISW_CORE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace isw::core {
+
+/** Floats carried by a full iSwitch data packet (1500-byte MTU). */
+constexpr std::size_t kFloatsPerSeg = net::maxChunkFloats(true);
+
+/** Number of segments needed to carry @p wire_bytes of gradient. */
+constexpr std::uint64_t
+segCount(std::uint64_t wire_bytes)
+{
+    const std::uint64_t floats = (wire_bytes + 3) / 4;
+    return (floats + kFloatsPerSeg - 1) / kFloatsPerSeg;
+}
+
+/** Float slots occupied by segment @p seg of a @p wire_bytes vector. */
+constexpr std::uint32_t
+floatsInSeg(std::uint64_t seg, std::uint64_t wire_bytes)
+{
+    const std::uint64_t total = (wire_bytes + 3) / 4;
+    const std::uint64_t begin = seg * kFloatsPerSeg;
+    if (begin >= total)
+        return 0;
+    const std::uint64_t remain = total - begin;
+    return static_cast<std::uint32_t>(
+        remain < kFloatsPerSeg ? remain : kFloatsPerSeg);
+}
+
+/** Serialize a control payload to UDP payload bytes. */
+std::vector<std::uint8_t> encodeControl(const net::ControlPayload &c);
+
+/** Parse control bytes; std::nullopt on malformed input. */
+std::optional<net::ControlPayload>
+decodeControl(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Serialize a data payload to UDP payload bytes. Slots beyond
+ * values.size() (wire padding) are encoded as zero floats so the
+ * buffer length always matches the wire size.
+ */
+std::vector<std::uint8_t> encodeData(const net::ChunkPayload &d);
+
+/** Parse data bytes; std::nullopt on malformed input. */
+std::optional<net::ChunkPayload>
+decodeData(const std::vector<std::uint8_t> &bytes);
+
+} // namespace isw::core
+
+#endif // ISW_CORE_PROTOCOL_HH

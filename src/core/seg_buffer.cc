@@ -1,0 +1,43 @@
+#include "core/seg_buffer.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace isw::core {
+
+bool
+SegBufferPool::accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
+                          std::uint32_t src, bool dedupe)
+{
+    SegState &st = segs_[chunk.seg];
+    peak_ = std::max(peak_, segs_.size());
+    if (dedupe && !st.contributors.insert(src).second)
+        return false; // duplicate retransmission: already folded in
+    st.wire_floats = std::max(st.wire_floats, chunk.wire_floats);
+    if (st.acc.size() < chunk.values.size())
+        st.acc.resize(chunk.values.size(), 0.0f);
+    for (std::size_t i = 0; i < chunk.values.size(); ++i)
+        st.acc[i] += chunk.values[i];
+    ++st.count;
+    return st.count >= h;
+}
+
+std::uint32_t
+SegBufferPool::count(std::uint64_t seg) const
+{
+    auto it = segs_.find(seg);
+    return it == segs_.end() ? 0 : it->second.count;
+}
+
+SegState
+SegBufferPool::harvest(std::uint64_t seg)
+{
+    auto it = segs_.find(seg);
+    if (it == segs_.end())
+        throw std::out_of_range("SegBufferPool::harvest: no such segment");
+    SegState st = std::move(it->second);
+    segs_.erase(it);
+    return st;
+}
+
+} // namespace isw::core

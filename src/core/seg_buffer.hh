@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-segment accumulation state of the in-switch accelerator
+ * (the Buffers + Seg Counters of paper Figure 7).
+ */
+
+#ifndef ISW_CORE_SEG_BUFFER_HH
+#define ISW_CORE_SEG_BUFFER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace isw::core {
+
+/** Accumulated contributions toward one segment of the gradient. */
+struct SegState
+{
+    std::vector<float> acc;      ///< element-wise running sum
+    std::uint32_t count = 0;     ///< contributions received so far
+    std::uint32_t wire_floats = 0; ///< wire slots (max over contributions)
+    /** Sources folded in (used only under contributor dedupe). */
+    std::unordered_set<std::uint32_t> contributors;
+};
+
+/**
+ * Pool of segment buffers keyed by Seg number.
+ *
+ * The hardware holds a fixed BRAM region indexed by segment; we model
+ * the same semantics with a hash map so arbitrarily large models work.
+ * A segment "completes" when its counter reaches the aggregation
+ * threshold H, at which point the caller harvests the sum and the
+ * buffer is cleared (the paper's write-back-zeros step).
+ */
+class SegBufferPool
+{
+  public:
+    /**
+     * Fold one contribution into segment @p seg.
+     *
+     * @param src Contributor identity (IPv4 bits). When @p dedupe is
+     *        true, a second contribution from the same source to the
+     *        same in-progress segment is ignored — this makes the
+     *        sync-mode loss-recovery retransmissions idempotent.
+     * @return true if this contribution made the segment reach @p h.
+     */
+    bool accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
+                    std::uint32_t src = 0, bool dedupe = false);
+
+    /** Number of segments currently holding partial sums. */
+    std::size_t activeSegments() const { return segs_.size(); }
+
+    /** True if segment @p seg holds any contributions. */
+    bool has(std::uint64_t seg) const { return segs_.count(seg) != 0; }
+
+    /** Contribution count for @p seg (0 if absent). */
+    std::uint32_t count(std::uint64_t seg) const;
+
+    /**
+     * Remove and return the state of @p seg (complete or partial).
+     * Throws std::out_of_range if the segment is absent.
+     */
+    SegState harvest(std::uint64_t seg);
+
+    /** Drop all partial state (control-plane Reset). */
+    void clear() { segs_.clear(); }
+
+    /** Peak number of simultaneously active segments (BRAM pressure). */
+    std::size_t peakActiveSegments() const { return peak_; }
+
+  private:
+    std::unordered_map<std::uint64_t, SegState> segs_;
+    std::size_t peak_ = 0;
+};
+
+} // namespace isw::core
+
+#endif // ISW_CORE_SEG_BUFFER_HH

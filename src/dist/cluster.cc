@@ -1,0 +1,121 @@
+#include "dist/cluster.hh"
+
+#include <stdexcept>
+
+namespace isw::dist {
+
+core::ProgrammableSwitch *
+Cluster::leafOf(std::size_t i) const
+{
+    if (workersPerRack == 0)
+        return leaves.at(0);
+    return leaves.at(i / workersPerRack);
+}
+
+Cluster
+buildStarCluster(sim::Simulation &s, const ClusterConfig &cfg)
+{
+    Cluster c;
+    c.topo = std::make_unique<net::Topology>(s);
+    const std::size_t shards = cfg.with_ps ? std::max<std::size_t>(
+                                                 cfg.ps_shards, 1)
+                                           : 0;
+    const std::size_t extra = shards;
+
+    core::ProgrammableSwitchConfig sw_cfg;
+    sw_cfg.base = cfg.switch_cfg;
+    sw_cfg.accel = cfg.accel;
+    sw_cfg.ip = net::Ipv4Addr(10, 0, 0, 1);
+    sw_cfg.udp_port = kSwitchPort;
+    auto *sw = c.topo->addSwitch<core::ProgrammableSwitch>(
+        "switch0", cfg.num_workers + extra, sw_cfg);
+    c.leaves.push_back(sw);
+    c.root = sw;
+
+    for (std::size_t i = 0; i < cfg.num_workers; ++i) {
+        auto *h = c.topo->addHost("worker" + std::to_string(i),
+                                  net::Ipv4Addr(10, 0, 0,
+                                                static_cast<std::uint8_t>(
+                                                    2 + i)));
+        c.topo->connectHost(h, sw, i, cfg.edge_link);
+        sw->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker);
+        c.workers.push_back(h);
+    }
+    for (std::size_t k = 0; k < shards; ++k) {
+        net::Host *h = c.topo->addHost(
+            shards == 1 ? "ps" : "ps" + std::to_string(k),
+            net::Ipv4Addr(10, 0, 254, static_cast<std::uint8_t>(2 + k)));
+        c.topo->connectHost(h, sw, cfg.num_workers + k, cfg.edge_link);
+        c.ps_shards.push_back(h); // not aggregation members
+    }
+    if (!c.ps_shards.empty())
+        c.ps = c.ps_shards.front();
+    return c;
+}
+
+Cluster
+buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
+{
+    if (cfg.per_rack == 0)
+        throw std::invalid_argument("buildTreeCluster: per_rack == 0");
+    Cluster c;
+    c.topo = std::make_unique<net::Topology>(s);
+    c.workersPerRack = cfg.per_rack;
+    const std::size_t racks =
+        (cfg.num_workers + cfg.per_rack - 1) / cfg.per_rack;
+
+    core::ProgrammableSwitchConfig core_cfg;
+    core_cfg.base = cfg.switch_cfg;
+    core_cfg.accel = cfg.accel;
+    core_cfg.ip = net::Ipv4Addr(10, 0, 255, 1);
+    core_cfg.udp_port = kSwitchPort;
+    auto *root = c.topo->addSwitch<core::ProgrammableSwitch>("core", racks,
+                                                             core_cfg);
+    c.root = root;
+
+    std::size_t next_worker = 0;
+    for (std::size_t r = 0; r < racks; ++r) {
+        core::ProgrammableSwitchConfig tor_cfg;
+        tor_cfg.base = cfg.switch_cfg;
+        tor_cfg.accel = cfg.accel;
+        tor_cfg.ip = net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(r), 1);
+        tor_cfg.udp_port = kSwitchPort;
+        tor_cfg.parent = core_cfg.ip;
+        tor_cfg.parent_port = kSwitchPort;
+        // Ports: per_rack workers + uplink + optional PS on rack 0.
+        auto *tor = c.topo->addSwitch<core::ProgrammableSwitch>(
+            "tor" + std::to_string(r), cfg.per_rack + 2, tor_cfg);
+        c.leaves.push_back(tor);
+
+        std::size_t used = 0;
+        for (; used < cfg.per_rack && next_worker < cfg.num_workers;
+             ++used, ++next_worker) {
+            auto *h = c.topo->addHost(
+                "worker" + std::to_string(next_worker),
+                net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(r),
+                              static_cast<std::uint8_t>(2 + used)));
+            c.topo->connectHost(h, tor, used, cfg.edge_link);
+            tor->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker);
+            c.workers.push_back(h);
+        }
+        // Uplink on the port after the last worker slot.
+        c.topo->connectSwitches(tor, cfg.per_rack, root, r, cfg.uplink);
+        // The core must be able to address the ToR itself (results &
+        // control), not just the hosts behind it.
+        root->addRoute(tor->ip(), r);
+        root->adminJoin(tor->ip(), kSwitchPort, core::MemberType::kSwitch);
+    }
+
+    if (cfg.with_ps) {
+        if (cfg.ps_shards > 1)
+            throw std::invalid_argument(
+                "buildTreeCluster: sharded PS is star-only");
+        c.ps = c.topo->addHost("ps", net::Ipv4Addr(10, 0, 254, 2));
+        c.topo->connectHost(c.ps, c.leaves[0], cfg.per_rack + 1,
+                            cfg.edge_link);
+        c.ps_shards.push_back(c.ps);
+    }
+    return c;
+}
+
+} // namespace isw::dist

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cluster builders: the paper's two evaluation fabrics.
+ *
+ *  - Star (main cluster, §5.3): N workers (+ optional PS node) on one
+ *    programmable switch over 10 GbE.
+ *  - Tree (scalability setup, §5.3 / Figure 10): racks of `per_rack`
+ *    workers under ToR switches, ToRs under one core switch over a
+ *    faster uplink, with hierarchical aggregation membership wired.
+ */
+
+#ifndef ISW_DIST_CLUSTER_HH
+#define ISW_DIST_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/programmable_switch.hh"
+#include "net/topology.hh"
+
+namespace isw::dist {
+
+/** iSwitch service UDP port. */
+constexpr std::uint16_t kSwitchPort = 9000;
+/** Worker-side UDP port. */
+constexpr std::uint16_t kWorkerPort = 9999;
+/** Parameter-server UDP port. */
+constexpr std::uint16_t kPsPort = 9998;
+
+/** Knobs shared by both builders. */
+struct ClusterConfig
+{
+    std::size_t num_workers = 4;
+    bool with_ps = false;              ///< add a parameter-server host
+    /** Parameter-server shard count (>1 = sharded PS, star only). */
+    std::size_t ps_shards = 1;
+    net::LinkConfig edge_link{};       ///< host <-> switch (10 GbE)
+    net::LinkConfig uplink{40e9, 200, 0.0}; ///< ToR <-> core (tree only)
+    std::size_t per_rack = 3;          ///< workers per rack (tree only)
+    core::AcceleratorConfig accel{};   ///< accelerator parameters
+    net::SwitchConfig switch_cfg{};    ///< base data-plane parameters
+};
+
+/** A built cluster: topology plus the handles strategies need. */
+struct Cluster
+{
+    std::unique_ptr<net::Topology> topo;
+    std::vector<net::Host *> workers;
+    net::Host *ps = nullptr;
+    /** All PS shard hosts (size 1 unless sharding; ps == shards[0]). */
+    std::vector<net::Host *> ps_shards;
+    /** Leaf switches in rack order (the single switch for a star). */
+    std::vector<core::ProgrammableSwitch *> leaves;
+    /** Aggregation root (== leaves[0] for a star). */
+    core::ProgrammableSwitch *root = nullptr;
+
+    /** Leaf switch worker @p i attaches to. */
+    core::ProgrammableSwitch *leafOf(std::size_t i) const;
+
+    std::size_t workersPerRack = 0; ///< 0 for star clusters
+};
+
+/** Build the single-switch main cluster. */
+Cluster buildStarCluster(sim::Simulation &s, const ClusterConfig &cfg);
+
+/** Build the two-layer rack-scale cluster with hierarchical joins. */
+Cluster buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg);
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_CLUSTER_HH

@@ -1,0 +1,109 @@
+#include "dist/iswitch_async.hh"
+
+namespace isw::dist {
+
+AsyncIswitchJob::AsyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    fmt_ = gradientWire(/*iswitch_plane=*/true);
+    rx_.resize(workers_.size());
+    for (auto &rx : rx_)
+        rx.reset(fmt_);
+    lwu_busy_.assign(workers_.size(), false);
+    sent_.assign(workers_.size(), 0);
+    h_ = cfg_.agg_threshold == 0
+             ? static_cast<std::uint32_t>(workers_.size())
+             : cfg_.agg_threshold;
+    if (cfg_.agg_threshold != 0) {
+        // The control plane's SetH: pin H below the membership count.
+        for (auto *leaf : cluster_.leaves)
+            leaf->setManualThreshold(h_);
+        if (cluster_.root != cluster_.leaves.front())
+            cluster_.root->setManualThreshold(h_);
+    }
+}
+
+void
+AsyncIswitchJob::start()
+{
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        w.host->setReceiveHandler(
+            [this, wp](net::PacketPtr pkt) { onWorkerPacket(*wp, pkt); });
+    }
+    for (auto &w : workers_)
+        lgcLoop(w);
+}
+
+void
+AsyncIswitchJob::lgcLoop(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    const std::uint64_t tw = w.ts; // Algorithm 1: copy iteration index
+    WorkerCtx *wp = &w;
+    scheduleLgc(w, [this, wp, tw] {
+        WorkerCtx &w = *wp;
+        // Staleness check before commit (Algorithm 1 line 8), plus
+        // send-side backpressure: a gradient's staleness at *apply*
+        // time is at least the number of our commits not yet applied,
+        // so committing past that bound only produces stale updates
+        // and unbounded queueing when aggregation lags the pipeline.
+        const bool fresh = w.ts - tw <= cfg_.staleness_bound;
+        // A worker's commit count can fall *below* the global round
+        // count (other workers' surplus commits complete rounds it
+        // skipped), so the backlog must saturate at zero.
+        const std::uint64_t backlog =
+            sent_[w.index] > w.ts ? sent_[w.index] - w.ts : 0;
+        const bool backlog_ok = backlog <= cfg_.staleness_bound;
+        if (fresh && backlog_ok) {
+            ++committed_;
+            ++sent_[w.index];
+            // Nonblocking send (line 9).
+            ml::Vec grad = w.pending_grad; // snapshot for transmission
+            auto *leaf = cluster_.leafOf(w.index);
+            sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad, leaf] {
+                sendVector(*wp->host, leaf->ip(), kSwitchPort, kWorkerPort,
+                           net::kTosData, /*transfer_id=*/0, grad, fmt_);
+            });
+        } else {
+            ++skipped_;
+        }
+        ++w.round;
+        lgcLoop(w); // pipeline: the next LGC starts immediately
+    });
+}
+
+void
+AsyncIswitchJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
+{
+    if (pkt->ip.tos != net::kTosResult)
+        return;
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr)
+        return;
+    rx_[w.index].offer(*chunk);
+    drainLwu(w);
+}
+
+void
+AsyncIswitchJob::drainLwu(WorkerCtx &w)
+{
+    if (lwu_busy_[w.index] || !rx_[w.index].frontComplete())
+        return;
+    lwu_busy_[w.index] = true;
+    const ml::Vec sum = rx_[w.index].popFront();
+    const sim::TimeNs wu = chargeWeightUpdate(w);
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.iswitch_overhead.recv + wu, [this, wp, sum] {
+        WorkerCtx &w = *wp;
+        // Algorithm 1 LWU: ws <- ws - lr * gsum / H.
+        w.agent->applyAggregatedGradient(sum, h_);
+        ++w.ts;
+        if (w.index == 0)
+            noteGlobalIteration();
+        lwu_busy_[w.index] = false;
+        drainLwu(w);
+    });
+}
+
+} // namespace isw::dist

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Asynchronous iSwitch training — the paper's Algorithm 1 with the
+ * three-stage pipeline of Figure 11:
+ *
+ *   - LGC thread: runs back-to-back, never blocking on aggregation;
+ *     commits a gradient only if its staleness ts - tw <= S.
+ *   - GA stage (in the switch): counts H gradient vectors per segment,
+ *     sums, and broadcasts — contributions from different worker
+ *     iterations may mix, which is inherent to the design.
+ *   - LWU thread: applies each broadcast sum (ws -= lr * gsum / H) and
+ *     advances the local weight version ts.
+ *
+ * Decentralized weight storage: every worker applies the identical
+ * broadcast sums in the identical order, so weights stay agreed.
+ */
+
+#ifndef ISW_DIST_ISWITCH_ASYNC_HH
+#define ISW_DIST_ISWITCH_ASYNC_HH
+
+#include "dist/strategy.hh"
+
+namespace isw::dist {
+
+/** Async iSwitch job (Async iSW rows of Tables 3/5). */
+class AsyncIswitchJob : public JobBase
+{
+  public:
+    explicit AsyncIswitchJob(const JobConfig &cfg);
+
+  protected:
+    void start() override;
+
+  private:
+    void lgcLoop(WorkerCtx &w);
+    void onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt);
+    void drainLwu(WorkerCtx &w);
+
+    WireFormat fmt_;
+    std::uint32_t h_ = 0; ///< effective aggregation threshold
+    std::vector<MultiRoundAssembler> rx_;
+    std::vector<bool> lwu_busy_;
+    /** Per-worker gradients committed (for send-side backpressure). */
+    std::vector<std::uint64_t> sent_;
+    std::uint64_t committed_ = 0; ///< gradients sent (stats)
+    std::uint64_t skipped_ = 0;   ///< gradients dropped as too stale
+
+  public:
+    std::uint64_t gradientsCommitted() const { return committed_; }
+    std::uint64_t gradientsSkipped() const { return skipped_; }
+};
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_ISWITCH_ASYNC_HH

@@ -1,0 +1,166 @@
+#include "dist/iswitch_sync.hh"
+
+namespace isw::dist {
+
+SyncIswitchJob::SyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    fmt_ = gradientWire(/*iswitch_plane=*/true);
+    timeout_ev_.assign(workers_.size(), sim::kInvalidEventId);
+    if (cfg_.cluster.edge_link.loss_prob > 0.0 ||
+        cfg_.cluster.uplink.loss_prob > 0.0) {
+        // Generous: several full-vector serializations plus slack.
+        const double bw = cfg_.cluster.edge_link.bandwidth_bps;
+        help_timeout_ = static_cast<sim::TimeNs>(
+                            static_cast<double>(fmt_.wire_bytes) * 8e9 / bw) *
+                            6 +
+                        5 * sim::kMsec;
+    }
+    for (auto &w : workers_)
+        w.rx.reset(fmt_);
+    // Retransmissions must be idempotent in synchronous mode.
+    for (auto *leaf : cluster_.leaves)
+        leaf->accelerator().setDedupeContributors(true);
+    cluster_.root->accelerator().setDedupeContributors(true);
+}
+
+std::uint64_t
+SyncIswitchJob::segBase(const WorkerCtx &w) const
+{
+    // Synchronous rounds stripe the round number into the Seg index
+    // (seg' = round * P + offset): distinct rounds can never mix in
+    // the switch buffers, retransmissions are unambiguous, and the
+    // Help cache lookup is exact. Memory stays bounded through the
+    // switch's cache retention window.
+    return w.round * fmt_.segments();
+}
+
+void
+SyncIswitchJob::start()
+{
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        w.host->setReceiveHandler(
+            [this, wp](net::PacketPtr pkt) { onPacket(*wp, pkt); });
+    }
+    for (auto &w : workers_)
+        beginRound(w);
+}
+
+void
+SyncIswitchJob::beginRound(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    WorkerCtx *wp = &w;
+    scheduleLgc(w, [this, wp] {
+        sim_->after(cfg_.iswitch_overhead.send,
+                    [this, wp] { sendGradient(*wp); });
+    });
+}
+
+void
+SyncIswitchJob::sendGradient(WorkerCtx &w)
+{
+    auto *leaf = cluster_.leafOf(w.index);
+    sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort, net::kTosData,
+               /*transfer_id=*/0, w.pending_grad, fmt_, segBase(w));
+    armHelpTimeout(w);
+}
+
+void
+SyncIswitchJob::resendSegment(WorkerCtx &w, std::uint64_t seg_prime)
+{
+    const std::uint64_t base = segBase(w);
+    if (seg_prime < base || seg_prime >= base + fmt_.segments())
+        return; // not our current round: ignore
+    const std::uint64_t seg = seg_prime - base;
+    auto *leaf = cluster_.leafOf(w.index);
+    net::ChunkPayload chunk;
+    chunk.seg = seg_prime;
+    chunk.wire_floats = core::floatsInSeg(seg, fmt_.wire_bytes);
+    const std::uint64_t begin = seg * core::kFloatsPerSeg;
+    if (begin < w.pending_grad.size()) {
+        const std::uint64_t end = std::min<std::uint64_t>(
+            begin + core::kFloatsPerSeg, w.pending_grad.size());
+        chunk.values.assign(w.pending_grad.begin() + begin,
+                            w.pending_grad.begin() + end);
+    }
+    w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort, net::kTosData,
+                   std::move(chunk));
+}
+
+void
+SyncIswitchJob::armHelpTimeout(WorkerCtx &w)
+{
+    if (help_timeout_ == 0)
+        return;
+    sim_->events().cancel(timeout_ev_[w.index]);
+    WorkerCtx *wp = &w;
+    timeout_ev_[w.index] =
+        sim_->after(help_timeout_, [this, wp] { onHelpTimeout(*wp); });
+}
+
+void
+SyncIswitchJob::onHelpTimeout(WorkerCtx &w)
+{
+    if (stopped() || w.rx.complete())
+        return;
+    auto *leaf = cluster_.leafOf(w.index);
+    // Ask the switch for each missing segment (Table 2: Help). Each
+    // striped index identifies exactly one (round, offset), so a
+    // cached completion can be served unambiguously.
+    for (std::uint64_t seg : w.rx.missingSegments()) {
+        net::ControlPayload help;
+        help.action = net::Action::kHelp;
+        help.has_value = true;
+        help.value = core::helpValue(1, segBase(w) + seg);
+        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+                       net::kTosControl, help);
+    }
+    armHelpTimeout(w);
+}
+
+void
+SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
+{
+    if (pkt->ip.tos == net::kTosResult) {
+        if (const auto *chunk =
+                std::get_if<net::ChunkPayload>(&pkt->payload)) {
+            if (w.rx.offer(*chunk, segBase(w)))
+                onResultComplete(w);
+        }
+    } else if (pkt->ip.tos == net::kTosControl) {
+        if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
+            if (c->action == net::Action::kHelp && c->has_value) {
+                // The switch relays retransmission requests when a
+                // segment never completed: resend our contribution if
+                // the request targets our current round.
+                resendSegment(w, core::helpSeg(c->value));
+            }
+        }
+    }
+}
+
+void
+SyncIswitchJob::onResultComplete(WorkerCtx &w)
+{
+    sim_->events().cancel(timeout_ev_[w.index]);
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.iswitch_overhead.recv, [this, wp] {
+        WorkerCtx &w = *wp;
+        chargeAggregation(w, sim_->now() - w.lgc_end);
+        const sim::TimeNs wu = chargeWeightUpdate(w);
+        sim_->after(wu, [this, wp] {
+            WorkerCtx &w = *wp;
+            w.agent->applyAggregatedGradient(
+                w.rx.vector(), static_cast<std::uint32_t>(workers_.size()));
+            w.rx.reset();
+            ++w.round;
+            if (w.index == 0)
+                noteGlobalIteration();
+            beginRound(w);
+        });
+    });
+}
+
+} // namespace isw::dist

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synchronous iSwitch training (paper §4, Figure 1c): every worker
+ * sends its tagged gradient packets to the switch; the in-switch
+ * accelerator aggregates each segment on the fly and broadcasts it
+ * the moment all H contributions land; workers apply sum/N locally.
+ *
+ * Loss recovery (paper §3.3 control plane): after sending, a worker
+ * arms a timeout; if result segments are missing it sends Help(seg) to
+ * the switch, which re-sends a cached completed segment or relays a
+ * retransmission request to all workers.
+ */
+
+#ifndef ISW_DIST_ISWITCH_SYNC_HH
+#define ISW_DIST_ISWITCH_SYNC_HH
+
+#include "dist/strategy.hh"
+
+namespace isw::dist {
+
+/** Sync iSwitch job (iSW rows of Tables 3/4). */
+class SyncIswitchJob : public JobBase
+{
+  public:
+    explicit SyncIswitchJob(const JobConfig &cfg);
+
+  protected:
+    void start() override;
+
+  private:
+    /** First striped Seg index of @p w's current round. */
+    std::uint64_t segBase(const WorkerCtx &w) const;
+
+    void beginRound(WorkerCtx &w);
+    void sendGradient(WorkerCtx &w);
+    void resendSegment(WorkerCtx &w, std::uint64_t seg_prime);
+    void onPacket(WorkerCtx &w, const net::PacketPtr &pkt);
+    void onResultComplete(WorkerCtx &w);
+    void armHelpTimeout(WorkerCtx &w);
+    void onHelpTimeout(WorkerCtx &w);
+
+    WireFormat fmt_;
+    sim::TimeNs help_timeout_ = 0; ///< 0 disables loss recovery
+    std::vector<sim::EventId> timeout_ev_;
+};
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_ISWITCH_SYNC_HH

@@ -1,0 +1,32 @@
+#include "dist/metrics.hh"
+
+#include <algorithm>
+
+namespace isw::dist {
+
+double
+IterationMetrics::totalMeanMs() const
+{
+    double total = 0.0;
+    for (const auto &a : acc_)
+        total += a.mean();
+    return total;
+}
+
+double
+IterationMetrics::fraction(IterComponent c) const
+{
+    const double total = totalMeanMs();
+    return total <= 0.0 ? 0.0 : meanMs(c) / total;
+}
+
+std::size_t
+IterationMetrics::iterations() const
+{
+    std::size_t n = 0;
+    for (const auto &a : acc_)
+        n = std::max(n, a.count());
+    return n;
+}
+
+} // namespace isw::dist

@@ -1,0 +1,131 @@
+#include "dist/ps_async.hh"
+
+namespace isw::dist {
+
+namespace {
+constexpr std::uint64_t kWeightXferShift = 16;
+constexpr std::uint64_t kPullRequestBytes = 64;
+} // namespace
+
+AsyncPsJob::AsyncPsJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    fmt_ = gradientWire(/*iswitch_plane=*/false);
+    srv_rx_.resize(workers_.size());
+    for (auto &rx : srv_rx_)
+        rx.reset(fmt_);
+    for (auto &w : workers_)
+        w.rx.reset(fmt_);
+    installed_version_.assign(workers_.size(), 0);
+    // The server's replica starts from the same weights as everyone.
+    workers_.front().agent->getWeights(srv_weights_);
+    srv_opt_ = std::make_unique<ml::Adam>(cfg_.agent.lr);
+    ps_rng_ = sim_->forkRng();
+}
+
+void
+AsyncPsJob::start()
+{
+    cluster_.ps->setReceiveHandler(
+        [this](net::PacketPtr pkt) { onPsPacket(pkt); });
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        w.host->setReceiveHandler(
+            [this, wp](net::PacketPtr pkt) { onWorkerPacket(*wp, pkt); });
+    }
+    for (auto &w : workers_)
+        pullWeights(w);
+}
+
+void
+AsyncPsJob::pullWeights(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.overhead.send, [this, wp] {
+        wp->host->sendTo(cluster_.ps->ip(), kPsPort, kWorkerPort, /*tos=*/0,
+                         net::RawPayload{kPullRequestBytes, wp->index});
+    });
+}
+
+void
+AsyncPsJob::onPsPacket(const net::PacketPtr &pkt)
+{
+    if (const auto *raw = std::get_if<net::RawPayload>(&pkt->payload)) {
+        // Pull request: reply with the current weights, stamped with
+        // the server version so the worker can track staleness.
+        const std::size_t idx = raw->tag;
+        if (idx >= workers_.size())
+            return;
+        const std::uint64_t tid =
+            (srv_version_ << kWeightXferShift) | idx;
+        net::Host *dst = workers_[idx].host;
+        sim_->after(cfg_.overhead.send, [this, dst, tid] {
+            sendVector(*cluster_.ps, dst->ip(), kWorkerPort, kPsPort,
+                       /*tos=*/0, tid, srv_weights_, fmt_);
+        });
+        return;
+    }
+    if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
+        const std::size_t idx = chunk->transfer_id;
+        if (idx >= srv_rx_.size())
+            return;
+        if (!srv_rx_[idx].offer(*chunk))
+            return;
+        // Full gradient received: apply it after the update cost.
+        const sim::TimeNs wu =
+            cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_);
+        workers_[idx].metrics.add(IterComponent::kWeightUpdate, wu);
+        workers_[idx].metrics.add(IterComponent::kGradAggregation,
+                                  sim_->now() - workers_[idx].lgc_end);
+        const ml::Vec grad = srv_rx_[idx].vector();
+        srv_rx_[idx].reset();
+        sim_->after(cfg_.overhead.recv + wu, [this, grad] {
+            srv_opt_->step(srv_weights_, grad);
+            ++srv_version_;
+            noteGlobalIteration();
+        });
+    }
+}
+
+void
+AsyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr)
+        return;
+    if (!w.rx.offer(*chunk))
+        return;
+    const std::uint64_t version = chunk->transfer_id >> kWeightXferShift;
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.overhead.recv, [this, wp, version] {
+        wp->agent->installWeights(wp->rx.vector());
+        installed_version_[wp->index] = version;
+        wp->rx.reset();
+        lgc(*wp);
+    });
+}
+
+void
+AsyncPsJob::lgc(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    const std::uint64_t tw = installed_version_[w.index];
+    WorkerCtx *wp = &w;
+    scheduleLgc(w, [this, wp, tw] {
+        // Algorithm 1's staleness rule, applied to the PS baseline for
+        // a fair comparison: commit only lightly stale gradients.
+        if (srv_version_ - tw <= cfg_.staleness_bound) {
+            sim_->after(cfg_.overhead.send, [this, wp] {
+                sendVector(*wp->host, cluster_.ps->ip(), kPsPort,
+                           kWorkerPort, /*tos=*/0, wp->index,
+                           wp->pending_grad, fmt_);
+            });
+        }
+        ++wp->round;
+        pullWeights(*wp);
+    });
+}
+
+} // namespace isw::dist

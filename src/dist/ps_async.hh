@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Asynchronous parameter-server training (paper Figure 3), the Async
+ * PS baseline: the server owns the authoritative weights; each worker
+ * independently pulls the latest weights, computes a gradient, and
+ * pushes it; the server applies each arriving gradient immediately.
+ * Iterations are counted at the server (weight updates). A staleness
+ * bound S is enforced on the worker side, matching the S given to
+ * asynchronous iSwitch for a fair comparison (§6.2).
+ */
+
+#ifndef ISW_DIST_PS_ASYNC_HH
+#define ISW_DIST_PS_ASYNC_HH
+
+#include "dist/strategy.hh"
+
+namespace isw::dist {
+
+/** Async PS job (Async PS rows of Tables 3/5). */
+class AsyncPsJob : public JobBase
+{
+  public:
+    explicit AsyncPsJob(const JobConfig &cfg);
+
+  protected:
+    void start() override;
+
+  private:
+    void pullWeights(WorkerCtx &w);
+    void lgc(WorkerCtx &w);
+    void onPsPacket(const net::PacketPtr &pkt);
+    void onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt);
+
+    WireFormat fmt_;
+    ml::Vec srv_weights_;
+    std::unique_ptr<ml::Optimizer> srv_opt_;
+    std::uint64_t srv_version_ = 0;
+    std::vector<VectorAssembler> srv_rx_; ///< per-worker gradient streams
+    std::vector<std::uint64_t> installed_version_;
+    sim::Rng ps_rng_;
+};
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_PS_ASYNC_HH

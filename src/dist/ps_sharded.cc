@@ -1,0 +1,195 @@
+#include "dist/ps_sharded.hh"
+
+#include <stdexcept>
+
+namespace isw::dist {
+
+namespace {
+/** Transfer ids: shard results are offset past worker gradient ids. */
+constexpr std::uint64_t kResultXferBase = 1'000'000;
+} // namespace
+
+SyncShardedPsJob::SyncShardedPsJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    const std::size_t k = cluster_.ps_shards.size();
+    if (k < 1)
+        throw std::logic_error("SyncShardedPsJob: no PS shards built");
+
+    const WireFormat full = gradientWire(/*iswitch_plane=*/false);
+    shards_.resize(k);
+    const std::uint64_t base_wire = (full.wire_bytes / k) & ~3ULL;
+    std::uint64_t wire_used = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+        ShardSpec &sp = shards_[s];
+        sp.log_begin = full.logical_floats * s / k;
+        sp.log_end = full.logical_floats * (s + 1) / k;
+        sp.wire_bytes =
+            s + 1 == k ? full.wire_bytes - wire_used : base_wire;
+        wire_used += sp.wire_bytes;
+        const std::uint64_t need = (sp.log_end - sp.log_begin) * 4;
+        if (sp.wire_bytes < need)
+            sp.wire_bytes = need;
+        sp.fmt = WireFormat::forVector(sp.log_end - sp.log_begin,
+                                       sp.wire_bytes,
+                                       /*iswitch_plane=*/false);
+    }
+
+    state_.resize(k);
+    for (auto &st : state_) {
+        st.rx.resize(workers_.size());
+    }
+    for (std::size_t s = 0; s < k; ++s)
+        for (auto &rx : state_[s].rx)
+            rx.reset(shards_[s].fmt);
+
+    worker_rx_.resize(workers_.size());
+    agg_.resize(workers_.size());
+    slices_done_.assign(workers_.size(), 0);
+    for (auto &per_shard : worker_rx_) {
+        per_shard.resize(k);
+        for (std::size_t s = 0; s < k; ++s)
+            per_shard[s].reset(shards_[s].fmt);
+    }
+    ps_rng_ = sim_->forkRng();
+}
+
+void
+SyncShardedPsJob::start()
+{
+    for (std::size_t s = 0; s < cluster_.ps_shards.size(); ++s) {
+        cluster_.ps_shards[s]->setReceiveHandler(
+            [this, s](net::PacketPtr pkt) { onShardPacket(s, pkt); });
+    }
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        w.host->setReceiveHandler(
+            [this, wp](net::PacketPtr pkt) { onWorkerPacket(*wp, pkt); });
+    }
+    for (auto &w : workers_)
+        beginRound(w);
+}
+
+void
+SyncShardedPsJob::beginRound(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    WorkerCtx *wp = &w;
+    scheduleLgc(w, [this, wp] {
+        // Scatter: one message per shard, each charged a send posting.
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const ShardSpec &sp = shards_[s];
+            sim_->after(cfg_.overhead.send * (s + 1), [this, wp, s, sp] {
+                sendVector(
+                    *wp->host, cluster_.ps_shards[s]->ip(), kPsPort,
+                    kWorkerPort, /*tos=*/0, /*transfer_id=*/wp->index,
+                    std::span<const float>(
+                        wp->pending_grad.data() + sp.log_begin,
+                        sp.log_end - sp.log_begin),
+                    sp.fmt);
+            });
+        }
+    });
+}
+
+void
+SyncShardedPsJob::onShardPacket(std::size_t shard, const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr || chunk->transfer_id >= workers_.size())
+        return;
+    ShardState &st = state_[shard];
+    if (st.rx[chunk->transfer_id].offer(*chunk)) {
+        if (++st.received == workers_.size())
+            shardAggregate(shard);
+    }
+}
+
+void
+SyncShardedPsJob::shardAggregate(std::size_t shard)
+{
+    ShardState &st = state_[shard];
+    const ShardSpec &sp = shards_[shard];
+    st.sum.assign(sp.fmt.logical_floats, 0.0f);
+    for (const auto &rx : st.rx) {
+        const auto &v = rx.vector();
+        for (std::size_t i = 0; i < st.sum.size(); ++i)
+            st.sum[i] += v[i];
+    }
+    const double sum_bytes = static_cast<double>(sp.wire_bytes) *
+                             static_cast<double>(workers_.size());
+    const auto sum_time = static_cast<sim::TimeNs>(
+        sum_bytes / cfg_.ps_sum_bytes_per_sec * 1e9);
+    // Every shard performs its slice of the weight update; slices run
+    // in parallel so the visible update cost is one shard's share.
+    last_server_wu_ =
+        cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_) /
+        shards_.size();
+
+    for (auto &rx : st.rx)
+        rx.reset();
+    st.received = 0;
+
+    sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_,
+                [this, shard] {
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            WorkerCtx *wp = &workers_[i];
+            sim_->after(cfg_.overhead.send * (i + 1),
+                        [this, shard, wp] {
+                sendVector(*cluster_.ps_shards[shard], wp->host->ip(),
+                           kWorkerPort, kPsPort, /*tos=*/0,
+                           kResultXferBase + shard, state_[shard].sum,
+                           shards_[shard].fmt);
+            });
+        }
+    });
+}
+
+void
+SyncShardedPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr || chunk->transfer_id < kResultXferBase)
+        return;
+    const std::size_t shard =
+        static_cast<std::size_t>(chunk->transfer_id - kResultXferBase);
+    if (shard >= shards_.size())
+        return;
+    if (worker_rx_[w.index][shard].offer(*chunk)) {
+        if (++slices_done_[w.index] == shards_.size())
+            onSlicesComplete(w);
+    }
+}
+
+void
+SyncShardedPsJob::onSlicesComplete(WorkerCtx &w)
+{
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.overhead.recv, [this, wp] {
+        WorkerCtx &w = *wp;
+        // Stitch the K slices into the full aggregated gradient.
+        ml::Vec &agg = agg_[w.index];
+        agg.resize(gradientWire(false).logical_floats);
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const ShardSpec &sp = shards_[s];
+            const auto &v = worker_rx_[w.index][s].vector();
+            std::copy(v.begin(), v.end(), agg.begin() + sp.log_begin);
+            worker_rx_[w.index][s].reset();
+        }
+        slices_done_[w.index] = 0;
+
+        const sim::TimeNs elapsed = sim_->now() - w.lgc_end;
+        const sim::TimeNs agg_time =
+            elapsed > last_server_wu_ ? elapsed - last_server_wu_ : 0;
+        chargeAggregation(w, agg_time);
+        w.metrics.add(IterComponent::kWeightUpdate, last_server_wu_);
+        w.agent->applyAggregatedGradient(
+            agg, static_cast<std::uint32_t>(workers_.size()));
+        ++w.round;
+        if (w.index == 0)
+            noteGlobalIteration();
+        beginRound(w);
+    });
+}
+
+} // namespace isw::dist

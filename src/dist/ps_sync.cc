@@ -1,0 +1,133 @@
+#include "dist/ps_sync.hh"
+
+namespace isw::dist {
+
+namespace {
+/** Transfer ids: gradients use the worker index; result streams are
+ *  offset so they can never collide. */
+constexpr std::uint64_t kResultXferBase = 1'000'000;
+} // namespace
+
+SyncPsJob::SyncPsJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    fmt_ = gradientWire(/*iswitch_plane=*/false);
+    ps_rx_.resize(workers_.size());
+    for (auto &rx : ps_rx_)
+        rx.reset(fmt_);
+    for (auto &w : workers_)
+        w.rx.reset(fmt_);
+    ps_rng_ = sim_->forkRng();
+}
+
+void
+SyncPsJob::start()
+{
+    cluster_.ps->setReceiveHandler(
+        [this](net::PacketPtr pkt) { onPsPacket(pkt); });
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        w.host->setReceiveHandler(
+            [this, wp](net::PacketPtr pkt) { onWorkerPacket(*wp, pkt); });
+    }
+    for (auto &w : workers_)
+        beginRound(w);
+}
+
+void
+SyncPsJob::beginRound(WorkerCtx &w)
+{
+    if (stopped())
+        return;
+    WorkerCtx *wp = &w;
+    scheduleLgc(w, [this, wp] {
+        sim_->after(cfg_.overhead.send, [this, wp] {
+            sendVector(*wp->host, cluster_.ps->ip(), kPsPort, kWorkerPort,
+                       /*tos=*/0, /*transfer_id=*/wp->index,
+                       wp->pending_grad, fmt_);
+        });
+    });
+}
+
+void
+SyncPsJob::onPsPacket(const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr || chunk->transfer_id >= ps_rx_.size())
+        return;
+    if (ps_rx_[chunk->transfer_id].offer(*chunk)) {
+        if (++ps_received_ == workers_.size())
+            serverAggregate();
+    }
+}
+
+void
+SyncPsJob::serverAggregate()
+{
+    // Conventional aggregation (Figure 8a): all vectors are resident
+    // before the summation starts.
+    ps_sum_.assign(fmt_.logical_floats, 0.0f);
+    for (const auto &rx : ps_rx_) {
+        const auto &v = rx.vector();
+        for (std::size_t i = 0; i < ps_sum_.size(); ++i)
+            ps_sum_[i] += v[i];
+    }
+    const double sum_bytes = static_cast<double>(fmt_.wire_bytes) *
+                             static_cast<double>(workers_.size());
+    const auto sum_time = static_cast<sim::TimeNs>(
+        sum_bytes / cfg_.ps_sum_bytes_per_sec * 1e9);
+    last_server_wu_ =
+        cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_);
+
+    // Reset reception state for the next round before replies go out.
+    for (auto &rx : ps_rx_)
+        rx.reset();
+    ps_received_ = 0;
+
+    sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_, [this] {
+        // Unicast the aggregate to every worker; each message costs a
+        // send posting, and all share the server's single link.
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            WorkerCtx *wp = &workers_[i];
+            sim_->after(cfg_.overhead.send * (i + 1), [this, wp] {
+                sendVector(*cluster_.ps, wp->host->ip(), kWorkerPort,
+                           kPsPort, /*tos=*/0,
+                           kResultXferBase + wp->index, ps_sum_, fmt_);
+            });
+        }
+    });
+}
+
+void
+SyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr)
+        return;
+    if (w.rx.offer(*chunk))
+        onWeightsComplete(w);
+}
+
+void
+SyncPsJob::onWeightsComplete(WorkerCtx &w)
+{
+    WorkerCtx *wp = &w;
+    sim_->after(cfg_.overhead.recv, [this, wp] {
+        WorkerCtx &w = *wp;
+        // The server's update time is part of the round but is weight
+        // update, not aggregation; split the charges accordingly.
+        const sim::TimeNs elapsed = sim_->now() - w.lgc_end;
+        const sim::TimeNs agg =
+            elapsed > last_server_wu_ ? elapsed - last_server_wu_ : 0;
+        chargeAggregation(w, agg);
+        w.metrics.add(IterComponent::kWeightUpdate, last_server_wu_);
+        w.agent->applyAggregatedGradient(
+            w.rx.vector(), static_cast<std::uint32_t>(workers_.size()));
+        w.rx.reset();
+        ++w.round;
+        if (w.index == 0)
+            noteGlobalIteration();
+        beginRound(w);
+    });
+}
+
+} // namespace isw::dist

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synchronous parameter-server training (paper Figure 1a), the PS
+ * baseline: workers unicast full gradient vectors to a central server;
+ * the server waits for *complete* vectors from every worker before
+ * summing (conventional aggregation, Figure 8a), performs the weight
+ * update, and unicasts the result back to each worker over its single
+ * link — the central bottleneck the paper measures.
+ *
+ * Logically the server returns the aggregated gradient and workers run
+ * identical local optimizer replicas; this is mathematically the same
+ * as shipping updated weights (same bytes on the wire) and keeps the
+ * three synchronous strategies bit-comparable.
+ */
+
+#ifndef ISW_DIST_PS_SYNC_HH
+#define ISW_DIST_PS_SYNC_HH
+
+#include "dist/strategy.hh"
+
+namespace isw::dist {
+
+/** Sync PS job (PS rows of Tables 3/4). */
+class SyncPsJob : public JobBase
+{
+  public:
+    explicit SyncPsJob(const JobConfig &cfg);
+
+  protected:
+    void start() override;
+
+  private:
+    void beginRound(WorkerCtx &w);
+    void onPsPacket(const net::PacketPtr &pkt);
+    void onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt);
+    void serverAggregate();
+    void onWeightsComplete(WorkerCtx &w);
+
+    WireFormat fmt_;
+    std::vector<VectorAssembler> ps_rx_; ///< per-worker gradient streams
+    std::size_t ps_received_ = 0;
+    ml::Vec ps_sum_;
+    sim::TimeNs last_server_wu_ = 0;
+    sim::Rng ps_rng_;
+};
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_PS_SYNC_HH

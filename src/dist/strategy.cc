@@ -1,0 +1,227 @@
+#include "dist/strategy.hh"
+
+#include <stdexcept>
+
+#include "dist/allreduce.hh"
+#include "dist/iswitch_async.hh"
+#include "dist/iswitch_sync.hh"
+#include "dist/ps_async.hh"
+#include "dist/ps_sharded.hh"
+#include "dist/ps_sync.hh"
+
+namespace isw::dist {
+
+const char *
+strategyName(StrategyKind k)
+{
+    switch (k) {
+      case StrategyKind::kSyncPs: return "PS";
+      case StrategyKind::kSyncAllReduce: return "AR";
+      case StrategyKind::kSyncIswitch: return "iSW";
+      case StrategyKind::kAsyncPs: return "Async PS";
+      case StrategyKind::kAsyncIswitch: return "Async iSW";
+      case StrategyKind::kSyncShardedPs: return "Sharded PS";
+    }
+    return "?";
+}
+
+bool
+isAsyncStrategy(StrategyKind k)
+{
+    return k == StrategyKind::kAsyncPs || k == StrategyKind::kAsyncIswitch;
+}
+
+JobConfig
+JobConfig::forBenchmark(rl::Algo algo, StrategyKind strategy,
+                        std::size_t num_workers)
+{
+    const rl::BenchmarkSpec &spec = rl::specFor(algo);
+    JobConfig cfg;
+    cfg.algo = algo;
+    cfg.strategy = strategy;
+    cfg.num_workers = num_workers;
+    cfg.agent = spec.config;
+    cfg.wire_model_bytes = spec.paper_model_bytes;
+    cfg.profile = profileFor(algo);
+    return cfg;
+}
+
+JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.num_workers == 0)
+        throw std::invalid_argument("JobBase: zero workers");
+    sim_ = std::make_unique<sim::Simulation>(cfg_.seed);
+
+    ClusterConfig ccfg = cfg_.cluster;
+    ccfg.num_workers = cfg_.num_workers;
+    ccfg.with_ps = cfg_.strategy == StrategyKind::kSyncPs ||
+                   cfg_.strategy == StrategyKind::kAsyncPs ||
+                   cfg_.strategy == StrategyKind::kSyncShardedPs;
+    ccfg.ps_shards = cfg_.strategy == StrategyKind::kSyncShardedPs
+                         ? std::max<std::size_t>(cfg_.ps_shards, 1)
+                         : 1;
+    cluster_ = cfg_.use_tree ? buildTreeCluster(*sim_, ccfg)
+                             : buildStarCluster(*sim_, ccfg);
+
+    workers_.resize(cfg_.num_workers);
+    for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+        WorkerCtx &w = workers_[i];
+        w.index = i;
+        w.host = cluster_.workers.at(i);
+        // Same weight seed on every worker (identical initial model);
+        // unique env/exploration seed per worker.
+        w.agent = rl::makeAgent(cfg_.algo, cfg_.agent,
+                                /*weight_seed=*/cfg_.seed * 7919 + 17,
+                                /*env_seed=*/cfg_.seed * 104729 + 31 + i);
+        w.rng = sim_->forkRng();
+    }
+}
+
+rl::Agent &
+JobBase::workerAgent(std::size_t i)
+{
+    return *workers_.at(i).agent;
+}
+
+WireFormat
+JobBase::gradientWire(bool iswitch_plane) const
+{
+    const std::uint64_t logical = workers_.front().agent->paramCount();
+    const std::uint64_t wire =
+        cfg_.wire_model_bytes == 0 ? logical * 4 : cfg_.wire_model_bytes;
+    return WireFormat::forVector(logical, wire, iswitch_plane);
+}
+
+void
+JobBase::scheduleLgc(WorkerCtx &w, std::function<void()> done)
+{
+    // Snapshot semantics: the gradient is computed against the weights
+    // as of LGC start; the result becomes visible when the stage's
+    // simulated duration elapses.
+    const ml::Vec &g = w.agent->computeGradient();
+    w.pending_grad.assign(g.begin(), g.end());
+
+    sim::TimeNs total = 0;
+    for (std::size_t c = 0; c < kNumComponents; ++c) {
+        const auto comp = static_cast<IterComponent>(c);
+        if (!isLgcComponent(comp))
+            continue;
+        const sim::TimeNs dur = cfg_.profile.sample(comp, w.rng);
+        w.metrics.add(comp, dur);
+        total += dur;
+    }
+    // "Others" is measured as part of the local stage in Figure 4.
+    const sim::TimeNs oth = cfg_.profile.sample(IterComponent::kOthers,
+                                                w.rng);
+    w.metrics.add(IterComponent::kOthers, oth);
+    total += oth;
+
+    WorkerCtx *wp = &w;
+    sim_->after(total, [wp, done = std::move(done)] {
+        wp->lgc_end = wp->host->simulation().now();
+        done();
+    });
+}
+
+sim::TimeNs
+JobBase::chargeWeightUpdate(WorkerCtx &w)
+{
+    const sim::TimeNs dur =
+        cfg_.profile.sample(IterComponent::kWeightUpdate, w.rng);
+    w.metrics.add(IterComponent::kWeightUpdate, dur);
+    return dur;
+}
+
+double
+JobBase::clusterAvgReward() const
+{
+    double sum = 0.0;
+    for (const auto &w : workers_)
+        sum += w.agent->avgEpisodeReward(10);
+    return sum / static_cast<double>(workers_.size());
+}
+
+std::uint64_t
+JobBase::totalEpisodes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : workers_)
+        n += w.agent->episodesCompleted();
+    return n;
+}
+
+void
+JobBase::noteGlobalIteration()
+{
+    ++global_iters_;
+    last_update_time_ = sim_->now();
+    if (global_iters_ % cfg_.curve_every == 0)
+        curve_.record(sim_->now(), clusterAvgReward());
+    checkStop();
+}
+
+void
+JobBase::checkStop()
+{
+    if (stopped_)
+        return;
+    if (global_iters_ >= cfg_.stop.max_iterations) {
+        stopped_ = true;
+        return;
+    }
+    if (cfg_.stop.hasTarget() && totalEpisodes() >= cfg_.stop.min_episodes &&
+        clusterAvgReward() >= cfg_.stop.target_reward) {
+        stopped_ = true;
+        reached_target_ = true;
+    }
+}
+
+RunResult
+JobBase::run()
+{
+    start();
+    // Generous runaway guard: every iteration costs a bounded number
+    // of events (packets dominate), with extra headroom for loss
+    // recovery retransmissions.
+    const std::size_t guard =
+        (cfg_.stop.max_iterations + 10) * cfg_.num_workers *
+        (gradientWire(false).segments() * 64 + 4096);
+    sim_->run(guard);
+
+    RunResult res;
+    res.iterations = global_iters_;
+    res.total_time = last_update_time_;
+    res.final_avg_reward = clusterAvgReward();
+    res.reached_target = reached_target_;
+    res.breakdown = workers_.front().metrics;
+    res.reward_curve = curve_;
+    return res;
+}
+
+std::unique_ptr<JobBase>
+makeJob(const JobConfig &cfg)
+{
+    switch (cfg.strategy) {
+      case StrategyKind::kSyncPs:
+        return std::make_unique<SyncPsJob>(cfg);
+      case StrategyKind::kSyncAllReduce:
+        return std::make_unique<SyncAllReduceJob>(cfg);
+      case StrategyKind::kSyncIswitch:
+        return std::make_unique<SyncIswitchJob>(cfg);
+      case StrategyKind::kAsyncPs:
+        return std::make_unique<AsyncPsJob>(cfg);
+      case StrategyKind::kAsyncIswitch:
+        return std::make_unique<AsyncIswitchJob>(cfg);
+      case StrategyKind::kSyncShardedPs:
+        return std::make_unique<SyncShardedPsJob>(cfg);
+    }
+    throw std::logic_error("makeJob: unknown strategy");
+}
+
+RunResult
+runJob(const JobConfig &cfg)
+{
+    return makeJob(cfg)->run();
+}
+
+} // namespace isw::dist

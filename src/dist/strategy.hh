@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Distributed-training job framework.
+ *
+ * A Job owns a simulation, a cluster, and one timed worker context per
+ * training node, and implements one of the paper's five training
+ * strategies (§5.2): Sync PS, Sync AllReduce, Sync iSwitch, Async PS,
+ * Async iSwitch. Subclasses provide the event choreography; the base
+ * provides timing charges, stop conditions, reward curves, and result
+ * collection.
+ */
+
+#ifndef ISW_DIST_STRATEGY_HH
+#define ISW_DIST_STRATEGY_HH
+
+#include <limits>
+#include <memory>
+
+#include "dist/cluster.hh"
+#include "dist/metrics.hh"
+#include "dist/timing.hh"
+#include "dist/transport.hh"
+#include "rl/agent.hh"
+#include "rl/model_zoo.hh"
+
+namespace isw::dist {
+
+/** The five training strategies evaluated by the paper. */
+enum class StrategyKind {
+    kSyncPs,
+    kSyncAllReduce,
+    kSyncIswitch,
+    kAsyncPs,
+    kAsyncIswitch,
+    /** Extension baseline (not in the paper): K-way sharded sync PS. */
+    kSyncShardedPs,
+};
+
+/** Printable strategy name (paper notation: PS/AR/iSW/...). */
+const char *strategyName(StrategyKind k);
+
+/** True for the asynchronous strategies. */
+bool isAsyncStrategy(StrategyKind k);
+
+/** When to end a training run. */
+struct StopCondition
+{
+    std::uint64_t max_iterations = 200;
+    /** Stop early when the cluster-average reward reaches this. */
+    double target_reward = std::numeric_limits<double>::quiet_NaN();
+    /** Episodes required before the reward target is consulted. */
+    std::uint64_t min_episodes = 10;
+
+    bool
+    hasTarget() const
+    {
+        return target_reward == target_reward; // !isnan
+    }
+};
+
+/** Complete description of one distributed training run. */
+struct JobConfig
+{
+    rl::Algo algo = rl::Algo::kDqn;
+    StrategyKind strategy = StrategyKind::kSyncIswitch;
+    std::size_t num_workers = 4;
+    rl::AgentConfig agent;
+    /**
+     * Bytes the gradient occupies on the wire (paper model size).
+     * 0 means "the actual local model size".
+     */
+    std::uint64_t wire_model_bytes = 0;
+    ComputeProfile profile;
+    /**
+     * Per-message host cost of the PS/AR baselines, which ride the
+     * full framework stack (PyTorch distributed / OpenMPI in the
+     * paper's reference designs, §5.1).
+     */
+    HostOverhead overhead{1500 * sim::kUsec, 1000 * sim::kUsec};
+    /**
+     * Per-message host cost on the iSwitch plane, whose custom raw
+     * UDP protocol (§3.2) bypasses the framework stack.
+     */
+    HostOverhead iswitch_overhead{30 * sim::kUsec, 20 * sim::kUsec};
+    /** Server summation throughput for the PS baselines (bytes/s). */
+    double ps_sum_bytes_per_sec = 8e9;
+    ClusterConfig cluster;
+    bool use_tree = false; ///< star (main cluster) vs rack-scale tree
+    std::uint64_t seed = 1;
+    /** Algorithm 1's staleness bound S (async strategies). */
+    std::uint32_t staleness_bound = 3;
+    /** Shard count for the sharded-PS extension baseline. */
+    std::size_t ps_shards = 4;
+    /**
+     * Async iSwitch aggregation threshold H (the SetH knob, Table 2).
+     * 0 = the paper default: H tracks the number of workers. Smaller
+     * H broadcasts partial sums more often — more frequent, noisier
+     * updates.
+     */
+    std::uint32_t agg_threshold = 0;
+    StopCondition stop;
+    std::size_t curve_every = 10; ///< curve sample period (iterations)
+
+    /** Preset for @p algo + @p strategy with zoo hyperparameters and
+     *  the paper's wire model size. */
+    static JobConfig forBenchmark(rl::Algo algo, StrategyKind strategy,
+                                  std::size_t num_workers = 4);
+};
+
+/** Base class implementing the shared run machinery. */
+class JobBase
+{
+  public:
+    JobBase(const JobConfig &cfg);
+    virtual ~JobBase() = default;
+
+    JobBase(const JobBase &) = delete;
+    JobBase &operator=(const JobBase &) = delete;
+
+    /** Execute the job to completion and collect results. */
+    RunResult run();
+
+    sim::Simulation &simulation() { return *sim_; }
+    const Cluster &cluster() const { return cluster_; }
+
+    /** Worker @p i's agent (inspection by tests and examples). */
+    rl::Agent &workerAgent(std::size_t i);
+
+  protected:
+    /** Per-worker simulation state. */
+    struct WorkerCtx
+    {
+        std::size_t index = 0;
+        net::Host *host = nullptr;
+        std::unique_ptr<rl::Agent> agent;
+        sim::Rng rng; ///< timing jitter stream
+        IterationMetrics metrics;
+        VectorAssembler rx;
+        ml::Vec pending_grad;     ///< gradient awaiting transmission
+        sim::TimeNs lgc_end = 0;  ///< when the last LGC stage finished
+        std::uint64_t round = 0;  ///< sync round / iteration index
+        std::uint64_t ts = 0;     ///< async weight version (Algorithm 1)
+    };
+
+    /** Schedule the initial events (called once by run()). */
+    virtual void start() = 0;
+
+    /**
+     * Run the LGC stage for @p w: computes the real gradient at the
+     * current weights (snapshot semantics), charges the calibrated
+     * component times, and invokes @p done when the stage finishes in
+     * simulated time.
+     */
+    void scheduleLgc(WorkerCtx &w, std::function<void()> done);
+
+    /** Charge and return a jittered weight-update duration. */
+    sim::TimeNs chargeWeightUpdate(WorkerCtx &w);
+
+    /** Record aggregation latency for this worker's iteration. */
+    void chargeAggregation(WorkerCtx &w, sim::TimeNs dur)
+    {
+        w.metrics.add(IterComponent::kGradAggregation, dur);
+    }
+
+    /** Count one global iteration (weight update); updates curve and
+     *  stop state. */
+    void noteGlobalIteration();
+
+    /** Cluster-average of the last-10-episode rewards. */
+    double clusterAvgReward() const;
+
+    /** Total episodes finished across workers. */
+    std::uint64_t totalEpisodes() const;
+
+    bool stopped() const { return stopped_; }
+
+    /** The wire format gradients/weights use on this job. */
+    WireFormat gradientWire(bool iswitch_plane) const;
+
+    JobConfig cfg_;
+    std::unique_ptr<sim::Simulation> sim_;
+    Cluster cluster_;
+    std::vector<WorkerCtx> workers_;
+
+    std::uint64_t global_iters_ = 0;
+    sim::TimeNs last_update_time_ = 0;
+    bool stopped_ = false;
+    bool reached_target_ = false;
+    sim::TimeSeries curve_;
+
+  private:
+    void checkStop();
+};
+
+/** Construct the right Job subclass for @p cfg. */
+std::unique_ptr<JobBase> makeJob(const JobConfig &cfg);
+
+/** Convenience: build, run, destroy. */
+RunResult runJob(const JobConfig &cfg);
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_STRATEGY_HH

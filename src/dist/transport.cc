@@ -1,0 +1,94 @@
+#include "dist/transport.hh"
+
+#include <algorithm>
+
+namespace isw::dist {
+
+void
+sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
+           std::uint16_t src_port, std::uint8_t tos,
+           std::uint64_t transfer_id, std::span<const float> logical,
+           const WireFormat &fmt, std::uint64_t seg_base)
+{
+    const std::uint64_t segs = fmt.segments();
+    for (std::uint64_t seg = 0; seg < segs; ++seg) {
+        net::ChunkPayload chunk;
+        chunk.transfer_id = transfer_id;
+        chunk.seg = seg_base + seg;
+        chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
+        const std::uint64_t begin = seg * core::kFloatsPerSeg;
+        if (begin < logical.size()) {
+            const std::uint64_t end =
+                std::min<std::uint64_t>(begin + core::kFloatsPerSeg,
+                                        logical.size());
+            chunk.values.assign(logical.begin() + begin,
+                                logical.begin() + end);
+        }
+        host.sendTo(dst_ip, dst_port, src_port, tos, std::move(chunk));
+    }
+}
+
+void
+VectorAssembler::reset(WireFormat fmt)
+{
+    fmt_ = fmt;
+    data_.assign(fmt_.logical_floats, 0.0f);
+    seen_.clear();
+}
+
+void
+VectorAssembler::reset()
+{
+    data_.assign(fmt_.logical_floats, 0.0f);
+    seen_.clear();
+}
+
+bool
+VectorAssembler::offer(const net::ChunkPayload &chunk, std::uint64_t seg_base)
+{
+    const std::uint64_t seg = chunk.seg - seg_base;
+    if (seg >= fmt_.segments())
+        return false; // not ours / malformed
+    if (!seen_.insert(seg).second)
+        return false; // duplicate
+    const std::uint64_t begin = seg * core::kFloatsPerSeg;
+    for (std::size_t i = 0;
+         i < chunk.values.size() && begin + i < data_.size(); ++i) {
+        data_[begin + i] = chunk.values[i];
+    }
+    return complete();
+}
+
+bool
+MultiRoundAssembler::offer(const net::ChunkPayload &chunk)
+{
+    for (auto &round : rounds_) {
+        if (!round.hasSegment(chunk.seg)) {
+            round.offer(chunk);
+            return frontComplete();
+        }
+    }
+    rounds_.emplace_back(fmt_);
+    rounds_.back().offer(chunk);
+    return frontComplete();
+}
+
+std::vector<float>
+MultiRoundAssembler::popFront()
+{
+    std::vector<float> out = rounds_.front().vector();
+    rounds_.pop_front();
+    return out;
+}
+
+std::vector<std::uint64_t>
+VectorAssembler::missingSegments() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t seg = 0; seg < fmt_.segments(); ++seg)
+        if (!seen_.count(seg))
+            out.push_back(seg);
+    return out;
+}
+
+} // namespace isw::dist

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bulk vector transport: chunk a flat float vector into MTU-sized
+ * packets and reassemble on the far side.
+ *
+ * The wire size and the logical size are decoupled (DESIGN.md §2):
+ * the network carries `wireBytes` worth of packets — the paper's model
+ * sizes — while only the first `logicalFloats` slots hold real data.
+ * Padding segments carry zero logical floats but full wire weight, so
+ * timing is byte-accurate while training stays real.
+ */
+
+#ifndef ISW_DIST_TRANSPORT_HH
+#define ISW_DIST_TRANSPORT_HH
+
+#include <deque>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "core/protocol.hh"
+#include "net/host.hh"
+#include "sim/time.hh"
+
+namespace isw::dist {
+
+/** Host network-stack cost model (per logical message, not packet). */
+struct HostOverhead
+{
+    /** Kernel/MPI cost to post one vector (or chunk) send. */
+    sim::TimeNs send = 30 * sim::kUsec;
+    /** Cost to deliver one completed vector to the application. */
+    sim::TimeNs recv = 20 * sim::kUsec;
+};
+
+/** Shape of one vector on the wire. */
+struct WireFormat
+{
+    std::uint64_t logical_floats = 0; ///< real data carried
+    std::uint64_t wire_bytes = 0;     ///< bytes charged on the network
+    bool iswitch_plane = false;       ///< 8-byte vs 16-byte chunk header
+
+    /** Number of segments/packets. */
+    std::uint64_t segments() const { return core::segCount(wire_bytes); }
+
+    /** Clamp so the wire can actually carry the logical data. */
+    static WireFormat
+    forVector(std::uint64_t logical_floats, std::uint64_t wire_bytes,
+              bool iswitch_plane)
+    {
+        WireFormat f;
+        f.logical_floats = logical_floats;
+        f.wire_bytes = std::max(wire_bytes, logical_floats * 4);
+        f.iswitch_plane = iswitch_plane;
+        return f;
+    }
+};
+
+/**
+ * Enqueue the packets of one vector on @p host's NIC.
+ *
+ * All segments are posted back-to-back; link serialization paces them.
+ * @param seg_base Added to each segment index (AllReduce uses it to
+ *        address chunk ranges of the full vector).
+ */
+void sendVector(net::Host &host, net::Ipv4Addr dst_ip,
+                std::uint16_t dst_port, std::uint16_t src_port,
+                std::uint8_t tos, std::uint64_t transfer_id,
+                std::span<const float> logical, const WireFormat &fmt,
+                std::uint64_t seg_base = 0);
+
+/** Reassembles one vector from its segment packets. */
+class VectorAssembler
+{
+  public:
+    VectorAssembler() = default;
+    explicit VectorAssembler(WireFormat fmt) { reset(fmt); }
+
+    /** Re-arm for a fresh vector of shape @p fmt. */
+    void reset(WireFormat fmt);
+
+    /** Re-arm with the same shape. */
+    void reset();
+
+    /**
+     * Offer a segment (duplicate-safe). @p seg_base is subtracted from
+     * the packet's segment index before placement.
+     * @return true if this segment completed the vector.
+     */
+    bool offer(const net::ChunkPayload &chunk, std::uint64_t seg_base = 0);
+
+    bool complete() const { return seen_.size() == fmt_.segments(); }
+
+    /** True if segment @p seg has already been received. */
+    bool hasSegment(std::uint64_t seg) const { return seen_.count(seg) != 0; }
+    std::size_t segmentsReceived() const { return seen_.size(); }
+    const std::vector<float> &vector() const { return data_; }
+    const WireFormat &format() const { return fmt_; }
+
+    /** Segments not yet received (loss recovery). */
+    std::vector<std::uint64_t> missingSegments() const;
+
+  private:
+    WireFormat fmt_;
+    std::vector<float> data_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+/**
+ * Assembles a *stream* of result vectors whose segments may interleave
+ * across rounds (asynchronous iSwitch: the switch emits segment k the
+ * moment its H-th contribution lands, so round r+1's early segments
+ * can overtake round r's late ones). Segments are first-fit assigned
+ * to the oldest round still missing them.
+ */
+class MultiRoundAssembler
+{
+  public:
+    MultiRoundAssembler() = default;
+    explicit MultiRoundAssembler(WireFormat fmt) : fmt_(fmt) {}
+
+    void reset(WireFormat fmt)
+    {
+        fmt_ = fmt;
+        rounds_.clear();
+    }
+
+    /** Offer a segment; returns true if the *front* round is complete. */
+    bool offer(const net::ChunkPayload &chunk);
+
+    bool frontComplete() const
+    {
+        return !rounds_.empty() && rounds_.front().complete();
+    }
+
+    /** Pop the completed front round's vector. */
+    std::vector<float> popFront();
+
+    std::size_t pendingRounds() const { return rounds_.size(); }
+
+  private:
+    WireFormat fmt_;
+    std::deque<VectorAssembler> rounds_;
+};
+
+} // namespace isw::dist
+
+#endif // ISW_DIST_TRANSPORT_HH

@@ -1,0 +1,97 @@
+#include "harness/calibration.hh"
+
+#include <stdexcept>
+
+namespace isw::harness {
+
+const std::array<PaperSyncRow, 4> &
+paperSyncTable()
+{
+    // Table 4 of the paper, verbatim.
+    static const std::array<PaperSyncRow, 4> kRows{{
+        {rl::Algo::kDqn, 1.40e6, 31.72, 16.08, 8.66, 20.00, 19.94, 20.00},
+        {rl::Algo::kA2c, 2.00e5, 2.87, 1.78, 1.12, 13491.73, 13478.39,
+         13489.22},
+        {rl::Algo::kPpo, 8.00e4, 0.39, 0.42, 0.22, 3090.24, 3093.18,
+         3091.61},
+        {rl::Algo::kDdpg, 7.50e5, 8.07, 9.01, 4.40, 2476.75, 2487.43,
+         2479.62},
+    }};
+    return kRows;
+}
+
+const std::array<PaperAsyncRow, 4> &
+paperAsyncTable()
+{
+    // Table 5 of the paper, verbatim.
+    static const std::array<PaperAsyncRow, 4> kRows{{
+        {rl::Algo::kDqn, 6.30e6, 3.50e6, 24.88, 12.07, 43.54, 11.74, 19.10,
+         19.82},
+        {rl::Algo::kA2c, 1.20e6, 4.00e5, 13.13, 12.53, 4.38, 1.39, 13402.83,
+         13505.46},
+        {rl::Algo::kPpo, 5.40e5, 1.20e5, 3.40, 7.99, 0.51, 0.27, 3083.67,
+         3084.23},
+        {rl::Algo::kDdpg, 3.00e6, 1.50e6, 11.58, 14.89, 9.65, 6.20, 2421.89,
+         2485.35},
+    }};
+    return kRows;
+}
+
+namespace {
+
+const PaperSyncRow &
+syncRow(rl::Algo algo)
+{
+    for (const auto &r : paperSyncTable())
+        if (r.algo == algo)
+            return r;
+    throw std::logic_error("calibration: unknown algorithm");
+}
+
+const PaperAsyncRow &
+asyncRow(rl::Algo algo)
+{
+    for (const auto &r : paperAsyncTable())
+        if (r.algo == algo)
+            return r;
+    throw std::logic_error("calibration: unknown algorithm");
+}
+
+} // namespace
+
+double
+paperSyncSpeedup(rl::Algo algo, dist::StrategyKind k)
+{
+    const auto &r = syncRow(algo);
+    switch (k) {
+      case dist::StrategyKind::kSyncPs: return 1.0;
+      case dist::StrategyKind::kSyncAllReduce: return r.ps_hours / r.ar_hours;
+      case dist::StrategyKind::kSyncIswitch: return r.ps_hours / r.isw_hours;
+      default:
+        throw std::invalid_argument("paperSyncSpeedup: async strategy");
+    }
+}
+
+double
+paperAsyncSpeedup(rl::Algo algo)
+{
+    const auto &r = asyncRow(algo);
+    return r.ps_hours / r.isw_hours;
+}
+
+double
+paperSyncPerIterMs(rl::Algo algo, dist::StrategyKind k)
+{
+    const auto &r = syncRow(algo);
+    double hours = 0.0;
+    switch (k) {
+      case dist::StrategyKind::kSyncPs: hours = r.ps_hours; break;
+      case dist::StrategyKind::kSyncAllReduce: hours = r.ar_hours; break;
+      case dist::StrategyKind::kSyncIswitch: hours = r.isw_hours; break;
+      default:
+        throw std::invalid_argument("paperSyncPerIterMs: async strategy");
+    }
+    return hours * 3600.0 * 1000.0 / r.iterations;
+}
+
+} // namespace isw::harness

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's published evaluation numbers (Tables 3, 4, 5), kept in
+ * one place so every bench can print measured-vs-paper comparisons and
+ * EXPERIMENTS.md stays verifiable.
+ */
+
+#ifndef ISW_HARNESS_CALIBRATION_HH
+#define ISW_HARNESS_CALIBRATION_HH
+
+#include "dist/strategy.hh"
+#include "rl/agent.hh"
+
+namespace isw::harness {
+
+/** One (algorithm, strategy) cell of the paper's sync evaluation. */
+struct PaperSyncRow
+{
+    rl::Algo algo;
+    double iterations;        ///< Table 4 "Number of Iterations"
+    double ps_hours;          ///< Table 4 PS end-to-end time
+    double ar_hours;          ///< Table 4 AR end-to-end time
+    double isw_hours;         ///< Table 4 iSW end-to-end time
+    double ps_reward;         ///< Table 4 final average rewards
+    double ar_reward;
+    double isw_reward;
+};
+
+/** One algorithm row of the paper's async evaluation (Table 5). */
+struct PaperAsyncRow
+{
+    rl::Algo algo;
+    double ps_iterations;
+    double isw_iterations;
+    double ps_periter_ms;
+    double isw_periter_ms;
+    double ps_hours;
+    double isw_hours;
+    double ps_reward;
+    double isw_reward;
+};
+
+/** Table 4 as published. */
+const std::array<PaperSyncRow, 4> &paperSyncTable();
+
+/** Table 5 as published. */
+const std::array<PaperAsyncRow, 4> &paperAsyncTable();
+
+/** Table 3 speedups derived from Table 4 (vs the PS baseline). */
+double paperSyncSpeedup(rl::Algo algo, dist::StrategyKind k);
+
+/** Table 3 async speedups derived from Table 5. */
+double paperAsyncSpeedup(rl::Algo algo);
+
+/** Paper per-iteration milliseconds for the sync strategies. */
+double paperSyncPerIterMs(rl::Algo algo, dist::StrategyKind k);
+
+} // namespace isw::harness
+
+#endif // ISW_HARNESS_CALIBRATION_HH

@@ -1,0 +1,79 @@
+#include "harness/cli.hh"
+
+#include <stdexcept>
+
+namespace isw::harness {
+
+Cli::Cli(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            throw std::invalid_argument("Cli: expected --flag, got '" + arg +
+                                        "'");
+        const std::string name = arg.substr(2);
+        if (name.empty())
+            throw std::invalid_argument("Cli: bare '--'");
+        // `--key value` when the next token isn't itself a flag.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[name] = argv[++i];
+        } else {
+            flags_[name] = "";
+        }
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return flags_.count(name) != 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Cli::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("Cli: --" + name + " wants an integer");
+    return v;
+}
+
+double
+Cli::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size())
+        throw std::invalid_argument("Cli: --" + name + " wants a number");
+    return v;
+}
+
+void
+Cli::requireKnown(const std::vector<std::string> &known) const
+{
+    for (const auto &[name, value] : flags_) {
+        bool ok = false;
+        for (const auto &k : known)
+            ok |= k == name;
+        if (!ok)
+            throw std::invalid_argument("Cli: unknown flag --" + name);
+    }
+}
+
+} // namespace isw::harness

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A tiny command-line flag parser for the bench and example binaries:
+ * `--key value` and boolean `--flag` forms, with typed accessors and
+ * an unknown-flag check so typos fail loudly.
+ */
+
+#ifndef ISW_HARNESS_CLI_HH
+#define ISW_HARNESS_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isw::harness {
+
+/** Parsed command line. */
+class Cli
+{
+  public:
+    Cli(int argc, const char *const *argv);
+
+    /** True if --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p fallback. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value of --name; throws on non-numeric input. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Double value of --name; throws on non-numeric input. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /**
+     * Throw std::invalid_argument if any parsed flag is not in
+     * @p known (catches typos in bench invocations).
+     */
+    void requireKnown(const std::vector<std::string> &known) const;
+
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace isw::harness
+
+#endif // ISW_HARNESS_CLI_HH

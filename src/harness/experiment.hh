@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Canonical experiment presets used by the bench binaries.
+ *
+ * Two run flavors:
+ *  - timing runs: paper-sized wire models, a fixed number of
+ *    iterations — they measure per-iteration time and its breakdown
+ *    (Figures 4, 12; the per-iteration columns of Tables 4, 5).
+ *  - learning runs: real training to a reward target — they measure
+ *    iterations-to-converge and reward curves (Figures 13, 14; the
+ *    iteration/reward columns of Tables 4, 5). Learning runs may scale
+ *    down very large wire models (the 6.41 MB DQN gradient) so a full
+ *    bench sweep finishes in CI time; end-to-end hours are composed as
+ *    measured-iterations x timing-run per-iteration time, which is
+ *    recorded in EXPERIMENTS.md.
+ *
+ * Set ISW_BENCH_SCALE=full for paper-sized learning runs and deeper
+ * iteration budgets (slower, higher fidelity).
+ */
+
+#ifndef ISW_HARNESS_EXPERIMENT_HH
+#define ISW_HARNESS_EXPERIMENT_HH
+
+#include "dist/strategy.hh"
+
+namespace isw::harness {
+
+/** Bench effort knobs, derived from the environment. */
+struct BenchOptions
+{
+    bool full = false;                 ///< ISW_BENCH_SCALE=full
+    std::uint64_t timing_iterations = 40;
+    /** Learning-run wire scale for models >= 1 MB (1.0 when full). */
+    double large_wire_scale = 0.125;
+};
+
+/** Read bench options from the environment. */
+BenchOptions benchOptions();
+
+/** Reward the local benchmark env counts as "trained". */
+double targetRewardFor(rl::Algo algo);
+
+/** Learning-run iteration cap (safety net above the reward target). */
+std::uint64_t learnCapFor(rl::Algo algo, bool async, bool full);
+
+/** Timing-run preset: paper wire size, fixed iterations. */
+dist::JobConfig timingJob(rl::Algo algo, dist::StrategyKind k,
+                          std::size_t workers = 4);
+
+/** Learning-run preset: trains for real until the reward target. */
+dist::JobConfig learningJob(rl::Algo algo, dist::StrategyKind k,
+                            std::size_t workers = 4);
+
+} // namespace isw::harness
+
+#endif // ISW_HARNESS_EXPERIMENT_HH

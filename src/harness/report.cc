@@ -1,0 +1,86 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace isw::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c]
+               << std::string(width[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto rule = [&] {
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << "+" << std::string(width[c] + 2, '-');
+        os << "+\n";
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &r : rows_)
+        line(r);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << "\n";
+    };
+    line(headers_);
+    for (const auto &r : rows_)
+        line(r);
+}
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtSci(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2E", v);
+    return buf;
+}
+
+void
+banner(const std::string &title, std::ostream &os)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace isw::harness

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table and CSV reporting for the benchmark binaries.
+ */
+
+#ifndef ISW_HARNESS_REPORT_HH
+#define ISW_HARNESS_REPORT_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace isw::harness {
+
+/** A fixed-width text table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; cells beyond the header count are dropped. */
+    Table &row(std::vector<std::string> cells);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os = std::cout) const;
+
+    /** Render as CSV (no alignment, comma-separated). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fraction digits. */
+std::string fmt(double v, int digits = 2);
+
+/** Format in scientific notation like the paper's tables (1.40E+06). */
+std::string fmtSci(double v);
+
+/** Print a section banner. */
+void banner(const std::string &title, std::ostream &os = std::cout);
+
+} // namespace isw::harness
+
+#endif // ISW_HARNESS_REPORT_HH

@@ -1,0 +1,104 @@
+#include "ml/losses.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace isw::ml {
+
+float
+mseLoss(const Matrix &pred, const Matrix &target, Matrix &dpred)
+{
+    assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+    dpred = Matrix(pred.rows(), pred.cols());
+    const std::size_t n = pred.size();
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float diff = pred.raw()[i] - target.raw()[i];
+        loss += diff * diff;
+        dpred.raw()[i] = 2.0f * diff / static_cast<float>(n);
+    }
+    return loss / static_cast<float>(n);
+}
+
+float
+huberLoss(const Matrix &pred, const Matrix &target, Matrix &dpred,
+          float delta)
+{
+    assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+    dpred = Matrix(pred.rows(), pred.cols());
+    const std::size_t n = pred.size();
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float diff = pred.raw()[i] - target.raw()[i];
+        const float ad = std::fabs(diff);
+        if (ad <= delta) {
+            loss += 0.5f * diff * diff;
+            dpred.raw()[i] = diff / static_cast<float>(n);
+        } else {
+            loss += delta * (ad - 0.5f * delta);
+            dpred.raw()[i] =
+                (diff > 0 ? delta : -delta) / static_cast<float>(n);
+        }
+    }
+    return loss / static_cast<float>(n);
+}
+
+void
+softmaxRow(std::span<float> logits)
+{
+    const float mx = *std::max_element(logits.begin(), logits.end());
+    float sum = 0.0f;
+    for (float &v : logits) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    for (float &v : logits)
+        v /= sum;
+}
+
+Vec
+logSoftmaxRow(std::span<const float> logits)
+{
+    const float mx = *std::max_element(logits.begin(), logits.end());
+    float sum = 0.0f;
+    for (float v : logits)
+        sum += std::exp(v - mx);
+    const float lse = mx + std::log(sum);
+    Vec out(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        out[i] = logits[i] - lse;
+    return out;
+}
+
+std::size_t
+sampleCategorical(std::span<const float> probs, sim::Rng &rng)
+{
+    const double u = rng.uniform();
+    double cum = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        cum += probs[i];
+        if (u < cum)
+            return i;
+    }
+    return probs.size() - 1;
+}
+
+std::size_t
+argmaxRow(std::span<const float> row)
+{
+    return static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+float
+entropyRow(std::span<const float> probs)
+{
+    float h = 0.0f;
+    for (float p : probs)
+        if (p > 0.0f)
+            h -= p * std::log(p);
+    return h;
+}
+
+} // namespace isw::ml

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Loss functions and probability utilities used by the RL algorithms.
+ * Each loss returns its value and writes dLoss/dPred for backprop.
+ */
+
+#ifndef ISW_ML_LOSSES_HH
+#define ISW_ML_LOSSES_HH
+
+#include <span>
+#include <vector>
+
+#include "ml/tensor.hh"
+#include "sim/random.hh"
+
+namespace isw::ml {
+
+/** Mean-squared error over all elements; fills @p dpred. */
+float mseLoss(const Matrix &pred, const Matrix &target, Matrix &dpred);
+
+/** Huber (smooth-L1) loss with threshold @p delta; fills @p dpred. */
+float huberLoss(const Matrix &pred, const Matrix &target, Matrix &dpred,
+                float delta = 1.0f);
+
+/** In-place numerically stable softmax over a logits row. */
+void softmaxRow(std::span<float> logits);
+
+/** log-softmax of one row, returned as a new vector. */
+Vec logSoftmaxRow(std::span<const float> logits);
+
+/** Sample an index from a probability row. */
+std::size_t sampleCategorical(std::span<const float> probs, sim::Rng &rng);
+
+/** argmax of a row. */
+std::size_t argmaxRow(std::span<const float> row);
+
+/** Entropy of a probability row (nats). */
+float entropyRow(std::span<const float> probs);
+
+} // namespace isw::ml
+
+#endif // ISW_ML_LOSSES_HH

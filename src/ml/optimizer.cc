@@ -1,0 +1,70 @@
+#include "ml/optimizer.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace isw::ml {
+
+void
+Sgd::step(std::span<float> params, std::span<const float> grads)
+{
+    assert(params.size() == grads.size());
+    if (momentum_ == 0.0) {
+        for (std::size_t i = 0; i < params.size(); ++i)
+            params[i] -= static_cast<float>(lr_) * grads[i];
+        return;
+    }
+    if (velocity_.empty())
+        velocity_.assign(params.size(), 0.0f);
+    assert(velocity_.size() == params.size());
+    const float mu = static_cast<float>(momentum_);
+    const float lr = static_cast<float>(lr_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        velocity_[i] = mu * velocity_[i] + grads[i];
+        params[i] -= lr * velocity_[i];
+    }
+}
+
+void
+RmsProp::step(std::span<float> params, std::span<const float> grads)
+{
+    assert(params.size() == grads.size());
+    if (sq_avg_.empty())
+        sq_avg_.assign(params.size(), 0.0f);
+    assert(sq_avg_.size() == params.size());
+    const float rho = static_cast<float>(decay_);
+    const float lr = static_cast<float>(lr_);
+    const float eps = static_cast<float>(eps_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const float g = grads[i];
+        sq_avg_[i] = rho * sq_avg_[i] + (1.0f - rho) * g * g;
+        params[i] -= lr * g / (std::sqrt(sq_avg_[i]) + eps);
+    }
+}
+
+void
+Adam::step(std::span<float> params, std::span<const float> grads)
+{
+    assert(params.size() == grads.size());
+    if (m_.empty()) {
+        m_.assign(params.size(), 0.0f);
+        v_.assign(params.size(), 0.0f);
+    }
+    assert(m_.size() == params.size());
+    ++t_;
+    const double b1 = beta1_;
+    const double b2 = beta2_;
+    const double corr1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+    const double corr2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+    const double alpha = lr_ * std::sqrt(corr2) / corr1;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const float g = grads[i];
+        m_[i] = static_cast<float>(b1) * m_[i] + (1.0f - float(b1)) * g;
+        v_[i] = static_cast<float>(b2) * v_[i] + (1.0f - float(b2)) * g * g;
+        params[i] -= static_cast<float>(
+            alpha * m_[i] / (std::sqrt(double(v_[i])) + eps_));
+    }
+}
+
+} // namespace isw::ml

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * First-order optimizers operating on flat parameter/gradient vectors.
+ *
+ * Distributed strategies apply the *aggregated* gradient with a local
+ * optimizer replica; because the update is deterministic, identically
+ * seeded workers stay bit-identical (the paper's decentralized weight
+ * storage argument, §4.1).
+ */
+
+#ifndef ISW_ML_OPTIMIZER_HH
+#define ISW_ML_OPTIMIZER_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace isw::ml {
+
+/** Base class for flat-vector optimizers. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * In-place update: params -= f(grads). Sizes must match the first
+     * call's; state vectors are lazily sized then fixed.
+     */
+    virtual void step(std::span<float> params,
+                      std::span<const float> grads) = 0;
+
+    virtual double learningRate() const = 0;
+    virtual void setLearningRate(double lr) = 0;
+};
+
+/** Plain SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(double lr, double momentum = 0.0)
+        : lr_(lr), momentum_(momentum)
+    {}
+
+    void step(std::span<float> params, std::span<const float> grads) override;
+    double learningRate() const override { return lr_; }
+    void setLearningRate(double lr) override { lr_ = lr; }
+
+  private:
+    double lr_;
+    double momentum_;
+    std::vector<float> velocity_;
+};
+
+/** RMSProp (the classic DQN optimizer). */
+class RmsProp : public Optimizer
+{
+  public:
+    explicit RmsProp(double lr, double decay = 0.99, double eps = 1e-8)
+        : lr_(lr), decay_(decay), eps_(eps)
+    {}
+
+    void step(std::span<float> params, std::span<const float> grads) override;
+    double learningRate() const override { return lr_; }
+    void setLearningRate(double lr) override { lr_ = lr; }
+
+  private:
+    double lr_;
+    double decay_;
+    double eps_;
+    std::vector<float> sq_avg_;
+};
+
+/** Adam (Kingma & Ba). */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {}
+
+    void step(std::span<float> params, std::span<const float> grads) override;
+    double learningRate() const override { return lr_; }
+    void setLearningRate(double lr) override { lr_ = lr; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::uint64_t t_ = 0;
+    std::vector<float> m_;
+    std::vector<float> v_;
+};
+
+} // namespace isw::ml
+
+#endif // ISW_ML_OPTIMIZER_HH

@@ -1,0 +1,123 @@
+#include "ml/quantize.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace isw::ml {
+
+std::uint16_t
+encodeHalf(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    const std::uint32_t sign = (bits >> 16) & 0x8000;
+    const std::int32_t exp = static_cast<std::int32_t>((bits >> 23) & 0xFF);
+    std::uint32_t mant = bits & 0x7FFFFF;
+
+    if (exp == 0xFF) // inf / nan
+        return static_cast<std::uint16_t>(sign | 0x7C00 |
+                                          (mant ? 0x200 : 0));
+
+    // Re-bias 127 -> 15.
+    std::int32_t new_exp = exp - 127 + 15;
+    if (new_exp >= 0x1F) // overflow -> inf
+        return static_cast<std::uint16_t>(sign | 0x7C00);
+    if (new_exp <= 0) {
+        // Subnormal half (or zero). Shift mantissa with the hidden bit.
+        if (new_exp < -10)
+            return static_cast<std::uint16_t>(sign); // underflow -> 0
+        mant |= 0x800000;
+        const int shift = 14 - new_exp;
+        std::uint32_t half_mant = mant >> shift;
+        // Round to nearest even.
+        const std::uint32_t rem = mant & ((1u << shift) - 1);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            ++half_mant;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+    // Normal half; round mantissa from 23 to 10 bits, nearest even.
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rem = mant & 0x1FFF;
+    if (rem > 0x1000 || (rem == 0x1000 && (half_mant & 1)))
+        ++half_mant;
+    if (half_mant == 0x400) { // mantissa carry bumps the exponent
+        half_mant = 0;
+        ++new_exp;
+        if (new_exp >= 0x1F)
+            return static_cast<std::uint16_t>(sign | 0x7C00);
+    }
+    return static_cast<std::uint16_t>(
+        sign | (static_cast<std::uint32_t>(new_exp) << 10) | half_mant);
+}
+
+float
+decodeHalf(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000)
+                               << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1F;
+    std::uint32_t mant = h & 0x3FF;
+    std::uint32_t bits;
+    if (exp == 0) {
+        if (mant == 0) {
+            bits = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            std::uint32_t m = mant;
+            while ((m & 0x400) == 0) {
+                m <<= 1;
+                ++e;
+            }
+            m &= 0x3FF;
+            bits = sign |
+                   (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+                   (m << 13);
+        }
+    } else if (exp == 0x1F) {
+        bits = sign | 0x7F800000 | (mant << 13); // inf / nan
+    } else {
+        bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+std::vector<std::uint16_t>
+toHalf(std::span<const float> v)
+{
+    std::vector<std::uint16_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = encodeHalf(v[i]);
+    return out;
+}
+
+std::vector<float>
+fromHalf(std::span<const std::uint16_t> v)
+{
+    std::vector<float> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = decodeHalf(v[i]);
+    return out;
+}
+
+void
+quantizeInPlace(std::span<float> v)
+{
+    for (float &x : v)
+        x = decodeHalf(encodeHalf(x));
+}
+
+float
+halfRoundTripError(std::span<const float> v)
+{
+    float worst = 0.0f;
+    for (float x : v)
+        worst = std::max(worst,
+                         std::fabs(decodeHalf(encodeHalf(x)) - x));
+    return worst;
+}
+
+} // namespace isw::ml

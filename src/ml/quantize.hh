@@ -1,0 +1,43 @@
+/**
+ * @file
+ * IEEE 754 half-precision conversion for gradient compression.
+ *
+ * The paper transmits raw float32 gradients; related work (GradiVeQ,
+ * cited in §7) compresses them. This module provides a software fp16
+ * codec so the `bench_ablation_fp16` experiment can quantify both
+ * sides of that trade: wire bytes halve, but gradients lose precision.
+ */
+
+#ifndef ISW_ML_QUANTIZE_HH
+#define ISW_ML_QUANTIZE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace isw::ml {
+
+/** Convert a float32 to IEEE 754 binary16 (round-to-nearest-even). */
+std::uint16_t encodeHalf(float f);
+
+/** Convert an IEEE 754 binary16 to float32 (exact). */
+float decodeHalf(std::uint16_t h);
+
+/** Quantize a vector to fp16 storage. */
+std::vector<std::uint16_t> toHalf(std::span<const float> v);
+
+/** Expand fp16 storage back to float32. */
+std::vector<float> fromHalf(std::span<const std::uint16_t> v);
+
+/**
+ * Round-trip @p v through fp16 in place — exactly the loss a
+ * half-precision wire introduces.
+ */
+void quantizeInPlace(std::span<float> v);
+
+/** Max absolute element-wise error of an fp16 round trip over @p v. */
+float halfRoundTripError(std::span<const float> v);
+
+} // namespace isw::ml
+
+#endif // ISW_ML_QUANTIZE_HH

@@ -1,0 +1,102 @@
+#include "ml/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace isw::ml {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'S', 'W', 'W'};
+
+template <class T>
+void
+putPod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <class T>
+T
+getPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        throw std::runtime_error("checkpoint: truncated input");
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+void
+saveWeights(std::ostream &os, const std::vector<float> &weights)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putPod(os, kCheckpointVersion);
+    putPod(os, static_cast<std::uint64_t>(weights.size()));
+    os.write(reinterpret_cast<const char *>(weights.data()),
+             static_cast<std::streamsize>(weights.size() * sizeof(float)));
+    putPod(os, fnv1a(weights.data(), weights.size() * sizeof(float)));
+    if (!os)
+        throw std::runtime_error("checkpoint: write failed");
+}
+
+std::vector<float>
+loadWeights(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("checkpoint: bad magic");
+    const auto version = getPod<std::uint32_t>(is);
+    if (version != kCheckpointVersion)
+        throw std::runtime_error("checkpoint: unsupported version " +
+                                 std::to_string(version));
+    const auto count = getPod<std::uint64_t>(is);
+    // Sanity bound: refuse absurd sizes rather than bad_alloc.
+    if (count > (1ULL << 32))
+        throw std::runtime_error("checkpoint: implausible weight count");
+    std::vector<float> weights(count);
+    is.read(reinterpret_cast<char *>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!is)
+        throw std::runtime_error("checkpoint: truncated weights");
+    const auto checksum = getPod<std::uint64_t>(is);
+    if (checksum != fnv1a(weights.data(), weights.size() * sizeof(float)))
+        throw std::runtime_error("checkpoint: checksum mismatch");
+    return weights;
+}
+
+void
+saveWeightsFile(const std::string &path, const std::vector<float> &weights)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("checkpoint: cannot open " + path);
+    saveWeights(os, weights);
+}
+
+std::vector<float>
+loadWeightsFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("checkpoint: cannot open " + path);
+    return loadWeights(is);
+}
+
+} // namespace isw::ml

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Checkpointing: save/load flat weight vectors in a small versioned
+ * binary container, so trained policies survive process restarts and
+ * examples can hand models to each other.
+ *
+ * Format (little-endian):
+ *   magic "ISWW" | u32 version | u64 count | count x f32 | u64 fnv1a
+ */
+
+#ifndef ISW_ML_SERIALIZE_HH
+#define ISW_ML_SERIALIZE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace isw::ml {
+
+/** Current checkpoint container version. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** FNV-1a over a byte range (checkpoint integrity). */
+std::uint64_t fnv1a(const void *data, std::size_t bytes);
+
+/** Serialize @p weights to @p os. Throws std::runtime_error on I/O error. */
+void saveWeights(std::ostream &os, const std::vector<float> &weights);
+
+/**
+ * Parse a checkpoint from @p is.
+ * @throws std::runtime_error on malformed input, version mismatch, or
+ *         checksum failure.
+ */
+std::vector<float> loadWeights(std::istream &is);
+
+/** Convenience: save to a file path. */
+void saveWeightsFile(const std::string &path,
+                     const std::vector<float> &weights);
+
+/** Convenience: load from a file path. */
+std::vector<float> loadWeightsFile(const std::string &path);
+
+} // namespace isw::ml
+
+#endif // ISW_ML_SERIALIZE_HH

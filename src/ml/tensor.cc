@@ -1,0 +1,81 @@
+#include "ml/tensor.hh"
+
+#include <cmath>
+
+namespace isw::ml {
+
+void
+affineForward(const Matrix &x, const Matrix &w, const Vec &b, Matrix &out)
+{
+    const std::size_t batch = x.rows();
+    const std::size_t in = x.cols();
+    const std::size_t outdim = w.rows();
+    assert(w.cols() == in);
+    assert(b.size() == outdim);
+    out = Matrix(batch, outdim);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *xr = x.data() + r * in;
+        float *or_ = out.data() + r * outdim;
+        for (std::size_t o = 0; o < outdim; ++o) {
+            const float *wr = w.data() + o * in;
+            float acc = b[o];
+            for (std::size_t i = 0; i < in; ++i)
+                acc += xr[i] * wr[i];
+            or_[o] = acc;
+        }
+    }
+}
+
+void
+affineBackward(const Matrix &dy, const Matrix &x, const Matrix &w, Matrix &dw,
+               Vec &db, Matrix &dx)
+{
+    const std::size_t batch = x.rows();
+    const std::size_t in = x.cols();
+    const std::size_t outdim = w.rows();
+    assert(dy.rows() == batch && dy.cols() == outdim);
+    assert(dw.rows() == outdim && dw.cols() == in);
+    assert(db.size() == outdim);
+    dx = Matrix(batch, in);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *dyr = dy.data() + r * outdim;
+        const float *xr = x.data() + r * in;
+        float *dxr = dx.data() + r * in;
+        for (std::size_t o = 0; o < outdim; ++o) {
+            const float g = dyr[o];
+            db[o] += g;
+            float *dwr = dw.data() + o * in;
+            const float *wr = w.data() + o * in;
+            for (std::size_t i = 0; i < in; ++i) {
+                dwr[i] += g * xr[i];
+                dxr[i] += g * wr[i];
+            }
+        }
+    }
+}
+
+void
+axpy(float a, std::span<const float> x, std::span<float> y)
+{
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    assert(a.size() == b.size());
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+float
+l2norm(std::span<const float> v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+} // namespace isw::ml

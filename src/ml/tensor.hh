@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal dense math types for the NN substrate: a row-major float
+ * matrix and a few free-function kernels. Sized for the small models
+ * RL training uses; clarity over BLAS-level tuning.
+ */
+
+#ifndef ISW_ML_TENSOR_HH
+#define ISW_ML_TENSOR_HH
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace isw::ml {
+
+/** Contiguous float vector. */
+using Vec = std::vector<float>;
+
+/** Row-major dense matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), d_(rows * cols, fill)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return d_.size(); }
+
+    float &at(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return d_[r * cols_ + c];
+    }
+    float at(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return d_[r * cols_ + c];
+    }
+
+    float *data() { return d_.data(); }
+    const float *data() const { return d_.data(); }
+
+    std::span<float> row(std::size_t r)
+    {
+        assert(r < rows_);
+        return {d_.data() + r * cols_, cols_};
+    }
+    std::span<const float> row(std::size_t r) const
+    {
+        assert(r < rows_);
+        return {d_.data() + r * cols_, cols_};
+    }
+
+    void fill(float v) { d_.assign(d_.size(), v); }
+
+    std::vector<float> &raw() { return d_; }
+    const std::vector<float> &raw() const { return d_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> d_;
+};
+
+/** out(B,O) = x(B,I) * wT(O,I)^T + b(O), the dense-layer kernel. */
+void affineForward(const Matrix &x, const Matrix &w, const Vec &b,
+                   Matrix &out);
+
+/**
+ * Dense-layer backward: given upstream dY(B,O), cached input X(B,I),
+ * and weights W(O,I): accumulate dW += dY^T X, db += colsum(dY), and
+ * produce dX = dY W.
+ */
+void affineBackward(const Matrix &dy, const Matrix &x, const Matrix &w,
+                    Matrix &dw, Vec &db, Matrix &dx);
+
+/** y += a * x elementwise (sizes must match). */
+void axpy(float a, std::span<const float> x, std::span<float> y);
+
+/** Dot product. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** Euclidean norm. */
+float l2norm(std::span<const float> v);
+
+} // namespace isw::ml
+
+#endif // ISW_ML_TENSOR_HH

@@ -1,0 +1,42 @@
+#include "net/address.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace isw::net {
+
+std::string
+MacAddr::str() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  unsigned((bits_ >> 40) & 0xFF), unsigned((bits_ >> 32) & 0xFF),
+                  unsigned((bits_ >> 24) & 0xFF), unsigned((bits_ >> 16) & 0xFF),
+                  unsigned((bits_ >> 8) & 0xFF), unsigned(bits_ & 0xFF));
+    return buf;
+}
+
+std::string
+Ipv4Addr::str() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                  (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+    return buf;
+}
+
+Ipv4Addr
+parseIpv4(const std::string &text)
+{
+    unsigned a, b, c, d;
+    char extra;
+    if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) !=
+            4 ||
+        a > 255 || b > 255 || c > 255 || d > 255) {
+        throw std::invalid_argument("parseIpv4: bad address '" + text + "'");
+    }
+    return Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                    static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+} // namespace isw::net

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * MAC and IPv4 address value types.
+ */
+
+#ifndef ISW_NET_ADDRESS_HH
+#define ISW_NET_ADDRESS_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace isw::net {
+
+/** 48-bit Ethernet MAC address stored in the low bits of a uint64. */
+class MacAddr
+{
+  public:
+    constexpr MacAddr() = default;
+    constexpr explicit MacAddr(std::uint64_t bits) : bits_(bits & kMask) {}
+
+    constexpr std::uint64_t bits() const { return bits_; }
+    std::string str() const;
+
+    auto operator<=>(const MacAddr &) const = default;
+
+  private:
+    static constexpr std::uint64_t kMask = 0xFFFFFFFFFFFFULL;
+    std::uint64_t bits_ = 0;
+};
+
+/** IPv4 address in host byte order. */
+class Ipv4Addr
+{
+  public:
+    constexpr Ipv4Addr() = default;
+    constexpr explicit Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+    constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d)
+        : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d})
+    {}
+
+    constexpr std::uint32_t bits() const { return bits_; }
+    constexpr bool isUnspecified() const { return bits_ == 0; }
+    std::string str() const;
+
+    auto operator<=>(const Ipv4Addr &) const = default;
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+/** Parse dotted-quad notation; throws std::invalid_argument on error. */
+Ipv4Addr parseIpv4(const std::string &text);
+
+} // namespace isw::net
+
+template <>
+struct std::hash<isw::net::Ipv4Addr>
+{
+    std::size_t
+    operator()(const isw::net::Ipv4Addr &a) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(a.bits());
+    }
+};
+
+template <>
+struct std::hash<isw::net::MacAddr>
+{
+    std::size_t
+    operator()(const isw::net::MacAddr &a) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(a.bits());
+    }
+};
+
+#endif // ISW_NET_ADDRESS_HH

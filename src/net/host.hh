@@ -1,0 +1,59 @@
+/**
+ * @file
+ * End host: a single-port node with MAC/IP identity and an
+ * application receive handler.
+ */
+
+#ifndef ISW_NET_HOST_HH
+#define ISW_NET_HOST_HH
+
+#include <functional>
+
+#include "net/node.hh"
+
+namespace isw::net {
+
+/** A server node with one NIC port. */
+class Host : public Node
+{
+  public:
+    using ReceiveHandler = std::function<void(PacketPtr)>;
+
+    Host(sim::Simulation &s, std::string name, MacAddr mac, Ipv4Addr ip)
+        : Node(s, std::move(name), 1), mac_(mac), ip_(ip)
+    {}
+
+    MacAddr mac() const { return mac_; }
+    Ipv4Addr ip() const { return ip_; }
+
+    /** Install the application-layer receive callback. */
+    void setReceiveHandler(ReceiveHandler h) { handler_ = std::move(h); }
+
+    /** Transmit a packet out of the NIC. */
+    void send(PacketPtr pkt) { sendOut(0, std::move(pkt)); }
+
+    /**
+     * Convenience builder: stamp this host's addresses as source and
+     * send a UDP packet.
+     */
+    void sendTo(Ipv4Addr dst_ip, std::uint16_t dst_port,
+                std::uint16_t src_port, std::uint8_t tos, Payload payload);
+
+    void deliver(PacketPtr pkt, std::size_t in_port) override;
+
+    /** Frames received (post-filter). */
+    std::uint64_t rxFrames() const { return rx_frames_; }
+    /** Frames sent. */
+    std::uint64_t txFrames() const { return tx_frames_; }
+
+  private:
+    MacAddr mac_;
+    Ipv4Addr ip_;
+    ReceiveHandler handler_;
+    std::uint64_t rx_frames_ = 0;
+    std::uint64_t tx_frames_ = 0;
+};
+
+} // namespace isw::net
+
+#endif // ISW_NET_HOST_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Full-duplex point-to-point link with serialization, propagation,
+ * FIFO egress queueing, and optional random loss.
+ */
+
+#ifndef ISW_NET_LINK_HH
+#define ISW_NET_LINK_HH
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "net/packet.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace isw::net {
+
+class Node;
+
+/** Observable events on a link (see PacketTrace in net/trace.hh). */
+enum class LinkEvent { kTx, kDeliver, kDrop };
+
+/** Static configuration of a link. */
+struct LinkConfig
+{
+    /** Raw bit rate, bits per second (default 10 GbE). */
+    double bandwidth_bps = 10e9;
+    /** One-way propagation delay. */
+    sim::TimeNs propagation = 200;
+    /** Per-frame independent drop probability (0 = lossless). */
+    double loss_prob = 0.0;
+};
+
+/**
+ * A full-duplex link between two (node, port) endpoints.
+ *
+ * Each direction models an egress serialization pipe: a frame begins
+ * transmitting when the previous frame's last bit left, occupies the
+ * pipe for wireBytes*8/bandwidth, then arrives propagation later
+ * (store-and-forward at the receiver).
+ */
+class Link
+{
+  public:
+    Link(sim::Simulation &s, std::string name, LinkConfig cfg);
+
+    /** Wire both endpoints; must be called exactly once. */
+    void connect(Node *a, std::size_t a_port, Node *b, std::size_t b_port);
+
+    /** Transmit @p pkt from endpoint node @p from toward its peer. */
+    void transmit(Node *from, PacketPtr pkt);
+
+    /** Serialization time of @p bytes at this link's bandwidth. */
+    sim::TimeNs txTime(std::size_t bytes) const;
+
+    /**
+     * Install an observer invoked on every transmit, delivery, and
+     * drop (at the simulated instant of each). Pass an empty function
+     * to detach. Zero cost when unset beyond one branch per frame.
+     */
+    void setTap(std::function<void(LinkEvent, const PacketPtr &)> tap)
+    {
+        tap_ = std::move(tap);
+    }
+
+    const std::string &name() const { return name_; }
+    const LinkConfig &config() const { return cfg_; }
+    Node *peerOf(const Node *n) const;
+
+    /** Total frames dropped by loss injection (both directions). */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Total frames delivered (both directions). */
+    std::uint64_t delivered() const { return delivered_; }
+    /** Total payload+header bytes carried (both directions). */
+    std::uint64_t bytesCarried() const { return bytes_; }
+
+  private:
+    struct End
+    {
+        Node *node = nullptr;
+        std::size_t port = 0;
+        sim::TimeNs busy_until = 0; ///< egress pipe free time
+    };
+
+    int endIndexOf(const Node *n) const;
+
+    sim::Simulation &sim_;
+    std::string name_;
+    LinkConfig cfg_;
+    std::array<End, 2> ends_;
+    sim::Rng loss_rng_;
+    std::function<void(LinkEvent, const PacketPtr &)> tap_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace isw::net
+
+#endif // ISW_NET_LINK_HH

@@ -1,0 +1,33 @@
+#include "net/node.hh"
+
+#include <stdexcept>
+
+#include "net/link.hh"
+
+namespace isw::net {
+
+Node::Node(sim::Simulation &s, std::string name, std::size_t num_ports)
+    : sim_(s), name_(std::move(name)), ports_(num_ports, nullptr)
+{
+}
+
+void
+Node::attachLink(std::size_t port, Link *link)
+{
+    if (port >= ports_.size())
+        throw std::out_of_range(name_ + ": no such port");
+    if (ports_[port] != nullptr)
+        throw std::logic_error(name_ + ": port already attached");
+    ports_[port] = link;
+}
+
+void
+Node::sendOut(std::size_t port, PacketPtr pkt)
+{
+    Link *l = ports_.at(port);
+    if (l == nullptr)
+        throw std::logic_error(name_ + ": sendOut on unattached port");
+    l->transmit(this, std::move(pkt));
+}
+
+} // namespace isw::net

@@ -1,0 +1,90 @@
+#include "net/packet.hh"
+
+#include <sstream>
+
+namespace isw::net {
+
+const char *
+actionName(Action a)
+{
+    switch (a) {
+      case Action::kJoin: return "Join";
+      case Action::kLeave: return "Leave";
+      case Action::kReset: return "Reset";
+      case Action::kSetH: return "SetH";
+      case Action::kFBcast: return "FBcast";
+      case Action::kHelp: return "Help";
+      case Action::kHalt: return "Halt";
+      case Action::kAck: return "Ack";
+    }
+    return "?";
+}
+
+bool
+Packet::isIswitchPlane() const
+{
+    return ip.tos == kTosControl || ip.tos == kTosData ||
+           ip.tos == kTosResult;
+}
+
+std::size_t
+Packet::payloadBytes() const
+{
+    struct Visitor
+    {
+        bool iswitch_plane;
+
+        std::size_t operator()(std::monostate) const { return 0; }
+        std::size_t
+        operator()(const ControlPayload &c) const
+        {
+            return 1 + (c.has_value ? 8 : 0);
+        }
+        std::size_t
+        operator()(const ChunkPayload &c) const
+        {
+            return c.wireBytes(iswitch_plane);
+        }
+        std::size_t
+        operator()(const RawPayload &r) const
+        {
+            return r.bytes;
+        }
+    };
+    return std::visit(Visitor{isIswitchPlane()}, payload);
+}
+
+std::size_t
+Packet::wireBytes() const
+{
+    return kEthHeaderBytes + kEthPhyOverheadBytes + kIpv4HeaderBytes +
+           kUdpHeaderBytes + payloadBytes();
+}
+
+std::string
+Packet::describe() const
+{
+    std::ostringstream os;
+    os << ip.src.str() << ":" << udp.src_port << "->" << ip.dst.str() << ":"
+       << udp.dst_port;
+    if (const auto *c = std::get_if<ControlPayload>(&payload)) {
+        os << " ctrl " << actionName(c->action);
+        if (c->has_value)
+            os << "(" << c->value << ")";
+    } else if (const auto *d = std::get_if<ChunkPayload>(&payload)) {
+        os << " chunk xfer=" << d->transfer_id << " seg=" << d->seg
+           << " floats=" << d->wire_floats;
+    } else if (const auto *r = std::get_if<RawPayload>(&payload)) {
+        os << " raw " << r->bytes << "B tag=" << r->tag;
+    }
+    os << " tos=0x" << std::hex << unsigned(ip.tos);
+    return os.str();
+}
+
+PacketPtr
+makePacket(Packet pkt)
+{
+    return std::make_shared<const Packet>(std::move(pkt));
+}
+
+} // namespace isw::net

@@ -1,0 +1,103 @@
+#include "net/topology.hh"
+
+#include <stdexcept>
+
+namespace isw::net {
+
+namespace {
+
+/** Port of @p from whose link peers with @p to; throws if unwired. */
+std::size_t
+portToward(const EthSwitch *from, const Node *to)
+{
+    for (std::size_t p = 0; p < from->numPorts(); ++p) {
+        const Link *l = from->link(p);
+        if (l != nullptr && l->peerOf(from) == to)
+            return p;
+    }
+    throw std::logic_error(from->name() + ": no port toward " + to->name());
+}
+
+} // namespace
+
+Host *
+Topology::addHost(const std::string &name, Ipv4Addr ip)
+{
+    auto host = std::make_unique<Host>(sim_, name, MacAddr(next_mac_++), ip);
+    Host *raw = host.get();
+    nodes_.push_back(std::move(host));
+    return raw;
+}
+
+Link *
+Topology::makeLink(const std::string &name, LinkConfig cfg)
+{
+    auto link = std::make_unique<Link>(sim_, name, cfg);
+    Link *raw = link.get();
+    links_.push_back(std::move(link));
+    return raw;
+}
+
+Link *
+Topology::connectHost(Host *host, EthSwitch *sw, std::size_t sw_port,
+                      LinkConfig cfg)
+{
+    Link *l = makeLink(host->name() + "<->" + sw->name(), cfg);
+    l->connect(host, 0, sw, sw_port);
+    sw->addRoute(host->ip(), sw_port);
+    // Propagate the new host up the existing ancestor chain.
+    EthSwitch *cur = sw;
+    subtree_hosts_[cur].push_back(host);
+    auto it = parent_of_.find(cur);
+    while (it != parent_of_.end()) {
+        EthSwitch *parent = it->second;
+        parent->addRoute(host->ip(), portToward(parent, cur));
+        subtree_hosts_[parent].push_back(host);
+        cur = parent;
+        it = parent_of_.find(cur);
+    }
+    return l;
+}
+
+Link *
+Topology::connectSwitches(EthSwitch *child, std::size_t child_port,
+                          EthSwitch *parent, std::size_t parent_port,
+                          LinkConfig cfg)
+{
+    if (parent_of_.count(child))
+        throw std::logic_error(child->name() + " already has an uplink");
+    Link *l = makeLink(child->name() + "<->" + parent->name(), cfg);
+    l->connect(child, child_port, parent, parent_port);
+    child->setDefaultPort(child_port);
+    parent_of_[child] = parent;
+
+    // Install routes for the child's whole subtree on every ancestor.
+    const auto &hosts = subtree_hosts_[child];
+    EthSwitch *cur = parent;
+    std::size_t via_port = parent_port;
+    while (cur != nullptr) {
+        auto &list = subtree_hosts_[cur];
+        for (Host *h : hosts) {
+            cur->addRoute(h->ip(), via_port);
+            list.push_back(h);
+        }
+        auto it = parent_of_.find(cur);
+        if (it == parent_of_.end())
+            break;
+        // Grandparents reach these hosts through their port toward
+        // `cur`, wired when `cur` itself was connected.
+        via_port = portToward(it->second, cur);
+        cur = it->second;
+    }
+    return l;
+}
+
+const std::vector<Host *> &
+Topology::subtreeHosts(EthSwitch *sw) const
+{
+    static const std::vector<Host *> kEmpty;
+    auto it = subtree_hosts_.find(sw);
+    return it == subtree_hosts_.end() ? kEmpty : it->second;
+}
+
+} // namespace isw::net

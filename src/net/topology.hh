@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ownership container and wiring helpers for networks.
+ *
+ * A Topology owns every Node and Link in a simulated network and keeps
+ * the routing tables consistent as devices are wired together. Build
+ * bottom-up: attach hosts to their edge switch first, then connect
+ * edge switches to parents; uplink routes are propagated automatically.
+ */
+
+#ifndef ISW_NET_TOPOLOGY_HH
+#define ISW_NET_TOPOLOGY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/host.hh"
+#include "net/link.hh"
+#include "net/switch.hh"
+
+namespace isw::net {
+
+/** Owns nodes and links; provides wiring helpers. */
+class Topology
+{
+  public:
+    explicit Topology(sim::Simulation &s) : sim_(s) {}
+
+    /** Create a host with an automatically assigned MAC. */
+    Host *addHost(const std::string &name, Ipv4Addr ip);
+
+    /**
+     * Create and own a switch of any EthSwitch-derived type.
+     * Usage: topo.addSwitch<core::ProgrammableSwitch>("tor0", 8, cfg);
+     */
+    template <class SwitchT, class... Args>
+    SwitchT *
+    addSwitch(const std::string &name, std::size_t num_ports, Args &&...args)
+    {
+        auto sw = std::make_unique<SwitchT>(sim_, name, num_ports,
+                                            std::forward<Args>(args)...);
+        SwitchT *raw = sw.get();
+        nodes_.push_back(std::move(sw));
+        subtree_hosts_[raw]; // ensure entry
+        return raw;
+    }
+
+    /**
+     * Wire @p host to @p sw at @p sw_port; installs the host route on
+     * the switch and records the host in the switch's subtree.
+     */
+    Link *connectHost(Host *host, EthSwitch *sw, std::size_t sw_port,
+                      LinkConfig cfg = {});
+
+    /**
+     * Wire @p child (and its whole subtree of hosts) below @p parent.
+     * Sets the child's default (uplink) port and installs routes to
+     * every subtree host on the parent and its ancestors.
+     */
+    Link *connectSwitches(EthSwitch *child, std::size_t child_port,
+                          EthSwitch *parent, std::size_t parent_port,
+                          LinkConfig cfg = {});
+
+    /** All hosts reachable below @p sw (including directly attached). */
+    const std::vector<Host *> &subtreeHosts(EthSwitch *sw) const;
+
+    const std::vector<std::unique_ptr<Node>> &nodes() const { return nodes_; }
+    const std::vector<std::unique_ptr<Link>> &links() const { return links_; }
+
+    sim::Simulation &simulation() { return sim_; }
+
+  private:
+    Link *makeLink(const std::string &name, LinkConfig cfg);
+
+    sim::Simulation &sim_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::unordered_map<EthSwitch *, std::vector<Host *>> subtree_hosts_;
+    std::unordered_map<EthSwitch *, EthSwitch *> parent_of_;
+    std::uint64_t next_mac_ = 0x0200'0000'0001ULL;
+};
+
+} // namespace isw::net
+
+#endif // ISW_NET_TOPOLOGY_HH

@@ -1,0 +1,66 @@
+#include "net/trace.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace isw::net {
+
+const char *
+linkEventName(LinkEvent ev)
+{
+    switch (ev) {
+      case LinkEvent::kTx: return "TX  ";
+      case LinkEvent::kDeliver: return "RX  ";
+      case LinkEvent::kDrop: return "DROP";
+    }
+    return "?";
+}
+
+void
+PacketTrace::attach(Link &link)
+{
+    const std::string name = link.name();
+    link.setTap([this, name](LinkEvent ev, const PacketPtr &pkt) {
+        record(name, ev, pkt);
+    });
+}
+
+void
+PacketTrace::attachAll(Topology &topo)
+{
+    for (const auto &link : topo.links())
+        attach(*link);
+}
+
+void
+PacketTrace::record(const std::string &link, LinkEvent ev,
+                    const PacketPtr &pkt)
+{
+    if (iswitch_only_ && !pkt->isIswitchPlane())
+        return;
+    ++captured_;
+    ++counts_[static_cast<std::size_t>(ev)];
+    records_.push_back(TraceRecord{sim_.now(), ev, link, pkt});
+    if (records_.size() > capacity_)
+        records_.pop_front();
+}
+
+void
+PacketTrace::dump(std::ostream &os) const
+{
+    for (const auto &r : records_) {
+        os << "[" << std::setw(12) << r.t << "ns] "
+           << linkEventName(r.event) << " " << r.link << " "
+           << r.pkt->describe() << "\n";
+    }
+}
+
+void
+PacketTrace::clear()
+{
+    records_.clear();
+    counts_ = {};
+    captured_ = 0;
+}
+
+} // namespace isw::net

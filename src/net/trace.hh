@@ -1,0 +1,82 @@
+/**
+ * @file
+ * PacketTrace: a bounded, filterable capture of link activity —
+ * tcpdump for the simulated fabric. Attach it to individual links or
+ * a whole topology, optionally restrict to iSwitch-plane traffic, and
+ * dump human-readable lines for debugging protocol behaviour.
+ */
+
+#ifndef ISW_NET_TRACE_HH
+#define ISW_NET_TRACE_HH
+
+#include <deque>
+#include <iosfwd>
+
+#include "net/link.hh"
+#include "net/topology.hh"
+
+namespace isw::net {
+
+/** Printable name of a link event. */
+const char *linkEventName(LinkEvent ev);
+
+/** One captured frame event. */
+struct TraceRecord
+{
+    sim::TimeNs t = 0;
+    LinkEvent event = LinkEvent::kTx;
+    std::string link;
+    PacketPtr pkt;
+};
+
+/** Ring-buffered packet capture. */
+class PacketTrace
+{
+  public:
+    /** @param capacity Oldest records are evicted past this bound. */
+    explicit PacketTrace(sim::Simulation &s, std::size_t capacity = 4096)
+        : sim_(s), capacity_(capacity)
+    {}
+
+    /**
+     * Capture only iSwitch-plane packets (control/data/result ToS).
+     * Default: capture everything.
+     */
+    void setIswitchOnly(bool on) { iswitch_only_ = on; }
+
+    /** Start capturing @p link (replaces any existing tap on it). */
+    void attach(Link &link);
+
+    /** Attach to every link @p topo owns. */
+    void attachAll(Topology &topo);
+
+    const std::deque<TraceRecord> &records() const { return records_; }
+
+    /** Captured (post-filter) event count, including evicted ones. */
+    std::uint64_t captured() const { return captured_; }
+
+    /** Events seen per kind (post-filter). */
+    std::uint64_t count(LinkEvent ev) const
+    {
+        return counts_[static_cast<std::size_t>(ev)];
+    }
+
+    /** Write one line per retained record to @p os. */
+    void dump(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    void record(const std::string &link, LinkEvent ev, const PacketPtr &pkt);
+
+    sim::Simulation &sim_;
+    std::size_t capacity_;
+    bool iswitch_only_ = false;
+    std::deque<TraceRecord> records_;
+    std::array<std::uint64_t, 3> counts_{};
+    std::uint64_t captured_ = 0;
+};
+
+} // namespace isw::net
+
+#endif // ISW_NET_TRACE_HH

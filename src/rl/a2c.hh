@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Advantage Actor-Critic (synchronous A2C, Mnih et al.) on QbertLite:
+ * a shared trunk with softmax policy and value heads, n-step
+ * bootstrapped returns, and an entropy bonus.
+ */
+
+#ifndef ISW_RL_A2C_HH
+#define ISW_RL_A2C_HH
+
+#include "rl/agent.hh"
+
+namespace isw::rl {
+
+/** A2C agent (discrete actions). */
+class A2cAgent final : public AgentBase
+{
+  public:
+    A2cAgent(const AgentConfig &cfg, std::unique_ptr<Environment> env,
+             sim::Rng &weight_rng, sim::Rng act_rng);
+
+    Algo algo() const override { return Algo::kA2c; }
+    const ml::Vec &computeGradient() override;
+
+    /** Sample an action from the current policy (examples hook). */
+    std::size_t sampleAction(const ml::Vec &obs);
+
+    ml::Vec policyAction(const ml::Vec &obs) override;
+
+  private:
+    /** Forward one observation; returns (probs, value). */
+    std::pair<ml::Vec, float> evaluate(const ml::Vec &obs);
+
+    ml::Network trunk_;
+    ml::Linear *policy_head_;
+    ml::Linear *value_head_;
+    ml::Network policy_net_; ///< owns policy_head_
+    ml::Network value_net_;  ///< owns value_head_
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_A2C_HH

@@ -1,0 +1,113 @@
+#include "rl/agent.hh"
+
+#include "rl/a2c.hh"
+#include "rl/ddpg.hh"
+#include "rl/dqn.hh"
+#include "rl/envs/cheetah.hh"
+#include "rl/envs/hopper.hh"
+#include "rl/envs/pong.hh"
+#include "rl/envs/qbert.hh"
+#include "rl/ppo.hh"
+
+namespace isw::rl {
+
+const char *
+algoName(Algo a)
+{
+    switch (a) {
+      case Algo::kDqn: return "DQN";
+      case Algo::kA2c: return "A2C";
+      case Algo::kPpo: return "PPO";
+      case Algo::kDdpg: return "DDPG";
+    }
+    return "?";
+}
+
+AgentBase::AgentBase(AgentConfig cfg, std::unique_ptr<Environment> env,
+                     sim::Rng rng)
+    : cfg_(cfg), env_(std::move(env)), rng_(rng)
+{
+    cur_obs_ = env_->reset();
+}
+
+void
+AgentBase::trackReward(float reward, bool done)
+{
+    episode_reward_ += reward;
+    if (done) {
+        recent_rewards_.push_back(episode_reward_);
+        if (recent_rewards_.size() > 100)
+            recent_rewards_.pop_front();
+        episode_reward_ = 0.0;
+        ++episodes_;
+    }
+}
+
+double
+AgentBase::avgEpisodeReward(std::size_t n) const
+{
+    if (recent_rewards_.empty())
+        return 0.0;
+    const std::size_t take = std::min(n, recent_rewards_.size());
+    double sum = 0.0;
+    for (std::size_t i = recent_rewards_.size() - take;
+         i < recent_rewards_.size(); ++i) {
+        sum += recent_rewards_[i];
+    }
+    return sum / static_cast<double>(take);
+}
+
+void
+AgentBase::applyAggregatedGradient(std::span<const float> sum,
+                                   std::uint32_t h)
+{
+    if (sum.size() != params_.count())
+        throw std::invalid_argument("applyAggregatedGradient: size mismatch");
+    if (h == 0)
+        throw std::invalid_argument("applyAggregatedGradient: h == 0");
+    scratch_mean_.assign(sum.begin(), sum.end());
+    const float inv = 1.0f / static_cast<float>(h);
+    for (float &g : scratch_mean_)
+        g *= inv;
+    params_.copyValuesTo(scratch_weights_);
+    opt_->step(scratch_weights_, scratch_mean_);
+    params_.setValues(scratch_weights_);
+    ++updates_;
+    postUpdate();
+}
+
+std::unique_ptr<Agent>
+makeAgent(Algo algo, const AgentConfig &cfg, std::uint64_t weight_seed,
+          std::uint64_t env_seed)
+{
+    // Weights are drawn from weight_seed only: workers constructed
+    // with equal weight_seed start bit-identical regardless of their
+    // env streams, which is what distributed training requires.
+    sim::Rng weight_rng(weight_seed);
+    sim::Rng env_rng(env_seed);
+    switch (algo) {
+      case Algo::kDqn: {
+        auto env = std::make_unique<PongLite>(env_rng.fork(0));
+        return std::make_unique<DqnAgent>(cfg, std::move(env), weight_rng,
+                                          env_rng.fork(1));
+      }
+      case Algo::kA2c: {
+        auto env = std::make_unique<QbertLite>(env_rng.fork(0));
+        return std::make_unique<A2cAgent>(cfg, std::move(env), weight_rng,
+                                          env_rng.fork(1));
+      }
+      case Algo::kPpo: {
+        auto env = std::make_unique<Hopper1D>(env_rng.fork(0));
+        return std::make_unique<PpoAgent>(cfg, std::move(env), weight_rng,
+                                          env_rng.fork(1));
+      }
+      case Algo::kDdpg: {
+        auto env = std::make_unique<CheetahLite>(env_rng.fork(0));
+        return std::make_unique<DdpgAgent>(cfg, std::move(env), weight_rng,
+                                           env_rng.fork(1));
+      }
+    }
+    throw std::logic_error("makeAgent: unknown algorithm");
+}
+
+} // namespace isw::rl

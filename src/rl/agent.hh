@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The agent interface distributed training drives, plus a shared base
+ * class handling weights, optimizer, and reward accounting.
+ *
+ * The contract mirrors the paper's training loop: each iteration the
+ * strategy asks every worker's agent for a local gradient computed at
+ * the current weights (LGC stage), aggregates the gradients somewhere
+ * (PS node, ring, or in-switch), and hands every agent the *sum* of H
+ * contributions to apply (LWU stage: optimizer step on sum/H). The
+ * update is deterministic, so identically seeded agents keep identical
+ * weights — the paper's decentralized-weight-storage argument (§4.1).
+ */
+
+#ifndef ISW_RL_AGENT_HH
+#define ISW_RL_AGENT_HH
+
+#include <deque>
+#include <memory>
+
+#include "ml/network.hh"
+#include "ml/optimizer.hh"
+#include "rl/env.hh"
+
+namespace isw::rl {
+
+/** Which RL algorithm an agent runs. */
+enum class Algo { kDqn, kA2c, kPpo, kDdpg };
+
+/** Printable algorithm name. */
+const char *algoName(Algo a);
+
+/** Shared hyperparameters (algorithm-specific fields have defaults). */
+struct AgentConfig
+{
+    std::size_t hidden = 64;        ///< MLP hidden width (2 layers)
+    double lr = 1e-3;               ///< optimizer learning rate
+    float gamma = 0.99f;            ///< discount
+    std::size_t steps_per_iter = 32; ///< env steps collected per iteration
+    std::size_t batch_size = 64;    ///< replay minibatch (DQN/DDPG)
+    std::size_t replay_capacity = 20000;
+    std::size_t warmup = 500;       ///< replay fill before learning
+    std::size_t target_sync_iters = 50; ///< DQN target refresh period
+    float grad_clip = 10.0f;        ///< global-norm gradient clip
+    // Exploration.
+    float eps_start = 1.0f; ///< DQN epsilon-greedy start
+    float eps_end = 0.05f;
+    std::size_t eps_decay_iters = 2000;
+    float noise_std = 0.2f; ///< DDPG Gaussian action noise
+    float tau = 0.01f;      ///< DDPG soft target update rate
+    // On-policy (A2C/PPO).
+    float value_coef = 0.5f;
+    float entropy_coef = 0.01f;
+    float gae_lambda = 0.95f;
+    float ppo_clip = 0.2f;
+    float init_log_std = -0.5f;
+};
+
+/** Interface between a worker and its learning algorithm. */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    virtual Algo algo() const = 0;
+
+    /** Scalar parameter count (gradient vector length). */
+    virtual std::size_t paramCount() = 0;
+
+    /** Copy current flat weights into @p out. */
+    virtual void getWeights(ml::Vec &out) = 0;
+
+    /** Overwrite flat weights (size must equal paramCount()). */
+    virtual void setWeights(std::span<const float> w) = 0;
+
+    /**
+     * LGC stage: interact with the environment for one iteration's
+     * worth of steps and compute the local gradient at the current
+     * weights. The returned reference stays valid until the next call.
+     */
+    virtual const ml::Vec &computeGradient() = 0;
+
+    /**
+     * LWU stage: apply the aggregated gradient (element-wise sum of
+     * @p h worker contributions) via the local optimizer replica.
+     */
+    virtual void applyAggregatedGradient(std::span<const float> sum,
+                                         std::uint32_t h) = 0;
+
+    /**
+     * The deterministic (exploration-free) policy action for @p obs.
+     * Discrete algorithms return the action index in element 0;
+     * continuous algorithms return the action vector. Used by
+     * evaluation; does not advance any training state.
+     */
+    virtual ml::Vec policyAction(const ml::Vec &obs) = 0;
+
+    /**
+     * Install weights pulled from a central server (Async PS). Unlike
+     * setWeights this counts as a weight refresh: target networks and
+     * exploration schedules advance, exactly as applyAggregatedGradient
+     * does for the decentralized strategies.
+     */
+    virtual void installWeights(std::span<const float> w) = 0;
+
+    /** Episode reward averaged over the last @p n finished episodes. */
+    virtual double avgEpisodeReward(std::size_t n = 10) const = 0;
+
+    virtual std::uint64_t episodesCompleted() const = 0;
+    virtual std::uint64_t updatesApplied() const = 0;
+};
+
+/** Common plumbing for the four algorithm implementations. */
+class AgentBase : public Agent
+{
+  public:
+    AgentBase(AgentConfig cfg, std::unique_ptr<Environment> env,
+              sim::Rng rng);
+
+    std::size_t paramCount() override { return params_.count(); }
+    void getWeights(ml::Vec &out) override { params_.copyValuesTo(out); }
+    void setWeights(std::span<const float> w) override
+    {
+        params_.setValues(w);
+    }
+
+    void applyAggregatedGradient(std::span<const float> sum,
+                                 std::uint32_t h) override;
+
+    void installWeights(std::span<const float> w) override
+    {
+        params_.setValues(w);
+        ++updates_;
+        postUpdate();
+    }
+
+    double avgEpisodeReward(std::size_t n = 10) const override;
+    std::uint64_t episodesCompleted() const override { return episodes_; }
+    std::uint64_t updatesApplied() const override { return updates_; }
+
+    Environment &environment() { return *env_; }
+
+  protected:
+    /** Fold a step's reward into episode accounting. */
+    void trackReward(float reward, bool done);
+
+    /** Algorithm hook invoked after each weight update (target nets). */
+    virtual void postUpdate() {}
+
+    AgentConfig cfg_;
+    std::unique_ptr<Environment> env_;
+    sim::Rng rng_;
+    ml::ParamSet params_;              ///< trainable parameters
+    std::unique_ptr<ml::Optimizer> opt_;
+    ml::Vec grad_;                     ///< last computed flat gradient
+    ml::Vec cur_obs_;                  ///< persistent env observation
+    std::uint64_t updates_ = 0;
+
+  private:
+    double episode_reward_ = 0.0;
+    std::deque<double> recent_rewards_;
+    std::uint64_t episodes_ = 0;
+    ml::Vec scratch_weights_;
+    ml::Vec scratch_mean_;
+};
+
+/**
+ * Construct an agent of kind @p algo with its benchmark environment
+ * (DQN->PongLite, A2C->QbertLite, PPO->Hopper1D, DDPG->CheetahLite).
+ * @param rng Independent stream for this worker (weights are seeded
+ *        from a *shared* stream internally so all workers start equal;
+ *        see makeAgent's env_seed / weight determinism contract).
+ */
+std::unique_ptr<Agent> makeAgent(Algo algo, const AgentConfig &cfg,
+                                 std::uint64_t weight_seed,
+                                 std::uint64_t env_seed);
+
+} // namespace isw::rl
+
+#endif // ISW_RL_AGENT_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deep Deterministic Policy Gradient (Lillicrap et al.) on
+ * CheetahLite: deterministic tanh actor, Q critic on (state, action),
+ * target copies of both with soft (Polyak) updates, Gaussian
+ * exploration noise, and experience replay.
+ */
+
+#ifndef ISW_RL_DDPG_HH
+#define ISW_RL_DDPG_HH
+
+#include "rl/agent.hh"
+#include "rl/replay_buffer.hh"
+
+namespace isw::rl {
+
+/** DDPG agent (continuous actions). */
+class DdpgAgent final : public AgentBase
+{
+  public:
+    DdpgAgent(const AgentConfig &cfg, std::unique_ptr<Environment> env,
+              sim::Rng &weight_rng, sim::Rng act_rng);
+
+    Algo algo() const override { return Algo::kDdpg; }
+    const ml::Vec &computeGradient() override;
+
+    /** Deterministic (noise-free) action for @p obs. */
+    ml::Vec act(const ml::Vec &obs);
+
+    ml::Vec
+    policyAction(const ml::Vec &obs) override
+    {
+        return act(obs);
+    }
+
+  protected:
+    void postUpdate() override; ///< soft-updates both targets
+
+  private:
+    ml::Vec actNoisy(const ml::Vec &obs);
+
+    ml::Network actor_;
+    ml::Network critic_;
+    ml::Network actor_target_;
+    ml::Network critic_target_;
+    ml::ParamSet actor_params_;
+    ml::ParamSet critic_params_;
+    ml::ParamSet target_params_; ///< both targets, not transmitted
+    ReplayBuffer replay_;
+    std::vector<const Transition *> batch_;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_DDPG_HH

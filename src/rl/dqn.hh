@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deep Q-Network (Mnih et al.) on PongLite: epsilon-greedy
+ * exploration, uniform experience replay, target network, Huber TD
+ * loss. Exploration decays with the number of *applied updates* so
+ * distributed workers stay mutually consistent.
+ */
+
+#ifndef ISW_RL_DQN_HH
+#define ISW_RL_DQN_HH
+
+#include "rl/agent.hh"
+#include "rl/replay_buffer.hh"
+
+namespace isw::rl {
+
+/** DQN agent (discrete actions). */
+class DqnAgent final : public AgentBase
+{
+  public:
+    /**
+     * @param weight_rng Stream for parameter init (shared per job).
+     * @param act_rng Stream for exploration (unique per worker).
+     */
+    DqnAgent(const AgentConfig &cfg, std::unique_ptr<Environment> env,
+             sim::Rng &weight_rng, sim::Rng act_rng);
+
+    Algo algo() const override { return Algo::kDqn; }
+    const ml::Vec &computeGradient() override;
+
+    /** Current exploration rate (decays with applied updates). */
+    float epsilon() const;
+
+    /** Greedy action for @p obs (used by evaluation/examples). */
+    std::size_t greedyAction(const ml::Vec &obs);
+
+    ml::Vec
+    policyAction(const ml::Vec &obs) override
+    {
+        return {static_cast<float>(greedyAction(obs))};
+    }
+
+  protected:
+    void postUpdate() override;
+
+  private:
+    void syncTarget();
+
+    ml::Network q_;
+    ml::Network target_;
+    ml::ParamSet target_params_;
+    ReplayBuffer replay_;
+    std::vector<const Transition *> batch_;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_DQN_HH

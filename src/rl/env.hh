@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Environment interface for the RL substrate.
+ *
+ * Environments are deterministic given their RNG stream, run entirely
+ * in-process, and expose either a discrete action set or a continuous
+ * action vector (see DESIGN.md §2 for how these substitute for the
+ * paper's Atari / MuJoCo tasks).
+ */
+
+#ifndef ISW_RL_ENV_HH
+#define ISW_RL_ENV_HH
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "ml/tensor.hh"
+#include "sim/random.hh"
+
+namespace isw::rl {
+
+using ml::Vec;
+
+/** Result of one environment step. */
+struct StepResult
+{
+    Vec observation;
+    float reward = 0.0f;
+    bool done = false;
+};
+
+/** Abstract RL environment. */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    virtual const char *name() const = 0;
+    virtual std::size_t observationDim() const = 0;
+
+    /** Number of discrete actions, or the continuous action width. */
+    virtual std::size_t actionDim() const = 0;
+    virtual bool continuousActions() const = 0;
+
+    /** Reset to an initial state and return the first observation. */
+    virtual Vec reset() = 0;
+
+    /** Step with a discrete action index. */
+    virtual StepResult
+    step(std::size_t action)
+    {
+        (void)action;
+        throw std::logic_error(std::string(name()) +
+                               ": discrete step unsupported");
+    }
+
+    /** Step with a continuous action vector (values in [-1, 1]). */
+    virtual StepResult
+    step(std::span<const float> action)
+    {
+        (void)action;
+        throw std::logic_error(std::string(name()) +
+                               ": continuous step unsupported");
+    }
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_ENV_HH

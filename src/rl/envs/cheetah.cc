@@ -1,0 +1,55 @@
+#include "rl/envs/cheetah.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isw::rl {
+
+CheetahLite::CheetahLite(sim::Rng rng, CheetahConfig cfg)
+    : rng_(rng), cfg_(cfg)
+{
+}
+
+Vec
+CheetahLite::observe() const
+{
+    return {v_ / 5.0f, p_, 1.0f - std::fabs(p_)};
+}
+
+Vec
+CheetahLite::reset()
+{
+    v_ = 0.0f;
+    p_ = static_cast<float>(rng_.uniform(-0.2, 0.2));
+    steps_ = 0;
+    return observe();
+}
+
+StepResult
+CheetahLite::step(std::span<const float> action)
+{
+    ++steps_;
+    const float push =
+        std::clamp(action.size() > 0 ? action[0] : 0.0f, -1.0f, 1.0f);
+    const float recover =
+        std::clamp(action.size() > 1 ? action[1] : 0.0f, -1.0f, 1.0f);
+
+    // Thrust only while the stride still has room to extend.
+    const float room = std::max(0.0f, 1.0f - p_);
+    const float thrust = std::max(push, 0.0f) * room;
+    v_ += thrust * cfg_.thrust_gain * cfg_.dt;
+    v_ *= 1.0f - cfg_.drag;
+
+    p_ += (std::max(push, 0.0f) - std::max(recover, 0.0f)) *
+          cfg_.stride_rate * cfg_.dt;
+    p_ = std::clamp(p_, -1.0f, 1.0f);
+
+    StepResult res;
+    res.reward = cfg_.vel_reward * v_ * cfg_.dt -
+                 cfg_.ctrl_cost * (push * push + recover * recover);
+    res.done = steps_ >= cfg_.max_steps;
+    res.observation = observe();
+    return res;
+}
+
+} // namespace isw::rl

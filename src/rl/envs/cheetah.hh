@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CheetahLite: a planar stride-pumping stand-in for the MuJoCo
+ * HalfCheetah task the paper trains DDPG on.
+ *
+ * The body has a forward velocity and a stride variable p in [-1, 1].
+ * Action 0 ("push") extends the stride and produces thrust only while
+ * stride room remains; action 1 ("recover") retracts the stride
+ * without thrust. Sustained speed therefore requires alternating
+ * push/recover conditioned on p — a state-dependent 2-D continuous
+ * policy, which is what DDPG is exercised on.
+ */
+
+#ifndef ISW_RL_ENVS_CHEETAH_HH
+#define ISW_RL_ENVS_CHEETAH_HH
+
+#include "rl/env.hh"
+
+namespace isw::rl {
+
+/** Tunable parameters of CheetahLite. */
+struct CheetahConfig
+{
+    float dt = 0.05f;
+    float stride_rate = 3.0f; ///< how fast actions move the stride
+    float thrust_gain = 2.0f;
+    float drag = 0.05f;
+    float ctrl_cost = 0.05f;
+    float vel_reward = 1.0f;
+    int max_steps = 200;
+};
+
+/** The DDPG benchmark environment (2-D continuous action). */
+class CheetahLite final : public Environment
+{
+  public:
+    CheetahLite(sim::Rng rng, CheetahConfig cfg = {});
+
+    const char *name() const override { return "CheetahLite"; }
+    std::size_t observationDim() const override { return 3; }
+    std::size_t actionDim() const override { return 2; }
+    bool continuousActions() const override { return true; }
+
+    using Environment::step;
+
+    Vec reset() override;
+    StepResult step(std::span<const float> action) override;
+
+    float velocity() const { return v_; }
+    float stride() const { return p_; }
+
+  private:
+    Vec observe() const;
+
+    sim::Rng rng_;
+    CheetahConfig cfg_;
+    float v_ = 0.0f; ///< forward velocity
+    float p_ = 0.0f; ///< stride position in [-1, 1]
+    int steps_ = 0;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_ENVS_CHEETAH_HH

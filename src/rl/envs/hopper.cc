@@ -1,0 +1,55 @@
+#include "rl/envs/hopper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isw::rl {
+
+Hopper1D::Hopper1D(sim::Rng rng, HopperConfig cfg) : rng_(rng), cfg_(cfg) {}
+
+Vec
+Hopper1D::observe() const
+{
+    return {z_, vz_ / 5.0f, vx_ / 5.0f, grounded() ? 1.0f : 0.0f};
+}
+
+Vec
+Hopper1D::reset()
+{
+    z_ = 0.0f;
+    vz_ = 0.0f;
+    vx_ = 0.0f;
+    steps_ = 0;
+    return observe();
+}
+
+StepResult
+Hopper1D::step(std::span<const float> action)
+{
+    ++steps_;
+    const float a = std::clamp(action.empty() ? 0.0f : action[0], -1.0f, 1.0f);
+    const float thrust = std::max(a, 0.0f);
+
+    if (grounded()) {
+        // Push-off: thrust converts to vertical and forward velocity.
+        vz_ = thrust * cfg_.jump_gain;
+        vx_ = cfg_.ground_drag * vx_ + thrust * cfg_.push_gain;
+    } else {
+        vz_ -= cfg_.gravity * cfg_.dt;
+        vx_ *= cfg_.air_drag;
+    }
+    z_ += vz_ * cfg_.dt;
+    if (z_ <= 0.0f) {
+        z_ = 0.0f;
+        vz_ = 0.0f;
+    }
+
+    StepResult res;
+    res.reward = cfg_.vel_reward * vx_ * cfg_.dt + cfg_.alive_bonus -
+                 cfg_.ctrl_cost * a * a;
+    res.done = steps_ >= cfg_.max_steps;
+    res.observation = observe();
+    return res;
+}
+
+} // namespace isw::rl

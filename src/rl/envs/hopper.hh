@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hopper1D: a one-legged hopping stand-in for the MuJoCo Hopper task
+ * the paper trains PPO on.
+ *
+ * A point body with height z and velocities (vz, vx) must learn to
+ * push off the ground: thrust only works during ground contact, turns
+ * into both upward and forward velocity, and forward speed decays in
+ * flight. Reward = forward progress + alive bonus - control cost, so
+ * the optimal behaviour is a periodic hop, which requires a genuinely
+ * state-dependent continuous policy.
+ */
+
+#ifndef ISW_RL_ENVS_HOPPER_HH
+#define ISW_RL_ENVS_HOPPER_HH
+
+#include "rl/env.hh"
+
+namespace isw::rl {
+
+/** Tunable parameters of Hopper1D. */
+struct HopperConfig
+{
+    float dt = 0.05f;
+    float gravity = 9.8f;
+    float jump_gain = 8.0f;    ///< thrust -> vertical velocity
+    float push_gain = 1.5f;    ///< thrust -> forward velocity
+    float ground_drag = 0.80f; ///< vx multiplier while grounded
+    float air_drag = 0.995f;   ///< vx multiplier while airborne
+    float ctrl_cost = 0.05f;
+    float alive_bonus = 0.05f;
+    float vel_reward = 1.0f;
+    int max_steps = 200;
+};
+
+/** The PPO benchmark environment (1-D continuous action: thrust). */
+class Hopper1D final : public Environment
+{
+  public:
+    Hopper1D(sim::Rng rng, HopperConfig cfg = {});
+
+    const char *name() const override { return "Hopper1D"; }
+    std::size_t observationDim() const override { return 4; }
+    std::size_t actionDim() const override { return 1; }
+    bool continuousActions() const override { return true; }
+
+    using Environment::step;
+
+    Vec reset() override;
+    StepResult step(std::span<const float> action) override;
+
+    float forwardVelocity() const { return vx_; }
+    bool grounded() const { return z_ <= 0.0f; }
+
+  private:
+    Vec observe() const;
+
+    sim::Rng rng_;
+    HopperConfig cfg_;
+    float z_ = 0.0f;  ///< height above ground
+    float vz_ = 0.0f; ///< vertical velocity
+    float vx_ = 0.0f; ///< forward velocity
+    int steps_ = 0;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_ENVS_HOPPER_HH

@@ -1,0 +1,103 @@
+#include "rl/envs/pong.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isw::rl {
+
+PongLite::PongLite(sim::Rng rng, PongConfig cfg) : rng_(rng), cfg_(cfg) {}
+
+Vec
+PongLite::observe() const
+{
+    return {bx_, by_, bvx_ / cfg_.ball_speed, bvy_ / cfg_.ball_speed,
+            agent_y_, opp_y_};
+}
+
+void
+PongLite::serve(int direction)
+{
+    bx_ = 0.5f;
+    by_ = static_cast<float>(rng_.uniform(0.2, 0.8));
+    const float angle = static_cast<float>(rng_.uniform(-0.7, 0.7));
+    bvx_ = cfg_.ball_speed * static_cast<float>(direction) * std::cos(angle);
+    bvy_ = cfg_.ball_speed * std::sin(angle);
+}
+
+Vec
+PongLite::reset()
+{
+    agent_score_ = 0;
+    opp_score_ = 0;
+    steps_ = 0;
+    agent_y_ = 0.5f;
+    opp_y_ = 0.5f;
+    serve(rng_.bernoulli(0.5) ? 1 : -1);
+    return observe();
+}
+
+StepResult
+PongLite::step(std::size_t action)
+{
+    ++steps_;
+    // Agent paddle.
+    if (action == 1)
+        agent_y_ = std::min(1.0f, agent_y_ + cfg_.paddle_speed);
+    else if (action == 2)
+        agent_y_ = std::max(0.0f, agent_y_ - cfg_.paddle_speed);
+
+    // Scripted opponent tracks the ball with bounded speed + noise.
+    const float target =
+        by_ + cfg_.opponent_noise * static_cast<float>(rng_.normal());
+    if (target > opp_y_ + 0.01f)
+        opp_y_ = std::min(1.0f, opp_y_ + cfg_.opponent_speed);
+    else if (target < opp_y_ - 0.01f)
+        opp_y_ = std::max(0.0f, opp_y_ - cfg_.opponent_speed);
+
+    // Ball physics.
+    bx_ += bvx_;
+    by_ += bvy_;
+    if (by_ < 0.0f) {
+        by_ = -by_;
+        bvy_ = -bvy_;
+    } else if (by_ > 1.0f) {
+        by_ = 2.0f - by_;
+        bvy_ = -bvy_;
+    }
+
+    float reward = 0.0f;
+    if (bx_ >= 1.0f) {
+        // Reached the agent's side.
+        if (std::fabs(by_ - agent_y_) <= cfg_.paddle_half) {
+            bvx_ = -std::fabs(bvx_);
+            bx_ = 2.0f - bx_;
+            // Deflection: hitting off-center steers the ball.
+            bvy_ += 0.5f * cfg_.ball_speed * (by_ - agent_y_) /
+                    cfg_.paddle_half;
+        } else {
+            reward = -1.0f;
+            ++opp_score_;
+            serve(-1);
+        }
+    } else if (bx_ <= 0.0f) {
+        if (std::fabs(by_ - opp_y_) <= cfg_.paddle_half) {
+            bvx_ = std::fabs(bvx_);
+            bx_ = -bx_;
+            bvy_ +=
+                0.5f * cfg_.ball_speed * (by_ - opp_y_) / cfg_.paddle_half;
+        } else {
+            reward = 1.0f;
+            ++agent_score_;
+            serve(1);
+        }
+    }
+
+    StepResult res;
+    res.reward = reward;
+    res.done = agent_score_ >= cfg_.points_to_win ||
+               opp_score_ >= cfg_.points_to_win || steps_ >= cfg_.max_steps;
+    res.observation = observe();
+    return res;
+}
+
+} // namespace isw::rl

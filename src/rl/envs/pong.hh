@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PongLite: a low-dimensional Pong stand-in for the Atari game the
+ * paper trains DQN on.
+ *
+ * A ball bounces in a unit box; the learning agent moves the right
+ * paddle (3 actions: stay/up/down), a scripted opponent with bounded
+ * speed and reaction noise moves the left paddle. A point scores +1
+ * when the opponent misses and -1 when the agent misses; an episode
+ * ends when either side reaches `points_to_win`. The average episode
+ * reward therefore lives in [-points_to_win, +points_to_win], just as
+ * Atari Pong's lives in [-21, 21].
+ */
+
+#ifndef ISW_RL_ENVS_PONG_HH
+#define ISW_RL_ENVS_PONG_HH
+
+#include "rl/env.hh"
+
+namespace isw::rl {
+
+/** Tunable parameters of PongLite. */
+struct PongConfig
+{
+    int points_to_win = 5;        ///< episode ends at this score
+    float paddle_speed = 0.05f;   ///< agent paddle step per tick
+    float opponent_speed = 0.03f; ///< scripted paddle step per tick
+    float opponent_noise = 0.15f; ///< tracking error magnitude
+    float ball_speed = 0.04f;     ///< ball velocity magnitude
+    float paddle_half = 0.10f;    ///< paddle half-height
+    int max_steps = 3000;         ///< hard episode cap
+};
+
+/** The DQN benchmark environment. */
+class PongLite final : public Environment
+{
+  public:
+    PongLite(sim::Rng rng, PongConfig cfg = {});
+
+    const char *name() const override { return "PongLite"; }
+    std::size_t observationDim() const override { return 6; }
+    std::size_t actionDim() const override { return 3; }
+    bool continuousActions() const override { return false; }
+
+    using Environment::step;
+
+    Vec reset() override;
+    StepResult step(std::size_t action) override;
+
+    int agentScore() const { return agent_score_; }
+    int opponentScore() const { return opp_score_; }
+
+  private:
+    Vec observe() const;
+    void serve(int direction);
+
+    sim::Rng rng_;
+    PongConfig cfg_;
+    float bx_ = 0.5f, by_ = 0.5f; ///< ball position
+    float bvx_ = 0.0f, bvy_ = 0.0f;
+    float agent_y_ = 0.5f; ///< right paddle center
+    float opp_y_ = 0.5f;   ///< left paddle center
+    int agent_score_ = 0;
+    int opp_score_ = 0;
+    int steps_ = 0;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_ENVS_PONG_HH

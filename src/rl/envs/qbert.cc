@@ -1,0 +1,109 @@
+#include "rl/envs/qbert.hh"
+
+namespace isw::rl {
+
+QbertLite::QbertLite(sim::Rng rng, QbertConfig cfg) : rng_(rng), cfg_(cfg)
+{
+    cells_.resize(static_cast<std::size_t>(cfg_.rows) * (cfg_.rows + 1) / 2);
+}
+
+bool
+QbertLite::valid(int r, int c) const
+{
+    return r >= 0 && r < cfg_.rows && c >= 0 && c <= r;
+}
+
+std::uint8_t &
+QbertLite::colored(int r, int c)
+{
+    return cells_.at(static_cast<std::size_t>(r) * (r + 1) / 2 + c);
+}
+
+bool
+QbertLite::coloredAt(int r, int c) const
+{
+    return cells_.at(static_cast<std::size_t>(r) * (r + 1) / 2 + c);
+}
+
+std::pair<int, int>
+QbertLite::hop(int r, int c, std::size_t a)
+{
+    switch (a) {
+      case 0: return {r + 1, c};     // down-left
+      case 1: return {r + 1, c + 1}; // down-right
+      case 2: return {r - 1, c - 1}; // up-left
+      default: return {r - 1, c};    // up-right
+    }
+}
+
+Vec
+QbertLite::observe() const
+{
+    Vec obs;
+    obs.reserve(observationDim());
+    obs.push_back(static_cast<float>(r_) / static_cast<float>(cfg_.rows));
+    obs.push_back(static_cast<float>(c_) /
+                  static_cast<float>(std::max(1, r_)));
+    obs.push_back(coloredFraction());
+    for (std::size_t a = 0; a < 4; ++a) {
+        auto [nr, nc] = hop(r_, c_, a);
+        const bool ok = valid(nr, nc);
+        obs.push_back(ok ? 1.0f : 0.0f);
+        obs.push_back(ok && coloredAt(nr, nc) ? 1.0f : 0.0f);
+    }
+    return obs;
+}
+
+float
+QbertLite::coloredFraction() const
+{
+    return static_cast<float>(colored_count_) /
+           static_cast<float>(cells_.size());
+}
+
+Vec
+QbertLite::reset()
+{
+    std::fill(cells_.begin(), cells_.end(), false);
+    r_ = 0;
+    c_ = 0;
+    steps_ = 0;
+    colored(0, 0) = true;
+    colored_count_ = 1;
+    return observe();
+}
+
+StepResult
+QbertLite::step(std::size_t action)
+{
+    ++steps_;
+    StepResult res;
+    auto [nr, nc] = hop(r_, c_, action);
+    if (!valid(nr, nc)) {
+        res.reward = -cfg_.fall_penalty;
+        res.done = true;
+        res.observation = observe();
+        return res;
+    }
+    r_ = nr;
+    c_ = nc;
+    float reward = -cfg_.step_cost;
+    if (!coloredAt(r_, c_)) {
+        colored(r_, c_) = true;
+        ++colored_count_;
+        reward += cfg_.new_cell_reward;
+    }
+    bool done = false;
+    if (colored_count_ == static_cast<int>(cells_.size())) {
+        reward += cfg_.clear_bonus;
+        done = true;
+    }
+    if (steps_ >= cfg_.max_steps)
+        done = true;
+    res.reward = reward;
+    res.done = done;
+    res.observation = observe();
+    return res;
+}
+
+} // namespace isw::rl

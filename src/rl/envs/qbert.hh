@@ -1,0 +1,72 @@
+/**
+ * @file
+ * QbertLite: a pyramid-hopping stand-in for the Atari Q*bert game the
+ * paper trains A2C on.
+ *
+ * The agent hops diagonally on a triangular pyramid of cells, earning
+ * reward for landing on uncolored cells, a bonus for coloring the
+ * whole pyramid, and a penalty (plus episode end) for hopping off the
+ * edge. Observations are engineered features: normalized position,
+ * colored fraction, and validity/colored flags for the four hop
+ * directions, which keeps the task MLP-learnable.
+ */
+
+#ifndef ISW_RL_ENVS_QBERT_HH
+#define ISW_RL_ENVS_QBERT_HH
+
+#include <vector>
+
+#include "rl/env.hh"
+
+namespace isw::rl {
+
+/** Tunable parameters of QbertLite. */
+struct QbertConfig
+{
+    int rows = 5;            ///< pyramid height (row r has r+1 cells)
+    float step_cost = 0.02f; ///< per-hop penalty (encourages progress)
+    float new_cell_reward = 1.0f;
+    float fall_penalty = 3.0f;
+    float clear_bonus = 5.0f;
+    int max_steps = 200;
+};
+
+/** The A2C benchmark environment. */
+class QbertLite final : public Environment
+{
+  public:
+    QbertLite(sim::Rng rng, QbertConfig cfg = {});
+
+    const char *name() const override { return "QbertLite"; }
+    std::size_t observationDim() const override { return 3 + 4 * 2; }
+    /** Hops: 0=down-left, 1=down-right, 2=up-left, 3=up-right. */
+    std::size_t actionDim() const override { return 4; }
+    bool continuousActions() const override { return false; }
+
+    using Environment::step;
+
+    Vec reset() override;
+    StepResult step(std::size_t action) override;
+
+    /** Fraction of cells colored (testing hook). */
+    float coloredFraction() const;
+
+  private:
+    bool valid(int r, int c) const;
+    std::uint8_t &colored(int r, int c);
+    bool coloredAt(int r, int c) const;
+    Vec observe() const;
+    /** Destination of hop @p a from (r, c); may be off-pyramid. */
+    static std::pair<int, int> hop(int r, int c, std::size_t a);
+
+    sim::Rng rng_;
+    QbertConfig cfg_;
+    std::vector<std::uint8_t> cells_; ///< row-major triangular colored flags
+    int r_ = 0, c_ = 0;
+    int colored_count_ = 0;
+    int steps_ = 0;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_ENVS_QBERT_HH

@@ -1,0 +1,66 @@
+#include "rl/evaluate.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "rl/envs/cheetah.hh"
+#include "rl/envs/hopper.hh"
+#include "rl/envs/pong.hh"
+#include "rl/envs/qbert.hh"
+
+namespace isw::rl {
+
+std::unique_ptr<Environment>
+makeEnvironment(Algo algo, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    switch (algo) {
+      case Algo::kDqn: return std::make_unique<PongLite>(rng);
+      case Algo::kA2c: return std::make_unique<QbertLite>(rng);
+      case Algo::kPpo: return std::make_unique<Hopper1D>(rng);
+      case Algo::kDdpg: return std::make_unique<CheetahLite>(rng);
+    }
+    throw std::logic_error("makeEnvironment: unknown algorithm");
+}
+
+EvalResult
+evaluatePolicy(Agent &agent, Environment &env, std::size_t episodes,
+               std::size_t max_steps)
+{
+    EvalResult res;
+    res.episodes = episodes;
+    res.min_reward = std::numeric_limits<double>::infinity();
+    res.max_reward = -std::numeric_limits<double>::infinity();
+    double total_reward = 0.0;
+    double total_steps = 0.0;
+
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+        ml::Vec obs = env.reset();
+        double ep_reward = 0.0;
+        std::size_t steps = 0;
+        for (; steps < max_steps; ++steps) {
+            const ml::Vec action = agent.policyAction(obs);
+            StepResult sr =
+                env.continuousActions()
+                    ? env.step(std::span<const float>(action))
+                    : env.step(static_cast<std::size_t>(action.at(0)));
+            ep_reward += sr.reward;
+            obs = std::move(sr.observation);
+            if (sr.done)
+                break;
+        }
+        total_reward += ep_reward;
+        total_steps += static_cast<double>(steps + 1);
+        res.min_reward = std::min(res.min_reward, ep_reward);
+        res.max_reward = std::max(res.max_reward, ep_reward);
+    }
+    if (episodes > 0) {
+        res.mean_reward = total_reward / static_cast<double>(episodes);
+        res.mean_length = total_steps / static_cast<double>(episodes);
+    } else {
+        res.min_reward = res.max_reward = 0.0;
+    }
+    return res;
+}
+
+} // namespace isw::rl

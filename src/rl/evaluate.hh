@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Policy evaluation: run a trained agent's greedy/deterministic policy
+ * on a fresh environment, without exploration noise and without
+ * touching the agent's training state.
+ */
+
+#ifndef ISW_RL_EVALUATE_HH
+#define ISW_RL_EVALUATE_HH
+
+#include <memory>
+
+#include "rl/agent.hh"
+
+namespace isw::rl {
+
+/** Construct the benchmark environment for @p algo (PongLite, ...). */
+std::unique_ptr<Environment> makeEnvironment(Algo algo, std::uint64_t seed);
+
+/** Outcome of an evaluation sweep. */
+struct EvalResult
+{
+    double mean_reward = 0.0;
+    double min_reward = 0.0;
+    double max_reward = 0.0;
+    double mean_length = 0.0; ///< steps per episode
+    std::size_t episodes = 0;
+};
+
+/**
+ * Run @p episodes full episodes of @p agent's deterministic policy on
+ * @p env. The agent's weights are read, never written; its training
+ * environment and replay state are untouched.
+ *
+ * @param max_steps Per-episode step cap (safety net).
+ */
+EvalResult evaluatePolicy(Agent &agent, Environment &env,
+                          std::size_t episodes, std::size_t max_steps = 5000);
+
+} // namespace isw::rl
+
+#endif // ISW_RL_EVALUATE_HH

@@ -1,0 +1,96 @@
+#include "rl/model_zoo.hh"
+
+#include <stdexcept>
+
+namespace isw::rl {
+
+namespace {
+
+AgentConfig
+dqnConfig()
+{
+    AgentConfig c;
+    c.hidden = 64;
+    c.lr = 1e-3;
+    c.steps_per_iter = 32;
+    c.batch_size = 64;
+    c.replay_capacity = 20000;
+    c.warmup = 300;
+    c.target_sync_iters = 50;
+    c.eps_decay_iters = 800;
+    return c;
+}
+
+AgentConfig
+a2cConfig()
+{
+    AgentConfig c;
+    c.hidden = 64;
+    c.lr = 2e-3;
+    c.steps_per_iter = 32;
+    c.entropy_coef = 0.02f;
+    c.value_coef = 0.5f;
+    return c;
+}
+
+AgentConfig
+ppoConfig()
+{
+    AgentConfig c;
+    c.hidden = 32;
+    c.lr = 1e-3;
+    c.steps_per_iter = 64;
+    c.gae_lambda = 0.95f;
+    c.entropy_coef = 0.003f;
+    c.init_log_std = -0.5f;
+    return c;
+}
+
+AgentConfig
+ddpgConfig()
+{
+    AgentConfig c;
+    c.hidden = 48;
+    c.lr = 1e-3;
+    c.steps_per_iter = 32;
+    c.batch_size = 64;
+    c.replay_capacity = 20000;
+    c.warmup = 500;
+    c.noise_std = 0.25f;
+    c.tau = 0.02f;
+    return c;
+}
+
+} // namespace
+
+const std::array<BenchmarkSpec, 4> &
+benchmarks()
+{
+    // Paper Table 1: DQN 6.41 MB / 200M iters; A2C 3.31 MB / 2M;
+    // PPO 40.02 KB / 0.15M; DDPG 157.52 KB / 2.5M.
+    static const std::array<BenchmarkSpec, 4> kSpecs{{
+        {Algo::kDqn, "Atari Pong", "PongLite",
+         static_cast<std::uint64_t>(6.41 * 1024 * 1024), 200'000'000ULL,
+         dqnConfig()},
+        {Algo::kA2c, "Atari Qbert", "QbertLite",
+         static_cast<std::uint64_t>(3.31 * 1024 * 1024), 2'000'000ULL,
+         a2cConfig()},
+        {Algo::kPpo, "MuJoCo Hopper", "Hopper1D",
+         static_cast<std::uint64_t>(40.02 * 1024), 150'000ULL, ppoConfig()},
+        {Algo::kDdpg, "MuJoCo HalfCheetah", "CheetahLite",
+         static_cast<std::uint64_t>(157.52 * 1024), 2'500'000ULL,
+         ddpgConfig()},
+    }};
+    return kSpecs;
+}
+
+const BenchmarkSpec &
+specFor(Algo algo)
+{
+    for (const auto &s : benchmarks())
+        if (s.algo == algo)
+            return s;
+    throw std::logic_error("specFor: unknown algorithm");
+}
+
+} // namespace isw::rl

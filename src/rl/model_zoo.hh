@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-algorithm benchmark presets, pairing a laptop-scale learnable
+ * configuration with the paper's published workload constants
+ * (Table 1 model sizes and training-iteration counts).
+ */
+
+#ifndef ISW_RL_MODEL_ZOO_HH
+#define ISW_RL_MODEL_ZOO_HH
+
+#include <array>
+#include <cstdint>
+
+#include "rl/agent.hh"
+
+namespace isw::rl {
+
+/** One benchmark row of the paper's Table 1, plus our local config. */
+struct BenchmarkSpec
+{
+    Algo algo;
+    const char *paper_env;    ///< environment the paper used
+    const char *local_env;    ///< our substitute environment
+    std::uint64_t paper_model_bytes;  ///< Table 1 "Model Size"
+    std::uint64_t paper_iterations;   ///< Table 1 "Training Iteration"
+    AgentConfig config;       ///< learnable local hyperparameters
+};
+
+/** The paper's four benchmarks (Table 1). */
+const std::array<BenchmarkSpec, 4> &benchmarks();
+
+/** Spec for a given algorithm. */
+const BenchmarkSpec &specFor(Algo algo);
+
+} // namespace isw::rl
+
+#endif // ISW_RL_MODEL_ZOO_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Proximal Policy Optimization (clipped surrogate, Schulman et al.)
+ * on Hopper1D: diagonal-Gaussian policy with a trainable
+ * state-independent log-std, GAE advantages, and a separate value
+ * network.
+ *
+ * In the paper's distributed paradigm each training iteration
+ * contributes exactly one gradient, so the local pass is a single
+ * epoch over a freshly collected rollout; the clipping machinery is
+ * implemented in full and becomes active whenever weights moved
+ * between collection and gradient computation.
+ */
+
+#ifndef ISW_RL_PPO_HH
+#define ISW_RL_PPO_HH
+
+#include "rl/agent.hh"
+
+namespace isw::rl {
+
+/** PPO agent (continuous actions). */
+class PpoAgent final : public AgentBase
+{
+  public:
+    PpoAgent(const AgentConfig &cfg, std::unique_ptr<Environment> env,
+             sim::Rng &weight_rng, sim::Rng act_rng);
+
+    Algo algo() const override { return Algo::kPpo; }
+    const ml::Vec &computeGradient() override;
+
+    /** Mean (deterministic) action for @p obs. */
+    ml::Vec meanAction(const ml::Vec &obs);
+
+    ml::Vec
+    policyAction(const ml::Vec &obs) override
+    {
+        return meanAction(obs);
+    }
+
+  private:
+    ml::Network policy_; ///< obs -> action mean
+    ml::Network value_;  ///< obs -> V(s)
+    ml::ParamVector *log_std_;
+    ml::Network log_std_net_; ///< owns log_std_ (parameter only)
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_PPO_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Uniform-sampling experience replay for off-policy algorithms
+ * (DQN, DDPG).
+ */
+
+#ifndef ISW_RL_REPLAY_BUFFER_HH
+#define ISW_RL_REPLAY_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/tensor.hh"
+#include "sim/random.hh"
+
+namespace isw::rl {
+
+/** One stored transition. The action is a float vector; discrete
+ *  algorithms store the index in action[0]. */
+struct Transition
+{
+    ml::Vec state;
+    ml::Vec action;
+    float reward = 0.0f;
+    ml::Vec next_state;
+    bool done = false;
+};
+
+/** Fixed-capacity ring buffer with uniform random sampling. */
+class ReplayBuffer
+{
+  public:
+    explicit ReplayBuffer(std::size_t capacity);
+
+    void push(Transition t);
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+    bool empty() const { return size_ == 0; }
+
+    /** Sample @p n transitions (with replacement) into @p out. */
+    void sample(std::size_t n, sim::Rng &rng,
+                std::vector<const Transition *> &out) const;
+
+    const Transition &at(std::size_t i) const { return buf_.at(i); }
+
+  private:
+    std::vector<Transition> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace isw::rl
+
+#endif // ISW_RL_REPLAY_BUFFER_HH

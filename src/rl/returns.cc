@@ -1,0 +1,72 @@
+#include "rl/returns.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isw::rl {
+
+std::vector<float>
+nStepReturns(std::span<const float> rewards, const std::vector<bool> &dones,
+             float bootstrap_value, float gamma)
+{
+    const std::size_t t = rewards.size();
+    if (dones.size() != t)
+        throw std::invalid_argument("nStepReturns: size mismatch");
+    std::vector<float> returns(t);
+    if (t == 0)
+        return returns;
+    float run = dones[t - 1] ? 0.0f : bootstrap_value;
+    for (std::size_t i = t; i-- > 0;) {
+        if (dones[i])
+            run = 0.0f;
+        run = rewards[i] + gamma * run;
+        returns[i] = run;
+    }
+    return returns;
+}
+
+GaeResult
+gaeAdvantages(std::span<const float> rewards, std::span<const float> values,
+              const std::vector<bool> &dones, float bootstrap_value,
+              float gamma, float lambda)
+{
+    const std::size_t t = rewards.size();
+    if (values.size() != t || dones.size() != t)
+        throw std::invalid_argument("gaeAdvantages: size mismatch");
+    GaeResult out;
+    out.advantages.resize(t);
+    out.returns.resize(t);
+    float gae = 0.0f;
+    for (std::size_t i = t; i-- > 0;) {
+        const float mask = dones[i] ? 0.0f : 1.0f;
+        const float next_v =
+            i + 1 < t ? values[i + 1] : bootstrap_value;
+        if (dones[i])
+            gae = 0.0f;
+        const float delta = rewards[i] + gamma * next_v * mask - values[i];
+        gae = delta + gamma * lambda * mask * gae;
+        out.advantages[i] = gae;
+        out.returns[i] = gae + values[i];
+    }
+    return out;
+}
+
+void
+normalizeInPlace(std::span<float> v, float eps)
+{
+    if (v.empty())
+        return;
+    double mean = 0.0;
+    for (float x : v)
+        mean += x;
+    mean /= static_cast<double>(v.size());
+    double sq = 0.0;
+    for (float x : v)
+        sq += (x - mean) * (x - mean);
+    const float stddev = static_cast<float>(
+        std::sqrt(sq / static_cast<double>(v.size())) + eps);
+    for (float &x : v)
+        x = (x - static_cast<float>(mean)) / stddev;
+}
+
+} // namespace isw::rl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Return and advantage estimators shared by the on-policy algorithms:
+ * n-step bootstrapped returns (A2C) and Generalized Advantage
+ * Estimation (PPO). Extracted as free functions so the recurrences
+ * are unit-testable against hand-computed fixtures.
+ */
+
+#ifndef ISW_RL_RETURNS_HH
+#define ISW_RL_RETURNS_HH
+
+#include <span>
+#include <vector>
+
+namespace isw::rl {
+
+/**
+ * Discounted n-step returns with bootstrapping.
+ *
+ * R_t = r_t + gamma * R_{t+1}, restarting at episode boundaries;
+ * the recursion seeds from @p bootstrap_value (V of the state after
+ * the last step) unless the final step terminated.
+ *
+ * @param rewards Per-step rewards, oldest first.
+ * @param dones Per-step episode-termination flags.
+ * @param bootstrap_value V(s_T) of the state after the last step.
+ * @param gamma Discount factor.
+ */
+std::vector<float> nStepReturns(std::span<const float> rewards,
+                                const std::vector<bool> &dones,
+                                float bootstrap_value, float gamma);
+
+/** GAE output: advantages plus the matching value targets. */
+struct GaeResult
+{
+    std::vector<float> advantages;
+    std::vector<float> returns; ///< advantages + values
+};
+
+/**
+ * Generalized Advantage Estimation (Schulman et al., 2016).
+ *
+ * delta_t = r_t + gamma * V_{t+1} * (1 - done_t) - V_t
+ * A_t     = delta_t + gamma * lambda * (1 - done_t) * A_{t+1}
+ *
+ * @param values V(s_t) for each step.
+ * @param bootstrap_value V(s_T) after the last step.
+ */
+GaeResult gaeAdvantages(std::span<const float> rewards,
+                        std::span<const float> values,
+                        const std::vector<bool> &dones,
+                        float bootstrap_value, float gamma, float lambda);
+
+/**
+ * Normalize @p v to zero mean / unit standard deviation in place
+ * (population std + epsilon), the standard PPO advantage treatment.
+ */
+void normalizeInPlace(std::span<float> v, float eps = 1e-6f);
+
+} // namespace isw::rl
+
+#endif // ISW_RL_RETURNS_HH

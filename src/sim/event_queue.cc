@@ -1,0 +1,90 @@
+#include "sim/event_queue.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace isw::sim {
+
+EventId
+EventQueue::schedule(TimeNs when, Callback cb)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    if (!cb)
+        throw std::invalid_argument("EventQueue: null callback");
+    EventId id = next_id_++;
+    heap_.push(Event{when, id, std::move(cb)});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEventId || id >= next_id_)
+        return false;
+    // We cannot cheaply tell fired-vs-pending; record the id and let
+    // popNext() discard it. Inserting an already-fired id is benign
+    // because ids are never reused.
+    return cancelled_.insert(id).second;
+}
+
+bool
+EventQueue::popNext(Event &out)
+{
+    while (!heap_.empty()) {
+        // priority_queue::top returns const&; move via const_cast is
+        // the standard workaround, safe because we pop immediately.
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        auto it = cancelled_.find(ev.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        out = std::move(ev);
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    Event ev;
+    if (!popNext(ev))
+        return false;
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::runUntil(TimeNs deadline)
+{
+    std::size_t n = 0;
+    Event ev;
+    while (popNext(ev)) {
+        if (ev.when > deadline) {
+            // Put it back: re-push preserves id so ordering holds.
+            heap_.push(std::move(ev));
+            break;
+        }
+        now_ = ev.when;
+        ev.cb();
+        ++n;
+    }
+    if (now_ < deadline && heap_.empty())
+        now_ = deadline;
+    return n;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t max_events)
+{
+    std::size_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace isw::sim

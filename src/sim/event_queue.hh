@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Discrete-event kernel: a time-ordered queue of callbacks.
+ *
+ * Events scheduled at the same timestamp fire in scheduling order
+ * (FIFO), which makes simulations fully deterministic. Cancellation is
+ * lazy: cancelled events stay in the heap but are skipped when popped.
+ */
+
+#ifndef ISW_SIM_EVENT_QUEUE_HH
+#define ISW_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace isw::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel EventId returned by no-op schedules. */
+constexpr EventId kInvalidEventId = 0;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue owns the simulated clock: time only advances when an event
+ * is popped. Scheduling into the past is a programming error and
+ * throws.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    TimeNs now() const { return now_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute simulated time; must be >= now().
+     * @param cb Callback invoked when the event fires.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(TimeNs when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId scheduleAfter(TimeNs delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an already-fired or unknown id is a harmless no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Pop and run the earliest event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until simulated time exceeds @p deadline or the queue
+     * drains. Events scheduled exactly at @p deadline do run.
+     * @return number of events executed.
+     */
+    std::size_t runUntil(TimeNs deadline);
+
+    /**
+     * Run until the queue drains or @p max_events events have run.
+     * @return number of events executed.
+     */
+    std::size_t runAll(std::size_t max_events = SIZE_MAX);
+
+  private:
+    struct Event
+    {
+        TimeNs when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            // std::priority_queue is a max-heap; invert for earliest-first.
+            // Ties broken by id so same-time events fire FIFO.
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop the earliest non-cancelled event, or return false. */
+    bool popNext(Event &out);
+
+    TimeNs now_ = 0;
+    EventId next_id_ = 1;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace isw::sim
+
+#endif // ISW_SIM_EVENT_QUEUE_HH

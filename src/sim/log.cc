@@ -1,0 +1,37 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace isw::sim {
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kTrace: return "TRACE";
+    }
+    return "?";
+}
+
+void
+Logger::write(LogLevel level, TimeNs now, const std::string &component,
+              const std::string &message)
+{
+    if (!enabled(level))
+        return;
+    std::ostringstream os;
+    os << "[" << std::setw(12) << now << "ns] " << logLevelName(level) << " "
+       << component << ": " << message;
+    if (sink_) {
+        sink_(os.str());
+    } else {
+        std::fprintf(stderr, "%s\n", os.str().c_str());
+    }
+}
+
+} // namespace isw::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Leveled logger stamped with simulated time.
+ *
+ * The default level is kWarn so unit tests and benches stay quiet;
+ * examples raise it to kInfo/kDebug to narrate what the cluster does.
+ */
+
+#ifndef ISW_SIM_LOG_HH
+#define ISW_SIM_LOG_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace isw::sim {
+
+enum class LogLevel { kError = 0, kWarn, kInfo, kDebug, kTrace };
+
+/** Printable name of a log level. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Minimal logger. Messages below the configured level are formatted
+ * lazily (the stream body never runs), so logging is cheap when off.
+ */
+class Logger
+{
+  public:
+    using Sink = std::function<void(const std::string &)>;
+
+    explicit Logger(LogLevel level = LogLevel::kWarn) : level_(level) {}
+
+    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) { level_ = level; }
+    bool enabled(LogLevel level) const { return level <= level_; }
+
+    /** Replace the output sink (default: stderr). */
+    void setSink(Sink sink) { sink_ = std::move(sink); }
+
+    /** Emit one line; @p now is the simulated timestamp. */
+    void write(LogLevel level, TimeNs now, const std::string &component,
+               const std::string &message);
+
+  private:
+    LogLevel level_;
+    Sink sink_;
+};
+
+} // namespace isw::sim
+
+/**
+ * Log from any scope holding a Simulation reference `sim`:
+ *   ISW_LOG(sim, kInfo, "switch0", "agg done seg=" << seg);
+ */
+#define ISW_LOG(simref, lvl, component, expr)                                 \
+    do {                                                                      \
+        auto &isw_log_sim = (simref);                                         \
+        if (isw_log_sim.logger().enabled(::isw::sim::LogLevel::lvl)) {        \
+            std::ostringstream isw_log_os;                                    \
+            isw_log_os << expr;                                               \
+            isw_log_sim.logger().write(::isw::sim::LogLevel::lvl,             \
+                                       isw_log_sim.now(), (component),        \
+                                       isw_log_os.str());                     \
+        }                                                                     \
+    } while (0)
+
+#endif // ISW_SIM_LOG_HH

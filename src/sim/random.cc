@@ -1,0 +1,131 @@
+#include "sim/random.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace isw::sim {
+
+namespace {
+
+/** SplitMix64 step, used for seed expansion and stream derivation. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ULL / span) * span;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    assert(mean >= 0.0 && cv >= 0.0);
+    if (mean == 0.0 || cv == 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Mix the parent state with the stream id through SplitMix64 so
+    // children are decorrelated from the parent and from each other.
+    std::uint64_t x = s_[0] ^ rotl(s_[2], 13) ^ (stream_id * 0xD1342543DE82EF95ULL);
+    Rng child(splitmix64(x));
+    return child;
+}
+
+} // namespace isw::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Simulation context: clock + event queue + RNG + stats + logger.
+ *
+ * Every simulated entity (link, switch, worker, ...) holds a reference
+ * to one Simulation and interacts with the world exclusively through
+ * it, which keeps runs deterministic and single-threaded.
+ */
+
+#ifndef ISW_SIM_SIMULATION_HH
+#define ISW_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace isw::sim {
+
+/**
+ * Owner of all cross-cutting simulation state.
+ *
+ * Not copyable or movable: entities capture `Simulation&`.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1)
+        : root_rng_(seed), next_stream_(0)
+    {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    TimeNs now() const { return events_.now(); }
+    EventQueue &events() { return events_; }
+    StatsRegistry &stats() { return stats_; }
+    Logger &logger() { return logger_; }
+
+    /** Root RNG. Prefer forkRng() for per-entity streams. */
+    Rng &rng() { return root_rng_; }
+
+    /** Hand out the next independent RNG substream. */
+    Rng forkRng() { return root_rng_.fork(next_stream_++); }
+
+    /** Convenience: schedule relative to now. */
+    EventId after(TimeNs delay, EventQueue::Callback cb)
+    {
+        return events_.scheduleAfter(delay, std::move(cb));
+    }
+
+    /** Convenience: schedule at absolute time. */
+    EventId at(TimeNs when, EventQueue::Callback cb)
+    {
+        return events_.schedule(when, std::move(cb));
+    }
+
+    /** Run everything (bounded by @p max_events as a runaway guard). */
+    std::size_t run(std::size_t max_events = SIZE_MAX)
+    {
+        return events_.runAll(max_events);
+    }
+
+    /** Run until simulated @p deadline. */
+    std::size_t runUntil(TimeNs deadline) { return events_.runUntil(deadline); }
+
+  private:
+    EventQueue events_;
+    StatsRegistry stats_;
+    Logger logger_;
+    Rng root_rng_;
+    std::uint64_t next_stream_;
+};
+
+} // namespace isw::sim
+
+#endif // ISW_SIM_SIMULATION_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulated-time type and unit helpers.
+ *
+ * All simulated time in iswitch-sim is expressed in integer nanoseconds.
+ * Using an integer type keeps the event kernel deterministic across
+ * platforms and avoids floating-point drift in long runs.
+ */
+
+#ifndef ISW_SIM_TIME_HH
+#define ISW_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace isw::sim {
+
+/** Simulated time, in nanoseconds since the start of the simulation. */
+using TimeNs = std::uint64_t;
+
+/** One microsecond in TimeNs units. */
+constexpr TimeNs kUsec = 1000ULL;
+/** One millisecond in TimeNs units. */
+constexpr TimeNs kMsec = 1000ULL * kUsec;
+/** One second in TimeNs units. */
+constexpr TimeNs kSec = 1000ULL * kMsec;
+
+/** Convert a TimeNs to fractional seconds (for reporting only). */
+constexpr double
+toSeconds(TimeNs t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert a TimeNs to fractional milliseconds (for reporting only). */
+constexpr double
+toMillis(TimeNs t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert fractional seconds to TimeNs, rounding to nearest ns. */
+constexpr TimeNs
+fromSeconds(double s)
+{
+    return static_cast<TimeNs>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/** Convert fractional milliseconds to TimeNs, rounding to nearest ns. */
+constexpr TimeNs
+fromMillis(double ms)
+{
+    return static_cast<TimeNs>(ms * static_cast<double>(kMsec) + 0.5);
+}
+
+} // namespace isw::sim
+
+#endif // ISW_SIM_TIME_HH

@@ -1,0 +1,224 @@
+/** @file Functional and timing tests for the aggregation accelerator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/accelerator.hh"
+
+namespace isw::core {
+namespace {
+
+net::ChunkPayload
+chunk(std::uint64_t seg, std::vector<float> vals)
+{
+    net::ChunkPayload c;
+    c.seg = seg;
+    c.wire_floats = static_cast<std::uint32_t>(vals.size());
+    c.values = std::move(vals);
+    return c;
+}
+
+struct AccelFixture : ::testing::Test
+{
+    sim::Simulation s{1};
+    Accelerator accel{s};
+    std::map<std::uint64_t, SegState> emitted;
+
+    void
+    SetUp() override
+    {
+        accel.setEmit([this](std::uint64_t seg, SegState st) {
+            emitted[seg] = std::move(st);
+        });
+    }
+};
+
+TEST_F(AccelFixture, EmitsWhenThresholdReached)
+{
+    accel.setThreshold(3);
+    accel.ingest(chunk(0, {1.0f}));
+    accel.ingest(chunk(0, {2.0f}));
+    s.run();
+    EXPECT_TRUE(emitted.empty()); // 2 of 3
+    accel.ingest(chunk(0, {3.0f}));
+    s.run();
+    ASSERT_EQ(emitted.count(0), 1u);
+    EXPECT_FLOAT_EQ(emitted[0].acc[0], 6.0f);
+    EXPECT_EQ(emitted[0].count, 3u);
+    EXPECT_EQ(accel.segmentsEmitted(), 1u);
+}
+
+TEST_F(AccelFixture, OnTheFlySegmentsCompleteIndependently)
+{
+    // Packet-granularity aggregation (Figure 8b): segment 1 can
+    // complete and leave while segment 0 still waits.
+    accel.setThreshold(2);
+    accel.ingest(chunk(0, {1.0f}));
+    accel.ingest(chunk(1, {5.0f}));
+    accel.ingest(chunk(1, {6.0f}));
+    s.run();
+    EXPECT_EQ(emitted.count(0), 0u);
+    ASSERT_EQ(emitted.count(1), 1u);
+    EXPECT_FLOAT_EQ(emitted[1].acc[0], 11.0f);
+}
+
+TEST_F(AccelFixture, BufferClearedAfterEmission)
+{
+    accel.setThreshold(1);
+    accel.ingest(chunk(0, {4.0f}));
+    s.run();
+    // A second round of the same segment starts from zero.
+    accel.ingest(chunk(0, {8.0f}));
+    s.run();
+    EXPECT_FLOAT_EQ(emitted[0].acc[0], 8.0f);
+    EXPECT_EQ(accel.pool().activeSegments(), 0u);
+}
+
+TEST_F(AccelFixture, ForceEmitFlushesPartial)
+{
+    accel.setThreshold(10);
+    accel.ingest(chunk(3, {2.0f}));
+    accel.ingest(chunk(3, {3.0f}));
+    s.run();
+    accel.forceEmit(3);
+    ASSERT_EQ(emitted.count(3), 1u);
+    EXPECT_FLOAT_EQ(emitted[3].acc[0], 5.0f);
+    EXPECT_EQ(emitted[3].count, 2u); // partial: only 2 contributions
+}
+
+TEST_F(AccelFixture, ForceEmitOnEmptySegmentIsNoop)
+{
+    accel.forceEmit(42);
+    EXPECT_TRUE(emitted.empty());
+}
+
+TEST_F(AccelFixture, ResetDropsPartialState)
+{
+    accel.setThreshold(2);
+    accel.ingest(chunk(0, {1.0f}));
+    s.run();
+    accel.reset();
+    accel.ingest(chunk(0, {2.0f}));
+    s.run();
+    EXPECT_TRUE(emitted.empty()); // count restarted at 1
+    EXPECT_EQ(accel.pool().count(0), 1u);
+}
+
+TEST_F(AccelFixture, ProcTimeMatchesBurstPipeline)
+{
+    // 256-bit bursts at 200 MHz: 32 bytes per 5 ns cycle.
+    EXPECT_EQ(accel.procTime(32), 5u);
+    EXPECT_EQ(accel.procTime(33), 10u);
+    EXPECT_EQ(accel.procTime(1472), 1472 / 32 * 5);
+}
+
+TEST_F(AccelFixture, PipelineSerializesPackets)
+{
+    // Two MTU packets back-to-back: second finishes one procTime later.
+    accel.setThreshold(1);
+    std::vector<sim::TimeNs> times;
+    accel.setEmit([&](std::uint64_t, SegState) { times.push_back(s.now()); });
+    net::ChunkPayload big = chunk(0, std::vector<float>(366, 1.0f));
+    net::ChunkPayload big2 = chunk(1, std::vector<float>(366, 1.0f));
+    accel.ingest(big);
+    accel.ingest(big2);
+    s.run();
+    ASSERT_EQ(times.size(), 2u);
+    const sim::TimeNs proc = accel.procTime(8 + 366 * 4);
+    EXPECT_EQ(times[1] - times[0], proc);
+}
+
+TEST_F(AccelFixture, ThroughputExceedsTenGigabit)
+{
+    // The design requirement (§3.3): the accelerator must keep up with
+    // the 10 GbE line rate. 32 B / 5 ns = 51.2 Gb/s.
+    const double bytes_per_ns = 32.0 / 5.0;
+    EXPECT_GT(bytes_per_ns * 8.0, 10.0); // Gb/s
+}
+
+TEST_F(AccelFixture, CountsIngestedPackets)
+{
+    accel.setThreshold(2);
+    accel.ingest(chunk(0, {1.0f}));
+    accel.ingest(chunk(0, {1.0f}));
+    s.run();
+    EXPECT_EQ(accel.packetsIngested(), 2u);
+}
+
+TEST(Accelerator, RejectsBadConfig)
+{
+    sim::Simulation s;
+    AcceleratorConfig bad;
+    bad.clock_hz = 0.0;
+    EXPECT_THROW(Accelerator(s, bad), std::invalid_argument);
+}
+
+/**
+ * Property: for any interleaving of worker packets, the per-segment
+ * sums equal the element-wise sum over workers (order invariance).
+ */
+class AccelOrderInvariance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AccelOrderInvariance, SumsAreOrderInvariant)
+{
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 1);
+    const auto workers = static_cast<std::size_t>(rng.uniformInt(2, 6));
+    const auto segs = static_cast<std::size_t>(rng.uniformInt(1, 8));
+    const auto floats = static_cast<std::size_t>(rng.uniformInt(1, 32));
+
+    // Build each worker's per-seg data.
+    std::vector<std::vector<std::vector<float>>> data(workers);
+    for (auto &w : data) {
+        w.resize(segs);
+        for (auto &seg : w) {
+            seg.resize(floats);
+            for (float &v : seg)
+                v = static_cast<float>(rng.normal());
+        }
+    }
+    // Shuffle all (worker, seg) pairs into a random arrival order.
+    std::vector<std::pair<std::size_t, std::size_t>> arrivals;
+    for (std::size_t w = 0; w < workers; ++w)
+        for (std::size_t g = 0; g < segs; ++g)
+            arrivals.emplace_back(w, g);
+    for (std::size_t i = arrivals.size(); i > 1; --i)
+        std::swap(arrivals[i - 1],
+                  arrivals[static_cast<std::size_t>(
+                      rng.uniformInt(0, static_cast<std::int64_t>(i) - 1))]);
+
+    sim::Simulation s{1};
+    Accelerator accel{s};
+    accel.setThreshold(static_cast<std::uint32_t>(workers));
+    std::map<std::uint64_t, SegState> emitted;
+    accel.setEmit([&](std::uint64_t seg, SegState st) {
+        emitted[seg] = std::move(st);
+    });
+    for (auto [w, g] : arrivals) {
+        net::ChunkPayload c;
+        c.seg = g;
+        c.wire_floats = static_cast<std::uint32_t>(floats);
+        c.values = data[w][g];
+        accel.ingest(c);
+    }
+    s.run();
+
+    ASSERT_EQ(emitted.size(), segs);
+    for (std::size_t g = 0; g < segs; ++g) {
+        for (std::size_t i = 0; i < floats; ++i) {
+            float expect = 0.0f;
+            for (std::size_t w = 0; w < workers; ++w)
+                expect += data[w][g][i];
+            EXPECT_NEAR(emitted[g].acc[i], expect, 1e-4f)
+                << "seg " << g << " idx " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccelOrderInvariance,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace isw::core

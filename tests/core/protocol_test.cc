@@ -1,0 +1,142 @@
+/** @file Codec and segmentation tests for the iSwitch wire protocol. */
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hh"
+#include "sim/random.hh"
+
+namespace isw::core {
+namespace {
+
+TEST(Protocol, SegCountArithmetic)
+{
+    EXPECT_EQ(segCount(0), 0u);
+    EXPECT_EQ(segCount(4), 1u);
+    EXPECT_EQ(segCount(kFloatsPerSeg * 4), 1u);
+    EXPECT_EQ(segCount(kFloatsPerSeg * 4 + 1), 2u);
+    // The paper's DQN model: 6.41 MB.
+    const std::uint64_t dqn = static_cast<std::uint64_t>(6.41 * 1024 * 1024);
+    EXPECT_EQ(segCount(dqn), (dqn / 4 + 365) / 366);
+}
+
+TEST(Protocol, FloatsInSegCoversExactly)
+{
+    const std::uint64_t bytes = 4 * (2 * kFloatsPerSeg + 10);
+    EXPECT_EQ(floatsInSeg(0, bytes), kFloatsPerSeg);
+    EXPECT_EQ(floatsInSeg(1, bytes), kFloatsPerSeg);
+    EXPECT_EQ(floatsInSeg(2, bytes), 10u);
+    EXPECT_EQ(floatsInSeg(3, bytes), 0u);
+    std::uint64_t total = 0;
+    for (std::uint64_t s = 0; s < segCount(bytes); ++s)
+        total += floatsInSeg(s, bytes);
+    EXPECT_EQ(total, bytes / 4);
+}
+
+TEST(Protocol, ControlRoundTripNoValue)
+{
+    net::ControlPayload c{net::Action::kReset, 0, false};
+    const auto bytes = encodeControl(c);
+    EXPECT_EQ(bytes.size(), 1u);
+    const auto back = decodeControl(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->action, net::Action::kReset);
+    EXPECT_FALSE(back->has_value);
+}
+
+TEST(Protocol, ControlRoundTripWithValue)
+{
+    net::ControlPayload c{net::Action::kSetH, 0xDEADBEEFCAFE1234ULL, true};
+    const auto bytes = encodeControl(c);
+    EXPECT_EQ(bytes.size(), 9u);
+    const auto back = decodeControl(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->action, net::Action::kSetH);
+    EXPECT_EQ(back->value, 0xDEADBEEFCAFE1234ULL);
+}
+
+TEST(Protocol, ControlDecodeRejectsMalformed)
+{
+    EXPECT_FALSE(decodeControl({}).has_value());
+    EXPECT_FALSE(decodeControl({1, 2}).has_value()); // bad length
+    EXPECT_FALSE(decodeControl({0}).has_value());    // bad action code
+    EXPECT_FALSE(decodeControl({99}).has_value());
+}
+
+TEST(Protocol, AllActionsRoundTrip)
+{
+    for (auto a :
+         {net::Action::kJoin, net::Action::kLeave, net::Action::kReset,
+          net::Action::kSetH, net::Action::kFBcast, net::Action::kHelp,
+          net::Action::kHalt, net::Action::kAck}) {
+        const auto back = decodeControl(encodeControl({a, 5, true}));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->action, a);
+    }
+}
+
+TEST(Protocol, DataRoundTripPreservesFloats)
+{
+    net::ChunkPayload d;
+    d.seg = 12345;
+    d.wire_floats = 5;
+    d.values = {1.5f, -2.25f, 0.0f, 3.14159f, -1e-8f};
+    const auto bytes = encodeData(d);
+    EXPECT_EQ(bytes.size(), 8u + 20u);
+    const auto back = decodeData(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->seg, 12345u);
+    ASSERT_EQ(back->values.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(back->values[i], d.values[i]);
+}
+
+TEST(Protocol, DataEncodePadsWithZeros)
+{
+    net::ChunkPayload d;
+    d.seg = 1;
+    d.wire_floats = 4;
+    d.values = {7.0f}; // 3 padding slots
+    const auto back = decodeData(encodeData(d));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->values.size(), 4u);
+    EXPECT_EQ(back->values[0], 7.0f);
+    EXPECT_EQ(back->values[1], 0.0f);
+    EXPECT_EQ(back->values[3], 0.0f);
+}
+
+TEST(Protocol, DataDecodeRejectsMalformed)
+{
+    EXPECT_FALSE(decodeData({1, 2, 3}).has_value());        // short
+    EXPECT_FALSE(decodeData(std::vector<std::uint8_t>(10, 0)) // ragged
+                     .has_value());
+}
+
+/** Property sweep: random payloads round-trip bit-exactly. */
+class ProtocolRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProtocolRoundTrip, RandomDataPayloads)
+{
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    net::ChunkPayload d;
+    d.seg = static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 20));
+    d.wire_floats = static_cast<std::uint32_t>(rng.uniformInt(1, 366));
+    const auto logical = static_cast<std::size_t>(
+        rng.uniformInt(0, d.wire_floats));
+    d.values.resize(logical);
+    for (float &v : d.values)
+        v = static_cast<float>(rng.normal(0.0, 100.0));
+    const auto back = decodeData(encodeData(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->seg, d.seg);
+    EXPECT_EQ(back->wire_floats, d.wire_floats);
+    for (std::size_t i = 0; i < logical; ++i)
+        EXPECT_EQ(back->values[i], d.values[i]) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTrip,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace isw::core

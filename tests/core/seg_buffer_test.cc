@@ -1,0 +1,103 @@
+/** @file Unit tests for the segment buffer pool. */
+
+#include <gtest/gtest.h>
+
+#include "core/seg_buffer.hh"
+
+namespace isw::core {
+namespace {
+
+net::ChunkPayload
+chunk(std::uint64_t seg, std::vector<float> vals)
+{
+    net::ChunkPayload c;
+    c.seg = seg;
+    c.wire_floats = static_cast<std::uint32_t>(vals.size());
+    c.values = std::move(vals);
+    return c;
+}
+
+TEST(SegBufferPool, AccumulatesElementwise)
+{
+    SegBufferPool pool;
+    EXPECT_FALSE(pool.accumulate(chunk(0, {1, 2, 3}), 2));
+    EXPECT_TRUE(pool.accumulate(chunk(0, {10, 20, 30}), 2));
+    SegState st = pool.harvest(0);
+    EXPECT_EQ(st.count, 2u);
+    ASSERT_EQ(st.acc.size(), 3u);
+    EXPECT_FLOAT_EQ(st.acc[0], 11.0f);
+    EXPECT_FLOAT_EQ(st.acc[1], 22.0f);
+    EXPECT_FLOAT_EQ(st.acc[2], 33.0f);
+}
+
+TEST(SegBufferPool, SegmentsAreIndependent)
+{
+    SegBufferPool pool;
+    pool.accumulate(chunk(1, {1}), 3);
+    pool.accumulate(chunk(2, {5}), 3);
+    EXPECT_EQ(pool.count(1), 1u);
+    EXPECT_EQ(pool.count(2), 1u);
+    EXPECT_EQ(pool.count(3), 0u);
+    EXPECT_EQ(pool.activeSegments(), 2u);
+}
+
+TEST(SegBufferPool, HarvestRemovesSegment)
+{
+    SegBufferPool pool;
+    pool.accumulate(chunk(7, {1}), 1);
+    pool.harvest(7);
+    EXPECT_FALSE(pool.has(7));
+    EXPECT_THROW(pool.harvest(7), std::out_of_range);
+}
+
+TEST(SegBufferPool, ThresholdOneEmitsImmediately)
+{
+    SegBufferPool pool;
+    EXPECT_TRUE(pool.accumulate(chunk(0, {1}), 1));
+}
+
+TEST(SegBufferPool, MixedPayloadSizesGrowBuffer)
+{
+    SegBufferPool pool;
+    pool.accumulate(chunk(0, {1, 1}), 2);
+    pool.accumulate(chunk(0, {1, 1, 1, 1}), 2);
+    SegState st = pool.harvest(0);
+    ASSERT_EQ(st.acc.size(), 4u);
+    EXPECT_FLOAT_EQ(st.acc[0], 2.0f);
+    EXPECT_FLOAT_EQ(st.acc[3], 1.0f);
+}
+
+TEST(SegBufferPool, WireFloatsTracksMax)
+{
+    SegBufferPool pool;
+    auto c1 = chunk(0, {1});
+    c1.wire_floats = 100;
+    pool.accumulate(c1, 2);
+    pool.accumulate(chunk(0, {1}), 2);
+    EXPECT_EQ(pool.harvest(0).wire_floats, 100u);
+}
+
+TEST(SegBufferPool, ClearDropsEverything)
+{
+    SegBufferPool pool;
+    pool.accumulate(chunk(0, {1}), 5);
+    pool.accumulate(chunk(1, {1}), 5);
+    pool.clear();
+    EXPECT_EQ(pool.activeSegments(), 0u);
+}
+
+TEST(SegBufferPool, PeakActiveSegmentsTracksPressure)
+{
+    SegBufferPool pool;
+    for (std::uint64_t s = 0; s < 10; ++s)
+        pool.accumulate(chunk(s, {1}), 2);
+    for (std::uint64_t s = 0; s < 10; ++s) {
+        pool.accumulate(chunk(s, {1}), 2);
+        pool.harvest(s);
+    }
+    EXPECT_EQ(pool.peakActiveSegments(), 10u);
+    EXPECT_EQ(pool.activeSegments(), 0u);
+}
+
+} // namespace
+} // namespace isw::core

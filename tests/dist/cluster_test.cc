@@ -1,0 +1,118 @@
+/** @file Cluster builder tests (star and rack-scale tree). */
+
+#include <gtest/gtest.h>
+
+#include "dist/cluster.hh"
+
+namespace isw::dist {
+namespace {
+
+TEST(StarCluster, BuildsWorkersAndMembership)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 4;
+    Cluster c = buildStarCluster(s, cfg);
+    EXPECT_EQ(c.workers.size(), 4u);
+    ASSERT_EQ(c.leaves.size(), 1u);
+    EXPECT_EQ(c.root, c.leaves[0]);
+    EXPECT_EQ(c.ps, nullptr);
+    EXPECT_EQ(c.root->controlPlane().table().size(), 4u);
+    EXPECT_EQ(c.root->accelerator().threshold(), 4u);
+    EXPECT_TRUE(c.root->isRoot());
+}
+
+TEST(StarCluster, PsNodeIsNotAMember)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 2;
+    cfg.with_ps = true;
+    Cluster c = buildStarCluster(s, cfg);
+    ASSERT_NE(c.ps, nullptr);
+    EXPECT_EQ(c.root->controlPlane().table().size(), 2u);
+    // The PS host is routable through the switch.
+    EXPECT_TRUE(c.root->routeFor(c.ps->ip()).has_value());
+}
+
+TEST(StarCluster, LeafOfAllWorkersIsTheSwitch)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 3;
+    Cluster c = buildStarCluster(s, cfg);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(c.leafOf(i), c.root);
+}
+
+TEST(TreeCluster, RackLayoutMatchesPaperSetup)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 9;
+    cfg.per_rack = 3;
+    Cluster c = buildTreeCluster(s, cfg);
+    EXPECT_EQ(c.workers.size(), 9u);
+    EXPECT_EQ(c.leaves.size(), 3u);
+    EXPECT_TRUE(c.root->isRoot());
+    for (auto *tor : c.leaves) {
+        EXPECT_FALSE(tor->isRoot());
+        EXPECT_EQ(tor->controlPlane().table().size(), 3u);
+        EXPECT_EQ(tor->accelerator().threshold(), 3u);
+    }
+    // The core aggregates across the three ToRs.
+    EXPECT_EQ(c.root->controlPlane().table().size(), 3u);
+    EXPECT_EQ(c.root->accelerator().threshold(), 3u);
+}
+
+TEST(TreeCluster, PartialLastRack)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 4;
+    cfg.per_rack = 3;
+    Cluster c = buildTreeCluster(s, cfg);
+    EXPECT_EQ(c.leaves.size(), 2u);
+    EXPECT_EQ(c.leaves[0]->controlPlane().table().size(), 3u);
+    EXPECT_EQ(c.leaves[1]->controlPlane().table().size(), 1u);
+    EXPECT_EQ(c.leaves[1]->accelerator().threshold(), 1u);
+}
+
+TEST(TreeCluster, LeafOfMapsWorkersToRacks)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 6;
+    cfg.per_rack = 3;
+    Cluster c = buildTreeCluster(s, cfg);
+    EXPECT_EQ(c.leafOf(0), c.leaves[0]);
+    EXPECT_EQ(c.leafOf(2), c.leaves[0]);
+    EXPECT_EQ(c.leafOf(3), c.leaves[1]);
+    EXPECT_EQ(c.leafOf(5), c.leaves[1]);
+}
+
+TEST(TreeCluster, CrossRackRoutingWorks)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.num_workers = 6;
+    cfg.per_rack = 3;
+    Cluster c = buildTreeCluster(s, cfg);
+    int got = 0;
+    c.workers[5]->setReceiveHandler([&](net::PacketPtr) { ++got; });
+    c.workers[0]->sendTo(c.workers[5]->ip(), 7, 7, 0,
+                         net::RawPayload{64, 0});
+    s.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(TreeCluster, RejectsZeroPerRack)
+{
+    sim::Simulation s{1};
+    ClusterConfig cfg;
+    cfg.per_rack = 0;
+    EXPECT_THROW(buildTreeCluster(s, cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace isw::dist

@@ -1,0 +1,101 @@
+/** @file Tests that the paper's published numbers are transcribed
+ *  consistently (internal cross-checks of Tables 3/4/5). */
+
+#include <gtest/gtest.h>
+
+#include "harness/calibration.hh"
+
+namespace isw::harness {
+namespace {
+
+TEST(Calibration, SyncTableHasAllAlgorithms)
+{
+    EXPECT_EQ(paperSyncTable().size(), 4u);
+    EXPECT_EQ(paperAsyncTable().size(), 4u);
+}
+
+TEST(Calibration, Table3SpeedupsMatchAbstract)
+{
+    // "iSwitch offers ... up to 3.66x for synchronous ... 3.71x for
+    // asynchronous" — the DQN rows.
+    EXPECT_NEAR(paperSyncSpeedup(rl::Algo::kDqn,
+                                 dist::StrategyKind::kSyncIswitch),
+                3.66, 0.01);
+    EXPECT_NEAR(paperAsyncSpeedup(rl::Algo::kDqn), 3.71, 0.01);
+}
+
+TEST(Calibration, SyncSpeedupRangeMatchesPaper)
+{
+    // Paper: 1.72x – 3.66x across benchmarks for sync iSwitch.
+    double lo = 1e9, hi = 0;
+    for (const auto &row : paperSyncTable()) {
+        const double s =
+            paperSyncSpeedup(row.algo, dist::StrategyKind::kSyncIswitch);
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    EXPECT_NEAR(lo, 1.72, 0.06);
+    EXPECT_NEAR(hi, 3.66, 0.01);
+}
+
+TEST(Calibration, ArLosesOnSmallModels)
+{
+    // Table 3: AR is 0.91x / 0.90x for PPO / DDPG.
+    EXPECT_LT(paperSyncSpeedup(rl::Algo::kPpo,
+                               dist::StrategyKind::kSyncAllReduce),
+              1.0);
+    EXPECT_LT(paperSyncSpeedup(rl::Algo::kDdpg,
+                               dist::StrategyKind::kSyncAllReduce),
+              1.0);
+    EXPECT_GT(paperSyncSpeedup(rl::Algo::kDqn,
+                               dist::StrategyKind::kSyncAllReduce),
+              1.5);
+}
+
+TEST(Calibration, PerIterationTimesDeriveFromTable4)
+{
+    // DQN PS: 31.72h over 1.4M iterations = 81.6 ms.
+    EXPECT_NEAR(paperSyncPerIterMs(rl::Algo::kDqn,
+                                   dist::StrategyKind::kSyncPs),
+                81.6, 0.1);
+    EXPECT_NEAR(paperSyncPerIterMs(rl::Algo::kPpo,
+                                   dist::StrategyKind::kSyncIswitch),
+                9.9, 0.1);
+}
+
+TEST(Calibration, AsyncIterationReductionsMatchText)
+{
+    // Paper §6.2: 44.4%–77.8% reduction in iterations.
+    double lo = 1.0, hi = 0.0;
+    for (const auto &row : paperAsyncTable()) {
+        const double reduction = 1.0 - row.isw_iterations /
+                                           row.ps_iterations;
+        lo = std::min(lo, reduction);
+        hi = std::max(hi, reduction);
+    }
+    EXPECT_NEAR(lo, 0.444, 0.01);
+    EXPECT_NEAR(hi, 0.778, 0.01);
+}
+
+TEST(Calibration, AsyncPerIterCrossoverForSmallModels)
+{
+    // Table 5: iSW per-iteration is *larger* for PPO/DDPG, yet wins
+    // end-to-end through fewer iterations.
+    const auto &rows = paperAsyncTable();
+    for (const auto &r : rows) {
+        if (r.algo == rl::Algo::kPpo || r.algo == rl::Algo::kDdpg) {
+            EXPECT_GT(r.isw_periter_ms, r.ps_periter_ms);
+        }
+        EXPECT_LT(r.isw_hours, r.ps_hours);
+    }
+}
+
+TEST(Calibration, UnknownStrategyThrows)
+{
+    EXPECT_THROW(
+        paperSyncSpeedup(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace isw::harness

@@ -1,0 +1,76 @@
+/** @file Command-line parser tests. */
+
+#include <gtest/gtest.h>
+
+#include "harness/cli.hh"
+
+namespace isw::harness {
+namespace {
+
+Cli
+make(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, ParsesKeyValuePairs)
+{
+    Cli cli = make({"--workers", "8", "--algo", "dqn"});
+    EXPECT_EQ(cli.getInt("workers", 4), 8);
+    EXPECT_EQ(cli.get("algo"), "dqn");
+    EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, BooleanFlags)
+{
+    Cli cli = make({"--csv", "--workers", "2"});
+    EXPECT_TRUE(cli.has("csv"));
+    EXPECT_FALSE(cli.has("verbose"));
+    EXPECT_EQ(cli.getInt("workers", 4), 2);
+}
+
+TEST(Cli, FallbacksWhenAbsent)
+{
+    Cli cli = make({});
+    EXPECT_EQ(cli.getInt("workers", 4), 4);
+    EXPECT_DOUBLE_EQ(cli.getDouble("loss", 0.5), 0.5);
+    EXPECT_EQ(cli.get("algo", "ppo"), "ppo");
+}
+
+TEST(Cli, NumericValidation)
+{
+    Cli cli = make({"--workers", "abc", "--rate", "1.5x"});
+    EXPECT_THROW(cli.getInt("workers", 0), std::invalid_argument);
+    EXPECT_THROW(cli.getDouble("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing)
+{
+    Cli cli = make({"--rate", "0.125"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("rate", 0.0), 0.125);
+}
+
+TEST(Cli, RejectsPositionalArguments)
+{
+    EXPECT_THROW(make({"positional"}), std::invalid_argument);
+    EXPECT_THROW(make({"--"}), std::invalid_argument);
+}
+
+TEST(Cli, RequireKnownCatchesTypos)
+{
+    Cli cli = make({"--workes", "8"});
+    EXPECT_THROW(cli.requireKnown({"workers"}), std::invalid_argument);
+    Cli ok = make({"--workers", "8"});
+    EXPECT_NO_THROW(ok.requireKnown({"workers", "csv"}));
+}
+
+TEST(Cli, NegativeNumbersAreValues)
+{
+    // "-3" does not start with "--", so it binds as a value.
+    Cli cli = make({"--offset", "-3"});
+    EXPECT_EQ(cli.getInt("offset", 0), -3);
+}
+
+} // namespace
+} // namespace isw::harness

@@ -1,0 +1,66 @@
+/** @file Experiment preset tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+namespace isw::harness {
+namespace {
+
+TEST(Experiment, TimingJobUsesPaperWire)
+{
+    const auto cfg =
+        timingJob(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    EXPECT_NEAR(cfg.wire_model_bytes / (1024.0 * 1024.0), 6.41, 0.01);
+    EXPECT_GT(cfg.stop.max_iterations, 0u);
+    EXPECT_FALSE(cfg.stop.hasTarget());
+}
+
+TEST(Experiment, LearningJobSetsTarget)
+{
+    const auto cfg =
+        learningJob(rl::Algo::kPpo, dist::StrategyKind::kSyncIswitch);
+    EXPECT_TRUE(cfg.stop.hasTarget());
+    EXPECT_DOUBLE_EQ(cfg.stop.target_reward,
+                     targetRewardFor(rl::Algo::kPpo));
+}
+
+TEST(Experiment, LearningJobScalesLargeWires)
+{
+    ::unsetenv("ISW_BENCH_SCALE");
+    const auto dqn =
+        learningJob(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    EXPECT_LT(dqn.wire_model_bytes,
+              static_cast<std::uint64_t>(6.41 * 1024 * 1024));
+    // Small models keep their true footprint.
+    const auto ppo =
+        learningJob(rl::Algo::kPpo, dist::StrategyKind::kSyncIswitch);
+    EXPECT_NEAR(ppo.wire_model_bytes / 1024.0, 40.02, 0.01);
+}
+
+TEST(Experiment, FullScaleKeepsPaperWire)
+{
+    ::setenv("ISW_BENCH_SCALE", "full", 1);
+    const auto dqn =
+        learningJob(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    EXPECT_NEAR(dqn.wire_model_bytes / (1024.0 * 1024.0), 6.41, 0.01);
+    ::unsetenv("ISW_BENCH_SCALE");
+}
+
+TEST(Experiment, AsyncCapsExceedSync)
+{
+    EXPECT_GT(learnCapFor(rl::Algo::kDqn, /*async=*/true, false),
+              learnCapFor(rl::Algo::kDqn, /*async=*/false, false));
+}
+
+TEST(Experiment, TargetsExistForAllAlgorithms)
+{
+    for (auto a : {rl::Algo::kDqn, rl::Algo::kA2c, rl::Algo::kPpo,
+                   rl::Algo::kDdpg})
+        EXPECT_NE(targetRewardFor(a), 0.0);
+}
+
+} // namespace
+} // namespace isw::harness

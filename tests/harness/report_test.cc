@@ -1,0 +1,70 @@
+/** @file Table/CSV rendering tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hh"
+
+namespace isw::harness {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every printed line has equal width.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    Table t({"a", "b", "c"});
+    t.row({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"h1", "h2"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "h1,h2\n1,2\n");
+}
+
+TEST(Fmt, FixedDigits)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Scientific)
+{
+    EXPECT_EQ(fmtSci(1.4e6), "1.40E+06");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    banner("Table 1", os);
+    EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace isw::harness

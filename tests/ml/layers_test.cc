@@ -1,0 +1,142 @@
+/** @file Layer tests, including a numeric gradient check. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/layers.hh"
+#include "ml/network.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(Linear, ShapesAndParamCollection)
+{
+    sim::Rng rng(1);
+    Linear l(4, 3, rng, "test");
+    EXPECT_EQ(l.inDim(), 4u);
+    EXPECT_EQ(l.outDim(), 3u);
+    std::vector<ParamRef> refs;
+    l.collectParams(refs);
+    ASSERT_EQ(refs.size(), 2u);
+    EXPECT_EQ(refs[0].name, "test.w");
+    EXPECT_EQ(refs[0].value.size(), 12u);
+    EXPECT_EQ(refs[1].value.size(), 3u);
+}
+
+TEST(Linear, XavierInitBounded)
+{
+    sim::Rng rng(2);
+    Linear l(100, 100, rng);
+    const double bound = std::sqrt(6.0 / 200.0);
+    for (float v : l.weight().raw())
+        EXPECT_LE(std::fabs(v), bound + 1e-6);
+    for (float b : l.bias())
+        EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+TEST(ReLU, ForwardClampsNegatives)
+{
+    ReLU r;
+    Matrix x(1, 3);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 0.0f;
+    x.at(0, 2) = 2.0f;
+    Matrix y = r.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient)
+{
+    ReLU r;
+    Matrix x(1, 2);
+    x.at(0, 0) = -1.0f;
+    x.at(0, 1) = 3.0f;
+    r.forward(x);
+    Matrix dy(1, 2, 1.0f);
+    Matrix dx = r.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 1), 1.0f);
+}
+
+TEST(Tanh, ForwardAndDerivative)
+{
+    Tanh t;
+    Matrix x(1, 1);
+    x.at(0, 0) = 0.5f;
+    Matrix y = t.forward(x);
+    EXPECT_NEAR(y.at(0, 0), std::tanh(0.5f), 1e-6);
+    Matrix dy(1, 1, 1.0f);
+    Matrix dx = t.backward(dy);
+    const float th = std::tanh(0.5f);
+    EXPECT_NEAR(dx.at(0, 0), 1.0f - th * th, 1e-6);
+}
+
+TEST(ParamVector, ExposesValueAndGrad)
+{
+    ParamVector p(3, 0.25f, "ls");
+    std::vector<ParamRef> refs;
+    p.collectParams(refs);
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_EQ(refs[0].name, "ls");
+    EXPECT_FLOAT_EQ(p.value()[2], 0.25f);
+    EXPECT_FLOAT_EQ(p.grad()[0], 0.0f);
+}
+
+/**
+ * Numeric gradient check: perturb parameters of a small MLP and
+ * compare finite-difference loss slopes against backprop.
+ */
+TEST(GradCheck, MlpMatchesFiniteDifferences)
+{
+    sim::Rng rng(7);
+    Network net = Network::mlp<Tanh>({3, 5, 2}, rng, "g");
+    ParamSet params;
+    params.addNetwork(net);
+
+    Matrix x(2, 3);
+    for (float &v : x.raw())
+        v = static_cast<float>(rng.normal());
+    Matrix target(2, 2);
+    for (float &v : target.raw())
+        v = static_cast<float>(rng.normal());
+
+    auto loss = [&] {
+        Matrix y = net.forward(x);
+        float l = 0.0f;
+        for (std::size_t i = 0; i < y.raw().size(); ++i) {
+            const float d = y.raw()[i] - target.raw()[i];
+            l += 0.5f * d * d;
+        }
+        return l;
+    };
+
+    params.zeroGrads();
+    Matrix y = net.forward(x);
+    Matrix dy(2, 2);
+    for (std::size_t i = 0; i < y.raw().size(); ++i)
+        dy.raw()[i] = y.raw()[i] - target.raw()[i];
+    net.backward(dy);
+    Vec analytic;
+    params.copyGradsTo(analytic);
+
+    Vec values;
+    params.copyValuesTo(values);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < values.size(); i += 3) {
+        Vec probe = values;
+        probe[i] = values[i] + eps;
+        params.setValues(probe);
+        const float up = loss();
+        probe[i] = values[i] - eps;
+        params.setValues(probe);
+        const float down = loss();
+        const float numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(analytic[i], numeric, 2e-2f) << "param " << i;
+    }
+}
+
+} // namespace
+} // namespace isw::ml

@@ -1,0 +1,124 @@
+/** @file Loss and probability-utility tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/losses.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(MseLoss, ValueAndGradient)
+{
+    Matrix pred(1, 2);
+    pred.at(0, 0) = 1.0f;
+    pred.at(0, 1) = 3.0f;
+    Matrix target(1, 2);
+    target.at(0, 0) = 0.0f;
+    target.at(0, 1) = 1.0f;
+    Matrix d;
+    const float loss = mseLoss(pred, target, d);
+    EXPECT_FLOAT_EQ(loss, (1.0f + 4.0f) / 2.0f);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 2.0f * 1.0f / 2.0f);
+    EXPECT_FLOAT_EQ(d.at(0, 1), 2.0f * 2.0f / 2.0f);
+}
+
+TEST(MseLoss, ZeroAtPerfectPrediction)
+{
+    Matrix pred(2, 2, 3.0f);
+    Matrix d;
+    EXPECT_FLOAT_EQ(mseLoss(pred, pred, d), 0.0f);
+    for (float v : d.raw())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(HuberLoss, QuadraticInsideDelta)
+{
+    Matrix pred(1, 1);
+    pred.at(0, 0) = 0.5f;
+    Matrix target(1, 1);
+    target.at(0, 0) = 0.0f;
+    Matrix d;
+    const float loss = huberLoss(pred, target, d, 1.0f);
+    EXPECT_FLOAT_EQ(loss, 0.5f * 0.25f);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 0.5f);
+}
+
+TEST(HuberLoss, LinearOutsideDelta)
+{
+    Matrix pred(1, 1);
+    pred.at(0, 0) = 3.0f;
+    Matrix target(1, 1);
+    target.at(0, 0) = 0.0f;
+    Matrix d;
+    const float loss = huberLoss(pred, target, d, 1.0f);
+    EXPECT_FLOAT_EQ(loss, 1.0f * (3.0f - 0.5f));
+    EXPECT_FLOAT_EQ(d.at(0, 0), 1.0f); // clamped slope
+}
+
+TEST(Softmax, NormalizesAndOrders)
+{
+    Vec logits{1.0f, 2.0f, 3.0f};
+    softmaxRow(logits);
+    float sum = 0.0f;
+    for (float p : logits)
+        sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_LT(logits[0], logits[1]);
+    EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(Softmax, StableForHugeLogits)
+{
+    Vec logits{1000.0f, 1001.0f};
+    softmaxRow(logits);
+    EXPECT_FALSE(std::isnan(logits[0]));
+    EXPECT_NEAR(logits[0] + logits[1], 1.0f, 1e-6f);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax)
+{
+    Vec logits{0.5f, -1.0f, 2.0f};
+    Vec probs = logits;
+    softmaxRow(probs);
+    Vec ls = logSoftmaxRow(logits);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(ls[i], std::log(probs[i]), 1e-5f);
+}
+
+TEST(SampleCategorical, RespectsDistribution)
+{
+    sim::Rng rng(5);
+    Vec probs{0.1f, 0.7f, 0.2f};
+    std::array<int, 3> counts{};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        counts[sampleCategorical(probs, rng)]++;
+    EXPECT_NEAR(counts[0], 0.1 * n, 0.02 * n);
+    EXPECT_NEAR(counts[1], 0.7 * n, 0.02 * n);
+    EXPECT_NEAR(counts[2], 0.2 * n, 0.02 * n);
+}
+
+TEST(ArgmaxRow, FindsMaximum)
+{
+    Vec v{0.1f, 0.9f, 0.5f};
+    EXPECT_EQ(argmaxRow(v), 1u);
+}
+
+TEST(EntropyRow, UniformIsMaximal)
+{
+    Vec uniform{0.25f, 0.25f, 0.25f, 0.25f};
+    Vec peaked{0.97f, 0.01f, 0.01f, 0.01f};
+    EXPECT_NEAR(entropyRow(uniform), std::log(4.0f), 1e-5f);
+    EXPECT_LT(entropyRow(peaked), entropyRow(uniform));
+}
+
+TEST(EntropyRow, HandlesZeroProbabilities)
+{
+    Vec v{1.0f, 0.0f};
+    EXPECT_FLOAT_EQ(entropyRow(v), 0.0f);
+}
+
+} // namespace
+} // namespace isw::ml

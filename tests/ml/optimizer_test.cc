@@ -1,0 +1,107 @@
+/** @file Optimizer tests against hand-derived reference updates. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/optimizer.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(Sgd, PlainStep)
+{
+    Sgd opt(0.1);
+    std::vector<float> p{1.0f, 2.0f};
+    std::vector<float> g{1.0f, -1.0f};
+    opt.step(p, g);
+    EXPECT_FLOAT_EQ(p[0], 0.9f);
+    EXPECT_FLOAT_EQ(p[1], 2.1f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Sgd opt(1.0, 0.5);
+    std::vector<float> p{0.0f};
+    std::vector<float> g{1.0f};
+    opt.step(p, g); // v=1, p=-1
+    EXPECT_FLOAT_EQ(p[0], -1.0f);
+    opt.step(p, g); // v=1.5, p=-2.5
+    EXPECT_FLOAT_EQ(p[0], -2.5f);
+}
+
+TEST(Sgd, LearningRateMutable)
+{
+    Sgd opt(0.1);
+    opt.setLearningRate(0.01);
+    EXPECT_DOUBLE_EQ(opt.learningRate(), 0.01);
+}
+
+TEST(RmsProp, MatchesReferenceFormula)
+{
+    const double lr = 0.01, rho = 0.9, eps = 1e-8;
+    RmsProp opt(lr, rho, eps);
+    std::vector<float> p{1.0f};
+    std::vector<float> g{2.0f};
+    opt.step(p, g);
+    const double sq = (1 - rho) * 4.0;
+    const double expect = 1.0 - lr * 2.0 / (std::sqrt(sq) + eps);
+    EXPECT_NEAR(p[0], expect, 1e-6);
+}
+
+TEST(Adam, FirstStepMatchesReference)
+{
+    const double lr = 0.001, b1 = 0.9, b2 = 0.999, eps = 1e-8;
+    Adam opt(lr, b1, b2, eps);
+    std::vector<float> p{1.0f};
+    std::vector<float> g{3.0f};
+    opt.step(p, g);
+    // t=1: m=0.3, v=0.009*... m_hat=3.0, v_hat=9.0 -> step ~ lr.
+    const double m = (1 - b1) * 3.0;
+    const double v = (1 - b2) * 9.0;
+    const double alpha = lr * std::sqrt(1 - b2) / (1 - b1);
+    const double expect = 1.0 - alpha * m / (std::sqrt(v) + eps);
+    EXPECT_NEAR(p[0], expect, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    // Minimize f(x) = (x-5)^2 from x=0.
+    Adam opt(0.1);
+    std::vector<float> p{0.0f};
+    for (int i = 0; i < 500; ++i) {
+        std::vector<float> g{2.0f * (p[0] - 5.0f)};
+        opt.step(p, g);
+    }
+    EXPECT_NEAR(p[0], 5.0f, 0.05f);
+}
+
+TEST(Adam, DeterministicAcrossReplicas)
+{
+    // The decentralized-weights argument: identical optimizers applied
+    // to identical gradients stay bit-identical.
+    Adam a(0.01), b(0.01);
+    std::vector<float> pa{1.0f, -1.0f}, pb{1.0f, -1.0f};
+    for (int i = 0; i < 100; ++i) {
+        std::vector<float> g{static_cast<float>(i % 7) - 3.0f,
+                             static_cast<float>(i % 5) - 2.0f};
+        a.step(pa, g);
+        b.step(pb, g);
+    }
+    EXPECT_EQ(pa[0], pb[0]);
+    EXPECT_EQ(pa[1], pb[1]);
+}
+
+TEST(Sgd, MomentumConvergesOnQuadratic)
+{
+    Sgd opt(0.05, 0.9);
+    std::vector<float> p{10.0f};
+    for (int i = 0; i < 300; ++i) {
+        std::vector<float> g{2.0f * p[0]};
+        opt.step(p, g);
+    }
+    EXPECT_NEAR(p[0], 0.0f, 0.01f);
+}
+
+} // namespace
+} // namespace isw::ml

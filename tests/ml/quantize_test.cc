@@ -1,0 +1,103 @@
+/** @file fp16 codec tests, including exhaustive round-trips. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/quantize.hh"
+#include "sim/random.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.0f, 1024.0f,
+                    0.25f, -0.125f, 65504.0f /* max half */}) {
+        EXPECT_EQ(decodeHalf(encodeHalf(f)), f) << f;
+    }
+}
+
+TEST(Half, SignedZeros)
+{
+    EXPECT_EQ(encodeHalf(0.0f), 0x0000);
+    EXPECT_EQ(encodeHalf(-0.0f), 0x8000);
+    EXPECT_EQ(decodeHalf(0x8000), -0.0f);
+    EXPECT_TRUE(std::signbit(decodeHalf(0x8000)));
+}
+
+TEST(Half, InfinityAndNan)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(encodeHalf(inf), 0x7C00);
+    EXPECT_EQ(encodeHalf(-inf), 0xFC00);
+    EXPECT_TRUE(std::isinf(decodeHalf(0x7C00)));
+    EXPECT_TRUE(std::isnan(
+        decodeHalf(encodeHalf(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Half, OverflowSaturatesToInfinity)
+{
+    EXPECT_EQ(encodeHalf(1e9f), 0x7C00);
+    EXPECT_EQ(encodeHalf(-1e9f), 0xFC00);
+    EXPECT_EQ(encodeHalf(65520.0f), 0x7C00); // rounds past max half
+}
+
+TEST(Half, UnderflowFlushesToZero)
+{
+    EXPECT_EQ(decodeHalf(encodeHalf(1e-12f)), 0.0f);
+}
+
+TEST(Half, SubnormalsRepresentable)
+{
+    // Smallest positive subnormal half is 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(decodeHalf(encodeHalf(tiny)), tiny);
+    const float sub = std::ldexp(3.0f, -24);
+    EXPECT_EQ(decodeHalf(encodeHalf(sub)), sub);
+}
+
+TEST(Half, RelativeErrorBoundedForNormals)
+{
+    sim::Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const float f =
+            static_cast<float>(rng.uniform(-1000.0, 1000.0));
+        if (std::fabs(f) < 1e-4f)
+            continue;
+        const float back = decodeHalf(encodeHalf(f));
+        // Half has 11 significand bits: eps = 2^-11.
+        EXPECT_LE(std::fabs(back - f) / std::fabs(f), 0x1.0p-11 + 1e-7f)
+            << f;
+    }
+}
+
+TEST(Half, AllHalfBitPatternsSurviveDecodeEncode)
+{
+    // decode(h) is exact in float; re-encoding must reproduce h for
+    // every non-NaN pattern (NaN payloads may canonicalize).
+    for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+        const float f = decodeHalf(static_cast<std::uint16_t>(h));
+        if (std::isnan(f))
+            continue;
+        EXPECT_EQ(encodeHalf(f), h) << std::hex << h;
+    }
+}
+
+TEST(Half, VectorHelpers)
+{
+    std::vector<float> v{1.0f, 2.5f, -3.25f};
+    const auto halves = toHalf(v);
+    EXPECT_EQ(halves.size(), 3u);
+    EXPECT_EQ(fromHalf(halves), v); // all exactly representable
+
+    std::vector<float> q{0.1f, 0.2f};
+    quantizeInPlace(q);
+    EXPECT_NE(q[0], 0.1f); // 0.1 is not representable in half
+    EXPECT_NEAR(q[0], 0.1f, 1e-4f);
+    EXPECT_GT(halfRoundTripError(std::vector<float>{0.1f}), 0.0f);
+    EXPECT_EQ(halfRoundTripError(v), 0.0f);
+}
+
+} // namespace
+} // namespace isw::ml

@@ -1,0 +1,90 @@
+/** @file Checkpoint container tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/serialize.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(Serialize, RoundTripPreservesBits)
+{
+    std::vector<float> w{1.5f, -2.25f, 0.0f, 3.14159f, 1e-30f, -1e30f};
+    std::stringstream ss;
+    saveWeights(ss, w);
+    const auto back = loadWeights(ss);
+    EXPECT_EQ(back, w);
+}
+
+TEST(Serialize, EmptyVectorRoundTrips)
+{
+    std::stringstream ss;
+    saveWeights(ss, {});
+    EXPECT_TRUE(loadWeights(ss).empty());
+}
+
+TEST(Serialize, LargeVectorRoundTrips)
+{
+    std::vector<float> w(100000);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = static_cast<float>(i) * 0.001f;
+    std::stringstream ss;
+    saveWeights(ss, w);
+    EXPECT_EQ(loadWeights(ss), w);
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream ss;
+    ss << "NOPE garbage";
+    EXPECT_THROW(loadWeights(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    std::vector<float> w(64, 1.0f);
+    std::stringstream ss;
+    saveWeights(ss, w);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() - 9));
+    EXPECT_THROW(loadWeights(cut), std::runtime_error);
+}
+
+TEST(Serialize, DetectsCorruption)
+{
+    std::vector<float> w(16, 2.0f);
+    std::stringstream ss;
+    saveWeights(ss, w);
+    std::string data = ss.str();
+    data[20] ^= 0x40; // flip a bit in the payload
+    std::stringstream bad(data);
+    EXPECT_THROW(loadWeights(bad), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "isw_ckpt_test.bin";
+    std::vector<float> w{4.0f, 5.0f, 6.0f};
+    saveWeightsFile(path, w);
+    EXPECT_EQ(loadWeightsFile(path), w);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadWeightsFile("/nonexistent/dir/x.bin"),
+                 std::runtime_error);
+}
+
+TEST(Serialize, Fnv1aKnownVector)
+{
+    // FNV-1a of empty input is the offset basis.
+    EXPECT_EQ(fnv1a("", 0), 0xCBF29CE484222325ULL);
+    // Differs for different content.
+    EXPECT_NE(fnv1a("a", 1), fnv1a("b", 1));
+}
+
+} // namespace
+} // namespace isw::ml

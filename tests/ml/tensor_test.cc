@@ -1,0 +1,126 @@
+/** @file Unit tests for the dense math kernels. */
+
+#include <gtest/gtest.h>
+
+#include "ml/tensor.hh"
+
+namespace isw::ml {
+namespace {
+
+TEST(Matrix, ShapeAndAccess)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+    m.at(0, 1) = 7.0f;
+    EXPECT_FLOAT_EQ(m.at(0, 1), 7.0f);
+}
+
+TEST(Matrix, RowSpanAliasesStorage)
+{
+    Matrix m(2, 2);
+    auto row = m.row(1);
+    row[0] = 4.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 0), 4.0f);
+}
+
+TEST(Matrix, FillOverwrites)
+{
+    Matrix m(2, 2, 1.0f);
+    m.fill(9.0f);
+    for (float v : m.raw())
+        EXPECT_FLOAT_EQ(v, 9.0f);
+}
+
+TEST(AffineForward, ComputesXWTPlusB)
+{
+    // x = [1 2], W = [[1 0], [0 1], [1 1]], b = [10 20 30]
+    Matrix x(1, 2);
+    x.at(0, 0) = 1.0f;
+    x.at(0, 1) = 2.0f;
+    Matrix w(3, 2);
+    w.at(0, 0) = 1.0f;
+    w.at(1, 1) = 1.0f;
+    w.at(2, 0) = 1.0f;
+    w.at(2, 1) = 1.0f;
+    Vec b{10.0f, 20.0f, 30.0f};
+    Matrix y;
+    affineForward(x, w, b, y);
+    ASSERT_EQ(y.rows(), 1u);
+    ASSERT_EQ(y.cols(), 3u);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 33.0f);
+}
+
+TEST(AffineForward, BatchedRowsIndependent)
+{
+    Matrix x(2, 1);
+    x.at(0, 0) = 1.0f;
+    x.at(1, 0) = -1.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 3.0f;
+    Vec b{0.5f};
+    Matrix y;
+    affineForward(x, w, b, y);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);
+    EXPECT_FLOAT_EQ(y.at(1, 0), -2.5f);
+}
+
+TEST(AffineBackward, GradientsMatchManualDerivation)
+{
+    // y = x W^T + b with x=[1,2], W=[[3,4]], b=[0]; dy = [1].
+    Matrix x(1, 2);
+    x.at(0, 0) = 1.0f;
+    x.at(0, 1) = 2.0f;
+    Matrix w(1, 2);
+    w.at(0, 0) = 3.0f;
+    w.at(0, 1) = 4.0f;
+    Matrix dy(1, 1);
+    dy.at(0, 0) = 1.0f;
+    Matrix dw(1, 2);
+    Vec db(1, 0.0f);
+    Matrix dx;
+    affineBackward(dy, x, w, dw, db, dx);
+    EXPECT_FLOAT_EQ(dw.at(0, 0), 1.0f); // dL/dW = dy^T x
+    EXPECT_FLOAT_EQ(dw.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(db[0], 1.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 3.0f); // dL/dx = dy W
+    EXPECT_FLOAT_EQ(dx.at(0, 1), 4.0f);
+}
+
+TEST(AffineBackward, AccumulatesAcrossBatch)
+{
+    Matrix x(2, 1);
+    x.at(0, 0) = 1.0f;
+    x.at(1, 0) = 2.0f;
+    Matrix w(1, 1, 1.0f);
+    Matrix dy(2, 1, 1.0f);
+    Matrix dw(1, 1);
+    Vec db(1, 0.0f);
+    Matrix dx;
+    affineBackward(dy, x, w, dw, db, dx);
+    EXPECT_FLOAT_EQ(dw.at(0, 0), 3.0f); // 1 + 2
+    EXPECT_FLOAT_EQ(db[0], 2.0f);
+}
+
+TEST(Kernels, Axpy)
+{
+    Vec x{1.0f, 2.0f};
+    Vec y{10.0f, 20.0f};
+    axpy(2.0f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12.0f);
+    EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(Kernels, DotAndNorm)
+{
+    Vec a{3.0f, 4.0f};
+    EXPECT_FLOAT_EQ(dot(a, a), 25.0f);
+    EXPECT_FLOAT_EQ(l2norm(a), 5.0f);
+}
+
+} // namespace
+} // namespace isw::ml

@@ -1,0 +1,65 @@
+/** @file Unit tests for MAC/IPv4 address types. */
+
+#include <gtest/gtest.h>
+
+#include "net/address.hh"
+
+namespace isw::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstruction)
+{
+    Ipv4Addr a(10, 0, 3, 42);
+    EXPECT_EQ(a.bits(), 0x0A00032Au);
+    EXPECT_EQ(a.str(), "10.0.3.42");
+}
+
+TEST(Ipv4Addr, DefaultIsUnspecified)
+{
+    Ipv4Addr a;
+    EXPECT_TRUE(a.isUnspecified());
+    EXPECT_FALSE(Ipv4Addr(1, 2, 3, 4).isUnspecified());
+}
+
+TEST(Ipv4Addr, Ordering)
+{
+    EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+    EXPECT_EQ(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(0x0A000001));
+}
+
+TEST(Ipv4Addr, ParseRoundTrip)
+{
+    const Ipv4Addr a = parseIpv4("192.168.1.200");
+    EXPECT_EQ(a.str(), "192.168.1.200");
+}
+
+TEST(Ipv4Addr, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseIpv4("not-an-ip"), std::invalid_argument);
+    EXPECT_THROW(parseIpv4("1.2.3"), std::invalid_argument);
+    EXPECT_THROW(parseIpv4("1.2.3.4.5"), std::invalid_argument);
+    EXPECT_THROW(parseIpv4("256.0.0.1"), std::invalid_argument);
+}
+
+TEST(MacAddr, MasksTo48Bits)
+{
+    MacAddr m(0xFFFF'1234'5678'9ABCULL);
+    EXPECT_EQ(m.bits(), 0x1234'5678'9ABCULL);
+}
+
+TEST(MacAddr, Formatting)
+{
+    MacAddr m(0x0002'0304'0506ULL);
+    EXPECT_EQ(m.str(), "00:02:03:04:05:06");
+}
+
+TEST(Addresses, Hashable)
+{
+    std::hash<Ipv4Addr> hip;
+    std::hash<MacAddr> hmac;
+    EXPECT_EQ(hip(Ipv4Addr(1, 2, 3, 4)), hip(Ipv4Addr(1, 2, 3, 4)));
+    EXPECT_EQ(hmac(MacAddr(5)), hmac(MacAddr(5)));
+}
+
+} // namespace
+} // namespace isw::net

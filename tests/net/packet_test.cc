@@ -1,0 +1,107 @@
+/** @file Unit tests for the packet model and wire-size accounting. */
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+
+namespace isw::net {
+namespace {
+
+TEST(Packet, EmptyPayloadWireBytes)
+{
+    Packet p;
+    EXPECT_EQ(p.payloadBytes(), 0u);
+    EXPECT_EQ(p.wireBytes(), kEthHeaderBytes + kEthPhyOverheadBytes +
+                                 kIpv4HeaderBytes + kUdpHeaderBytes);
+}
+
+TEST(Packet, ControlPayloadSizes)
+{
+    Packet p;
+    p.ip.tos = kTosControl;
+    p.payload = ControlPayload{Action::kReset, 0, false};
+    EXPECT_EQ(p.payloadBytes(), 1u);
+    p.payload = ControlPayload{Action::kSetH, 4, true};
+    EXPECT_EQ(p.payloadBytes(), 9u);
+}
+
+TEST(Packet, ChunkPayloadIswitchPlane)
+{
+    Packet p;
+    p.ip.tos = kTosData;
+    ChunkPayload c;
+    c.wire_floats = 366;
+    p.payload = c;
+    // 8-byte seg header + 366 floats fills the 1500-byte MTU exactly.
+    EXPECT_EQ(p.payloadBytes(),
+              kMtuBytes - kIpv4HeaderBytes - kUdpHeaderBytes);
+}
+
+TEST(Packet, ChunkPayloadHostPlaneHasBiggerHeader)
+{
+    Packet p;
+    ChunkPayload c;
+    c.wire_floats = 10;
+    p.payload = c;
+    EXPECT_EQ(p.payloadBytes(), 16u + 40u);
+}
+
+TEST(Packet, RawPayloadCountsBytes)
+{
+    Packet p;
+    p.payload = RawPayload{512, 7};
+    EXPECT_EQ(p.payloadBytes(), 512u);
+}
+
+TEST(Packet, IswitchPlaneDetection)
+{
+    Packet p;
+    EXPECT_FALSE(p.isIswitchPlane());
+    p.ip.tos = kTosControl;
+    EXPECT_TRUE(p.isIswitchPlane());
+    p.ip.tos = kTosData;
+    EXPECT_TRUE(p.isIswitchPlane());
+    p.ip.tos = kTosResult;
+    EXPECT_TRUE(p.isIswitchPlane());
+    p.ip.tos = 0x10;
+    EXPECT_FALSE(p.isIswitchPlane());
+}
+
+TEST(Packet, MaxChunkFloatsMatchesMtu)
+{
+    EXPECT_EQ(maxChunkFloats(true), 366u);
+    EXPECT_EQ(maxChunkFloats(false), 364u);
+}
+
+TEST(Packet, PaddedChunkChargesWireNotLogical)
+{
+    Packet p;
+    p.ip.tos = kTosData;
+    ChunkPayload c;
+    c.wire_floats = 366;
+    c.values = {1.0f, 2.0f}; // only 2 logical floats
+    p.payload = std::move(c);
+    EXPECT_EQ(p.payloadBytes(), 8u + 366u * 4u);
+}
+
+TEST(Packet, DescribeMentionsKeyFields)
+{
+    Packet p;
+    p.ip.src = Ipv4Addr(10, 0, 0, 2);
+    p.ip.dst = Ipv4Addr(10, 0, 0, 1);
+    p.ip.tos = kTosControl;
+    p.payload = ControlPayload{Action::kJoin, 42, true};
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("Join"), std::string::npos);
+    EXPECT_NE(d.find("10.0.0.2"), std::string::npos);
+}
+
+TEST(Packet, ActionNames)
+{
+    EXPECT_STREQ(actionName(Action::kJoin), "Join");
+    EXPECT_STREQ(actionName(Action::kFBcast), "FBcast");
+    EXPECT_STREQ(actionName(Action::kAck), "Ack");
+}
+
+} // namespace
+} // namespace isw::net

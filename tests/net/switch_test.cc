@@ -1,0 +1,106 @@
+/** @file Unit tests for the baseline Ethernet switch. */
+
+#include <gtest/gtest.h>
+
+#include "net/link.hh"
+#include "net/switch.hh"
+#include "net/topology.hh"
+
+namespace isw::net {
+namespace {
+
+struct SwitchFixture : ::testing::Test
+{
+    sim::Simulation s{1};
+    Topology topo{s};
+    EthSwitch *sw = topo.addSwitch<EthSwitch>("sw", 4);
+    Host *h0 = topo.addHost("h0", Ipv4Addr(10, 0, 0, 2));
+    Host *h1 = topo.addHost("h1", Ipv4Addr(10, 0, 0, 3));
+
+    void
+    SetUp() override
+    {
+        topo.connectHost(h0, sw, 0);
+        topo.connectHost(h1, sw, 1);
+    }
+};
+
+TEST_F(SwitchFixture, ForwardsByDestinationIp)
+{
+    PacketPtr got;
+    h1->setReceiveHandler([&](PacketPtr p) { got = std::move(p); });
+    h0->sendTo(h1->ip(), 7, 7, 0, RawPayload{100, 1});
+    s.run();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->ip.dst, h1->ip());
+    EXPECT_EQ(sw->forwardedFrames(), 1u);
+}
+
+TEST_F(SwitchFixture, DropsUnroutablePackets)
+{
+    int at_h1 = 0;
+    h1->setReceiveHandler([&](PacketPtr) { ++at_h1; });
+    h0->sendTo(Ipv4Addr(10, 9, 9, 9), 7, 7, 0, RawPayload{100, 1});
+    s.run();
+    EXPECT_EQ(at_h1, 0);
+    EXPECT_EQ(sw->droppedNoRoute(), 1u);
+}
+
+TEST_F(SwitchFixture, DefaultPortCatchesUnknownDestinations)
+{
+    Host *up = topo.addHost("up", Ipv4Addr(10, 0, 1, 2));
+    topo.connectHost(up, sw, 2);
+    sw->setDefaultPort(2);
+    int got = 0;
+    up->setReceiveHandler([&](PacketPtr) { ++got; });
+    h0->sendTo(Ipv4Addr(99, 9, 9, 9), 7, 7, 0, RawPayload{10, 0});
+    s.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST_F(SwitchFixture, ForwardingLatencyApplied)
+{
+    sim::TimeNs arrival = 0;
+    h1->setReceiveHandler([&](PacketPtr) { arrival = s.now(); });
+    h0->sendTo(h1->ip(), 7, 7, 0, RawPayload{100, 1});
+    s.run();
+    // Two link traversals + the configured forwarding latency.
+    Packet probe;
+    probe.payload = RawPayload{100, 1};
+    const Link *l = h0->link(0);
+    const sim::TimeNs one_hop =
+        l->txTime(probe.wireBytes()) + l->config().propagation;
+    EXPECT_EQ(arrival, 2 * one_hop + SwitchConfig{}.forwarding_latency);
+}
+
+TEST_F(SwitchFixture, RouteToBadPortThrows)
+{
+    EXPECT_THROW(sw->addRoute(Ipv4Addr(1, 1, 1, 1), 99), std::out_of_range);
+}
+
+TEST_F(SwitchFixture, RouteForReportsConfiguredRoute)
+{
+    EXPECT_EQ(sw->routeFor(h0->ip()).value(), 0u);
+    EXPECT_EQ(sw->routeFor(h1->ip()).value(), 1u);
+    EXPECT_FALSE(sw->routeFor(Ipv4Addr(9, 9, 9, 9)).has_value());
+}
+
+TEST_F(SwitchFixture, ManyToOneTrafficSerializesOnEgress)
+{
+    Host *h2 = topo.addHost("h2", Ipv4Addr(10, 0, 0, 4));
+    topo.connectHost(h2, sw, 2);
+    std::vector<sim::TimeNs> arrivals;
+    h1->setReceiveHandler([&](PacketPtr) { arrivals.push_back(s.now()); });
+    h0->sendTo(h1->ip(), 7, 7, 0, RawPayload{1200, 1});
+    h2->sendTo(h1->ip(), 7, 7, 0, RawPayload{1200, 2});
+    s.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    Packet probe;
+    probe.payload = RawPayload{1200, 1};
+    const sim::TimeNs ser = h1->link(0)->txTime(probe.wireBytes());
+    // The second frame queues behind the first on the shared egress.
+    EXPECT_GE(arrivals[1] - arrivals[0], ser);
+}
+
+} // namespace
+} // namespace isw::net

@@ -1,0 +1,108 @@
+/** @file Unit tests for topology wiring and route propagation. */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+namespace isw::net {
+namespace {
+
+TEST(Topology, HostsGetUniqueMacs)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    Host *a = topo.addHost("a", Ipv4Addr(10, 0, 0, 2));
+    Host *b = topo.addHost("b", Ipv4Addr(10, 0, 0, 3));
+    EXPECT_NE(a->mac(), b->mac());
+}
+
+TEST(Topology, ConnectHostInstallsRoute)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *sw = topo.addSwitch<EthSwitch>("sw", 2);
+    Host *a = topo.addHost("a", Ipv4Addr(10, 0, 0, 2));
+    topo.connectHost(a, sw, 1);
+    EXPECT_EQ(sw->routeFor(a->ip()).value(), 1u);
+    ASSERT_EQ(topo.subtreeHosts(sw).size(), 1u);
+    EXPECT_EQ(topo.subtreeHosts(sw)[0], a);
+}
+
+TEST(Topology, UplinkRoutesPropagateToParent)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *tor = topo.addSwitch<EthSwitch>("tor", 3);
+    EthSwitch *core = topo.addSwitch<EthSwitch>("core", 2);
+    Host *a = topo.addHost("a", Ipv4Addr(10, 0, 0, 2));
+    topo.connectHost(a, tor, 0);
+    topo.connectSwitches(tor, 2, core, 0);
+    // The core can now reach `a` through port 0.
+    EXPECT_EQ(core->routeFor(a->ip()).value(), 0u);
+    EXPECT_EQ(topo.subtreeHosts(core).size(), 1u);
+}
+
+TEST(Topology, HostsAddedAfterUplinkAlsoPropagate)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *tor = topo.addSwitch<EthSwitch>("tor", 3);
+    EthSwitch *core = topo.addSwitch<EthSwitch>("core", 2);
+    topo.connectSwitches(tor, 2, core, 0);
+    Host *late = topo.addHost("late", Ipv4Addr(10, 0, 0, 9));
+    topo.connectHost(late, tor, 0);
+    EXPECT_EQ(core->routeFor(late->ip()).value(), 0u);
+}
+
+TEST(Topology, EndToEndAcrossTwoLevels)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *t0 = topo.addSwitch<EthSwitch>("t0", 2);
+    EthSwitch *t1 = topo.addSwitch<EthSwitch>("t1", 2);
+    EthSwitch *core = topo.addSwitch<EthSwitch>("core", 2);
+    Host *a = topo.addHost("a", Ipv4Addr(10, 0, 0, 2));
+    Host *b = topo.addHost("b", Ipv4Addr(10, 0, 1, 2));
+    topo.connectHost(a, t0, 0);
+    topo.connectHost(b, t1, 0);
+    topo.connectSwitches(t0, 1, core, 0);
+    topo.connectSwitches(t1, 1, core, 1);
+    int got = 0;
+    b->setReceiveHandler([&](PacketPtr) { ++got; });
+    a->sendTo(b->ip(), 7, 7, 0, RawPayload{64, 0});
+    s.run();
+    EXPECT_EQ(got, 1);
+}
+
+TEST(Topology, DoubleUplinkThrows)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *tor = topo.addSwitch<EthSwitch>("tor", 3);
+    EthSwitch *c1 = topo.addSwitch<EthSwitch>("c1", 2);
+    EthSwitch *c2 = topo.addSwitch<EthSwitch>("c2", 2);
+    topo.connectSwitches(tor, 0, c1, 0);
+    EXPECT_THROW(topo.connectSwitches(tor, 1, c2, 0), std::logic_error);
+}
+
+TEST(Topology, SubtreeHostsOfUnknownSwitchIsEmpty)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch sw(s, "external", 2);
+    EXPECT_TRUE(topo.subtreeHosts(&sw).empty());
+}
+
+TEST(Topology, OwnsNodesAndLinks)
+{
+    sim::Simulation s;
+    Topology topo(s);
+    EthSwitch *sw = topo.addSwitch<EthSwitch>("sw", 2);
+    Host *a = topo.addHost("a", Ipv4Addr(10, 0, 0, 2));
+    topo.connectHost(a, sw, 0);
+    EXPECT_EQ(topo.nodes().size(), 2u);
+    EXPECT_EQ(topo.links().size(), 1u);
+}
+
+} // namespace
+} // namespace isw::net

@@ -1,0 +1,229 @@
+/** @file Environment determinism, physics, and interface tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/envs/cheetah.hh"
+#include "rl/envs/hopper.hh"
+#include "rl/envs/pong.hh"
+#include "rl/envs/qbert.hh"
+
+namespace isw::rl {
+namespace {
+
+TEST(PongLite, ObservationShape)
+{
+    PongLite env{sim::Rng(1)};
+    EXPECT_EQ(env.observationDim(), 6u);
+    EXPECT_EQ(env.actionDim(), 3u);
+    EXPECT_FALSE(env.continuousActions());
+    const Vec obs = env.reset();
+    EXPECT_EQ(obs.size(), 6u);
+}
+
+TEST(PongLite, DeterministicUnderEqualSeeds)
+{
+    PongLite a{sim::Rng(42)}, b{sim::Rng(42)};
+    a.reset();
+    b.reset();
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t act = static_cast<std::size_t>(i % 3);
+        StepResult ra = a.step(act);
+        StepResult rb = b.step(act);
+        EXPECT_EQ(ra.observation, rb.observation);
+        EXPECT_EQ(ra.reward, rb.reward);
+        EXPECT_EQ(ra.done, rb.done);
+        if (ra.done) {
+            a.reset();
+            b.reset();
+        }
+    }
+}
+
+TEST(PongLite, EpisodeEndsAtPointsToWin)
+{
+    PongConfig cfg;
+    cfg.points_to_win = 1;
+    PongLite env{sim::Rng(3), cfg};
+    env.reset();
+    bool done = false;
+    float total = 0.0f;
+    for (int i = 0; i < 10000 && !done; ++i) {
+        StepResult r = env.step(0); // do nothing
+        total += r.reward;
+        done = r.done;
+    }
+    EXPECT_TRUE(done);
+    EXPECT_EQ(env.agentScore() + env.opponentScore(), 1);
+    EXPECT_NEAR(std::fabs(total), 1.0f, 1e-6);
+}
+
+TEST(PongLite, RewardsBoundedPerPoint)
+{
+    PongLite env{sim::Rng(5)};
+    env.reset();
+    for (int i = 0; i < 5000; ++i) {
+        StepResult r = env.step(static_cast<std::size_t>(i % 3));
+        EXPECT_GE(r.reward, -1.0f);
+        EXPECT_LE(r.reward, 1.0f);
+        if (r.done)
+            env.reset();
+    }
+}
+
+TEST(PongLite, DiscreteStepOnContinuousThrows)
+{
+    PongLite env{sim::Rng(1)};
+    env.reset();
+    float a[] = {0.0f};
+    EXPECT_THROW(env.step(std::span<const float>(a, 1)), std::logic_error);
+}
+
+TEST(QbertLite, StartsAtApexWithOneColoredCell)
+{
+    QbertLite env{sim::Rng(1)};
+    const Vec obs = env.reset();
+    EXPECT_EQ(obs.size(), env.observationDim());
+    EXPECT_NEAR(env.coloredFraction(), 1.0f / 15.0f, 1e-6f); // 5 rows
+}
+
+TEST(QbertLite, HoppingOffPyramidEndsEpisode)
+{
+    QbertLite env{sim::Rng(1)};
+    env.reset();
+    StepResult r = env.step(2); // up-left from the apex: off-board
+    EXPECT_TRUE(r.done);
+    EXPECT_LT(r.reward, 0.0f);
+}
+
+TEST(QbertLite, ColoringNewCellsRewards)
+{
+    QbertLite env{sim::Rng(1)};
+    env.reset();
+    StepResult r = env.step(0); // down-left: new cell
+    EXPECT_GT(r.reward, 0.0f);
+    EXPECT_FALSE(r.done);
+    // Going back up: already colored, only the step cost.
+    StepResult r2 = env.step(3);
+    EXPECT_LT(r2.reward, 0.0f);
+}
+
+TEST(QbertLite, FullClearGrantsBonusAndEnds)
+{
+    QbertConfig cfg;
+    cfg.rows = 2; // 3 cells: trivial to clear
+    QbertLite env{sim::Rng(1), cfg};
+    env.reset();
+    StepResult r = env.step(0); // (1,0)
+    EXPECT_FALSE(r.done);
+    r = env.step(1); // wait: from (1,0) down-right -> (2,1) invalid (rows=2)
+    // Instead hop up-right back then down-right.
+    (void)r;
+    QbertLite env2{sim::Rng(1), cfg};
+    env2.reset();
+    env2.step(0);               // (1,0) colored
+    StepResult fin = env2.step(3); // up-right -> (0,0) already colored
+    fin = env2.step(1);            // down-right -> (1,1): clears all 3
+    EXPECT_TRUE(fin.done);
+    EXPECT_GT(fin.reward, cfg.clear_bonus - 1.0f);
+}
+
+TEST(Hopper1D, GroundThrustLaunchesBody)
+{
+    Hopper1D env{sim::Rng(1)};
+    env.reset();
+    EXPECT_TRUE(env.grounded());
+    float full[] = {1.0f};
+    env.step(std::span<const float>(full, 1));
+    EXPECT_FALSE(env.grounded());
+    EXPECT_GT(env.forwardVelocity(), 0.0f);
+}
+
+TEST(Hopper1D, GravityBringsItBackDown)
+{
+    Hopper1D env{sim::Rng(1)};
+    env.reset();
+    float full[] = {1.0f};
+    float zero[] = {0.0f};
+    env.step(std::span<const float>(full, 1));
+    int steps = 0;
+    while (!env.grounded() && steps < 100) {
+        env.step(std::span<const float>(zero, 1));
+        ++steps;
+    }
+    EXPECT_TRUE(env.grounded());
+    EXPECT_GT(steps, 2);
+}
+
+TEST(Hopper1D, HoppingBeatsIdlingInReward)
+{
+    Hopper1D a{sim::Rng(1)}, b{sim::Rng(1)};
+    a.reset();
+    b.reset();
+    float hop[] = {1.0f};
+    float idle[] = {0.0f};
+    float ra = 0.0f, rb = 0.0f;
+    for (int i = 0; i < 200; ++i) {
+        ra += a.step(std::span<const float>(hop, 1)).reward;
+        rb += b.step(std::span<const float>(idle, 1)).reward;
+    }
+    EXPECT_GT(ra, rb);
+}
+
+TEST(Hopper1D, EpisodeEndsAtHorizon)
+{
+    HopperConfig cfg;
+    cfg.max_steps = 10;
+    Hopper1D env{sim::Rng(1), cfg};
+    env.reset();
+    float zero[] = {0.0f};
+    StepResult r;
+    for (int i = 0; i < 10; ++i)
+        r = env.step(std::span<const float>(zero, 1));
+    EXPECT_TRUE(r.done);
+}
+
+TEST(CheetahLite, PushingAcceleratesWhileStrideHasRoom)
+{
+    CheetahLite env{sim::Rng(1)};
+    env.reset();
+    float push[] = {1.0f, 0.0f};
+    env.step(std::span<const float>(push, 2));
+    EXPECT_GT(env.velocity(), 0.0f);
+}
+
+TEST(CheetahLite, StrideSaturatesWithoutRecovery)
+{
+    CheetahLite env{sim::Rng(1)};
+    env.reset();
+    float push[] = {1.0f, 0.0f};
+    for (int i = 0; i < 50; ++i)
+        env.step(std::span<const float>(push, 2));
+    EXPECT_NEAR(env.stride(), 1.0f, 1e-5f);
+    const float v_stuck = env.velocity();
+    // With the stride pinned at 1 there is no more thrust: velocity
+    // decays despite full push.
+    env.step(std::span<const float>(push, 2));
+    EXPECT_LT(env.velocity(), v_stuck);
+}
+
+TEST(CheetahLite, PumpingSustainsSpeed)
+{
+    CheetahLite pump{sim::Rng(1)}, hold{sim::Rng(1)};
+    pump.reset();
+    hold.reset();
+    float push[] = {1.0f, 0.0f};
+    float recover[] = {0.0f, 1.0f};
+    float rp = 0.0f, rh = 0.0f;
+    for (int i = 0; i < 200; ++i) {
+        const bool phase = pump.stride() > 0.6f;
+        rp += pump.step(std::span<const float>(phase ? recover : push, 2))
+                  .reward;
+        rh += hold.step(std::span<const float>(push, 2)).reward;
+    }
+    EXPECT_GT(rp, rh);
+}
+
+} // namespace
+} // namespace isw::rl

@@ -1,0 +1,87 @@
+/** @file Policy evaluation tests. */
+
+#include <gtest/gtest.h>
+
+#include "rl/evaluate.hh"
+#include "rl/model_zoo.hh"
+
+namespace isw::rl {
+namespace {
+
+class EvalSuite : public ::testing::TestWithParam<Algo>
+{
+};
+
+TEST_P(EvalSuite, EnvironmentFactoryMatchesAgentDims)
+{
+    auto env = makeEnvironment(GetParam(), 7);
+    auto agent = makeAgent(GetParam(), specFor(GetParam()).config, 1, 2);
+    const ml::Vec obs = env->reset();
+    const ml::Vec action = agent->policyAction(obs);
+    if (env->continuousActions()) {
+        EXPECT_EQ(action.size(), env->actionDim());
+    } else {
+        ASSERT_EQ(action.size(), 1u);
+        EXPECT_LT(static_cast<std::size_t>(action[0]), env->actionDim());
+    }
+}
+
+TEST_P(EvalSuite, EvaluationRunsRequestedEpisodes)
+{
+    auto env = makeEnvironment(GetParam(), 11);
+    auto agent = makeAgent(GetParam(), specFor(GetParam()).config, 1, 2);
+    const EvalResult res = evaluatePolicy(*agent, *env, 3, 500);
+    EXPECT_EQ(res.episodes, 3u);
+    EXPECT_GE(res.max_reward, res.mean_reward);
+    EXPECT_LE(res.min_reward, res.mean_reward);
+    EXPECT_GT(res.mean_length, 0.0);
+}
+
+TEST_P(EvalSuite, EvaluationDoesNotTouchTrainingState)
+{
+    auto env = makeEnvironment(GetParam(), 13);
+    auto agent = makeAgent(GetParam(), specFor(GetParam()).config, 1, 2);
+    ml::Vec before;
+    agent->getWeights(before);
+    const auto episodes_before = agent->episodesCompleted();
+    evaluatePolicy(*agent, *env, 2, 300);
+    ml::Vec after;
+    agent->getWeights(after);
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(agent->episodesCompleted(), episodes_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, EvalSuite,
+                         ::testing::Values(Algo::kDqn, Algo::kA2c,
+                                           Algo::kPpo, Algo::kDdpg),
+                         [](const auto &info) {
+                             return algoName(info.param);
+                         });
+
+TEST(Evaluate, TrainedPpoBeatsUntrained)
+{
+    const auto &spec = specFor(Algo::kPpo);
+    auto untrained = makeAgent(Algo::kPpo, spec.config, 21, 22);
+    auto trained = makeAgent(Algo::kPpo, spec.config, 21, 22);
+    for (int i = 0; i < 250; ++i) {
+        const ml::Vec &g = trained->computeGradient();
+        trained->applyAggregatedGradient(g, 1);
+    }
+    auto env_a = makeEnvironment(Algo::kPpo, 99);
+    auto env_b = makeEnvironment(Algo::kPpo, 99);
+    const EvalResult cold = evaluatePolicy(*untrained, *env_a, 5);
+    const EvalResult hot = evaluatePolicy(*trained, *env_b, 5);
+    EXPECT_GT(hot.mean_reward, cold.mean_reward + 5.0);
+}
+
+TEST(Evaluate, ZeroEpisodesIsWellDefined)
+{
+    auto env = makeEnvironment(Algo::kPpo, 1);
+    auto agent = makeAgent(Algo::kPpo, specFor(Algo::kPpo).config, 1, 2);
+    const EvalResult res = evaluatePolicy(*agent, *env, 0);
+    EXPECT_EQ(res.episodes, 0u);
+    EXPECT_EQ(res.mean_reward, 0.0);
+}
+
+} // namespace
+} // namespace isw::rl

@@ -1,0 +1,136 @@
+/** @file Hand-computed fixtures for the return/advantage estimators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/returns.hh"
+
+namespace isw::rl {
+namespace {
+
+TEST(NStepReturns, PlainDiscountedChain)
+{
+    // R2 = 3 + 0.5*10 = 8; R1 = 2 + 0.5*8 = 6; R0 = 1 + 0.5*6 = 4.
+    const std::vector<float> rewards{1.0f, 2.0f, 3.0f};
+    const std::vector<bool> dones{false, false, false};
+    const auto r = nStepReturns(rewards, dones, 10.0f, 0.5f);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_FLOAT_EQ(r[2], 8.0f);
+    EXPECT_FLOAT_EQ(r[1], 6.0f);
+    EXPECT_FLOAT_EQ(r[0], 4.0f);
+}
+
+TEST(NStepReturns, TerminalStepIgnoresBootstrap)
+{
+    const std::vector<float> rewards{1.0f, 2.0f};
+    const std::vector<bool> dones{false, true};
+    const auto r = nStepReturns(rewards, dones, 100.0f, 0.9f);
+    EXPECT_FLOAT_EQ(r[1], 2.0f);            // no bootstrap past `done`
+    EXPECT_FLOAT_EQ(r[0], 1.0f + 0.9f * 2); // chains within the episode
+}
+
+TEST(NStepReturns, MidBatchEpisodeBoundaryResets)
+{
+    // Episode ends at step 1; step 2 starts a fresh episode.
+    const std::vector<float> rewards{1.0f, 2.0f, 3.0f};
+    const std::vector<bool> dones{false, true, false};
+    const auto r = nStepReturns(rewards, dones, 10.0f, 0.5f);
+    EXPECT_FLOAT_EQ(r[2], 3.0f + 0.5f * 10.0f); // bootstraps
+    EXPECT_FLOAT_EQ(r[1], 2.0f);                // terminal
+    EXPECT_FLOAT_EQ(r[0], 1.0f + 0.5f * 2.0f);  // stops at boundary
+}
+
+TEST(NStepReturns, EmptyAndMismatched)
+{
+    EXPECT_TRUE(nStepReturns({}, {}, 1.0f, 0.9f).empty());
+    const std::vector<float> rewards{1.0f};
+    EXPECT_THROW(nStepReturns(rewards, {}, 0.0f, 0.9f),
+                 std::invalid_argument);
+}
+
+TEST(Gae, LambdaOneIsMonteCarloAdvantage)
+{
+    // With lambda = 1, A_t = R_t - V_t (telescoping deltas).
+    const std::vector<float> rewards{1.0f, 1.0f, 1.0f};
+    const std::vector<float> values{0.5f, 0.25f, 0.125f};
+    const std::vector<bool> dones{false, false, false};
+    const float gamma = 0.9f, boot = 2.0f;
+    const GaeResult g =
+        gaeAdvantages(rewards, values, dones, boot, gamma, 1.0f);
+    const auto mc = nStepReturns(rewards, dones, boot, gamma);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(g.advantages[i], mc[i] - values[i], 1e-5f);
+        EXPECT_NEAR(g.returns[i], mc[i], 1e-5f);
+    }
+}
+
+TEST(Gae, LambdaZeroIsOneStepTdError)
+{
+    const std::vector<float> rewards{2.0f, 3.0f};
+    const std::vector<float> values{1.0f, 1.5f};
+    const std::vector<bool> dones{false, false};
+    const GaeResult g =
+        gaeAdvantages(rewards, values, dones, 4.0f, 0.5f, 0.0f);
+    EXPECT_FLOAT_EQ(g.advantages[0], 2.0f + 0.5f * 1.5f - 1.0f);
+    EXPECT_FLOAT_EQ(g.advantages[1], 3.0f + 0.5f * 4.0f - 1.5f);
+}
+
+TEST(Gae, HandComputedMidLambda)
+{
+    // Single step, terminal: delta = r - V.
+    const std::vector<float> rewards{1.0f};
+    const std::vector<float> values{0.4f};
+    const std::vector<bool> dones{true};
+    const GaeResult g =
+        gaeAdvantages(rewards, values, dones, 99.0f, 0.9f, 0.95f);
+    EXPECT_FLOAT_EQ(g.advantages[0], 0.6f);
+    EXPECT_FLOAT_EQ(g.returns[0], 1.0f);
+}
+
+TEST(Gae, EpisodeBoundaryStopsCredit)
+{
+    const std::vector<float> rewards{1.0f, 5.0f};
+    const std::vector<float> values{0.0f, 0.0f};
+    const std::vector<bool> dones{true, false};
+    const GaeResult g =
+        gaeAdvantages(rewards, values, dones, 10.0f, 0.9f, 0.9f);
+    // Step 0 terminal: its advantage is exactly r0 - V0; no leakage
+    // from the juicy step-1 future.
+    EXPECT_FLOAT_EQ(g.advantages[0], 1.0f);
+    EXPECT_FLOAT_EQ(g.advantages[1], 5.0f + 0.9f * 10.0f);
+}
+
+TEST(Normalize, ZeroMeanUnitStd)
+{
+    std::vector<float> v{1.0f, 2.0f, 3.0f, 4.0f};
+    normalizeInPlace(v);
+    float mean = 0.0f, sq = 0.0f;
+    for (float x : v)
+        mean += x;
+    mean /= 4.0f;
+    for (float x : v)
+        sq += (x - mean) * (x - mean);
+    EXPECT_NEAR(mean, 0.0f, 1e-6f);
+    EXPECT_NEAR(std::sqrt(sq / 4.0f), 1.0f, 1e-3f);
+}
+
+TEST(Normalize, ConstantVectorDoesNotExplode)
+{
+    std::vector<float> v{5.0f, 5.0f, 5.0f};
+    normalizeInPlace(v);
+    for (float x : v) {
+        EXPECT_TRUE(std::isfinite(x));
+        EXPECT_NEAR(x, 0.0f, 1e-3f);
+    }
+}
+
+TEST(Normalize, EmptyIsNoop)
+{
+    std::vector<float> v;
+    normalizeInPlace(v);
+    EXPECT_TRUE(v.empty());
+}
+
+} // namespace
+} // namespace isw::rl

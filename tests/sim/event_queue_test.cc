@@ -1,0 +1,164 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace isw::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTimeEventsRunFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime)
+{
+    EventQueue q;
+    TimeNs seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.runOne();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runOne();
+    EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, NullCallbackThrows)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventQueue::Callback{}),
+                 std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, CancelledEventsDontCountAsPending)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, recurse);
+    };
+    q.schedule(0, recurse);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int count = 0;
+    for (TimeNs t = 10; t <= 100; t += 10)
+        q.schedule(t, [&] { ++count; });
+    const std::size_t ran = q.runUntil(50);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.pending(), 5u);
+    // Deadline-inclusive semantics: event exactly at 50 ran.
+    q.runAll();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockOnEmptyQueue)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+TEST(EventQueue, RunAllHonorsEventBudget)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> forever = [&] {
+        ++count;
+        q.scheduleAfter(1, forever);
+    };
+    q.schedule(0, forever);
+    const std::size_t ran = q.runAll(100);
+    EXPECT_EQ(ran, 100u);
+    EXPECT_EQ(count, 100);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    TimeNs fired = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { fired = q.now(); });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 150u);
+}
+
+TEST(EventQueue, CancelFromWithinEarlierEvent)
+{
+    EventQueue q;
+    bool second_ran = false;
+    EventId second = q.schedule(20, [&] { second_ran = true; });
+    q.schedule(10, [&] { q.cancel(second); });
+    q.runAll();
+    EXPECT_FALSE(second_ran);
+}
+
+} // namespace
+} // namespace isw::sim

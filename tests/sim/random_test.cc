@@ -1,0 +1,151 @@
+/** @file Unit and statistical tests for the RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace isw::sim {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng r(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, UniformIntUnbiasedAcrossBuckets)
+{
+    Rng r(13);
+    std::array<int, 7> counts{};
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(r.uniformInt(0, 6))]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanCvHitsRequestedMean)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.lognormalMeanCv(5.0, 0.3);
+    EXPECT_NEAR(sum / n, 5.0, 0.08);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic)
+{
+    Rng r(29);
+    EXPECT_DOUBLE_EQ(r.lognormalMeanCv(7.5, 0.0), 7.5);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(41), b(41);
+    Rng fa = a.fork(5), fb = b.fork(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(43);
+    Rng s1 = parent.fork(1);
+    Rng s2 = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += s1() == s2();
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace
+} // namespace isw::sim

@@ -1,0 +1,147 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace isw::sim {
+namespace {
+
+TEST(Counter, IncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance)
+{
+    Accumulator a;
+    a.add(3.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.add(-5.0);
+    a.add(5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(10.0); // hi is exclusive
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(9), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(TimeSeries, RecordsPoints)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    ts.record(10, 1.5);
+    ts.record(20, 2.5);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[0].t, 10u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].v, 2.5);
+    ts.clear();
+    EXPECT_TRUE(ts.empty());
+}
+
+TEST(StatsRegistry, CreatesOnFirstUse)
+{
+    StatsRegistry reg;
+    reg.counter("a").inc(3);
+    reg.counter("a").inc(2);
+    EXPECT_EQ(reg.counter("a").value(), 5u);
+    reg.accumulator("b").add(1.0);
+    EXPECT_EQ(reg.accumulators().at("b").count(), 1u);
+    reg.series("c").record(1, 2.0);
+    EXPECT_EQ(reg.allSeries().at("c").points().size(), 1u);
+}
+
+TEST(Simulation, ForkedRngStreamsAreStable)
+{
+    Simulation s1(99), s2(99);
+    Rng a = s1.forkRng();
+    Rng b = s2.forkRng();
+    EXPECT_EQ(a(), b());
+    // A second fork differs from the first.
+    Rng c = s1.forkRng();
+    EXPECT_NE(a(), c());
+}
+
+TEST(Simulation, AfterSchedulesRelativeToNow)
+{
+    Simulation s;
+    TimeNs fired = 0;
+    s.after(25, [&] { fired = s.now(); });
+    s.run();
+    EXPECT_EQ(fired, 25u);
+}
+
+TEST(TimeHelpers, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toMillis(fromMillis(12.5)), 12.5);
+    EXPECT_DOUBLE_EQ(toSeconds(3 * kSec), 3.0);
+    EXPECT_EQ(fromSeconds(2.0), 2 * kSec);
+    EXPECT_EQ(kMsec, 1000 * kUsec);
+}
+
+} // namespace
+} // namespace isw::sim
