@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fp16"
+  "../bench/bench_ablation_fp16.pdb"
+  "CMakeFiles/bench_ablation_fp16.dir/bench_ablation_fp16.cc.o"
+  "CMakeFiles/bench_ablation_fp16.dir/bench_ablation_fp16.cc.o.d"
+  "CMakeFiles/bench_ablation_fp16.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_fp16.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fp16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overheads"
+  "../bench/bench_ablation_overheads.pdb"
+  "CMakeFiles/bench_ablation_overheads.dir/bench_ablation_overheads.cc.o"
+  "CMakeFiles/bench_ablation_overheads.dir/bench_ablation_overheads.cc.o.d"
+  "CMakeFiles/bench_ablation_overheads.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_overheads.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

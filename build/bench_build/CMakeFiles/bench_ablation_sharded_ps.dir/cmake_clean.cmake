@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sharded_ps"
+  "../bench/bench_ablation_sharded_ps.pdb"
+  "CMakeFiles/bench_ablation_sharded_ps.dir/bench_ablation_sharded_ps.cc.o"
+  "CMakeFiles/bench_ablation_sharded_ps.dir/bench_ablation_sharded_ps.cc.o.d"
+  "CMakeFiles/bench_ablation_sharded_ps.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_sharded_ps.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharded_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

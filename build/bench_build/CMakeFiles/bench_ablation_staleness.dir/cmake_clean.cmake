@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_staleness"
+  "../bench/bench_ablation_staleness.pdb"
+  "CMakeFiles/bench_ablation_staleness.dir/bench_ablation_staleness.cc.o"
+  "CMakeFiles/bench_ablation_staleness.dir/bench_ablation_staleness.cc.o.d"
+  "CMakeFiles/bench_ablation_staleness.dir/common.cc.o"
+  "CMakeFiles/bench_ablation_staleness.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_threshold.cc" "bench_build/CMakeFiles/bench_ablation_threshold.dir/bench_ablation_threshold.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablation_threshold.dir/bench_ablation_threshold.cc.o.d"
+  "/root/repo/bench/common.cc" "bench_build/CMakeFiles/bench_ablation_threshold.dir/common.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablation_threshold.dir/common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/isw_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/isw_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/isw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/isw_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/isw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_periteration"
+  "../bench/bench_fig12_periteration.pdb"
+  "CMakeFiles/bench_fig12_periteration.dir/bench_fig12_periteration.cc.o"
+  "CMakeFiles/bench_fig12_periteration.dir/bench_fig12_periteration.cc.o.d"
+  "CMakeFiles/bench_fig12_periteration.dir/common.cc.o"
+  "CMakeFiles/bench_fig12_periteration.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_periteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

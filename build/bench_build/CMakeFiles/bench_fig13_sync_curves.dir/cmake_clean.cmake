@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_sync_curves"
+  "../bench/bench_fig13_sync_curves.pdb"
+  "CMakeFiles/bench_fig13_sync_curves.dir/bench_fig13_sync_curves.cc.o"
+  "CMakeFiles/bench_fig13_sync_curves.dir/bench_fig13_sync_curves.cc.o.d"
+  "CMakeFiles/bench_fig13_sync_curves.dir/common.cc.o"
+  "CMakeFiles/bench_fig13_sync_curves.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sync_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_scalability"
+  "../bench/bench_fig15_scalability.pdb"
+  "CMakeFiles/bench_fig15_scalability.dir/bench_fig15_scalability.cc.o"
+  "CMakeFiles/bench_fig15_scalability.dir/bench_fig15_scalability.cc.o.d"
+  "CMakeFiles/bench_fig15_scalability.dir/common.cc.o"
+  "CMakeFiles/bench_fig15_scalability.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_breakdown"
+  "../bench/bench_fig4_breakdown.pdb"
+  "CMakeFiles/bench_fig4_breakdown.dir/bench_fig4_breakdown.cc.o"
+  "CMakeFiles/bench_fig4_breakdown.dir/bench_fig4_breakdown.cc.o.d"
+  "CMakeFiles/bench_fig4_breakdown.dir/common.cc.o"
+  "CMakeFiles/bench_fig4_breakdown.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_onthefly"
+  "../bench/bench_fig8_onthefly.pdb"
+  "CMakeFiles/bench_fig8_onthefly.dir/bench_fig8_onthefly.cc.o"
+  "CMakeFiles/bench_fig8_onthefly.dir/bench_fig8_onthefly.cc.o.d"
+  "CMakeFiles/bench_fig8_onthefly.dir/common.cc.o"
+  "CMakeFiles/bench_fig8_onthefly.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

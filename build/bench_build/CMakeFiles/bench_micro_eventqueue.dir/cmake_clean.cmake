@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_eventqueue"
+  "../bench/bench_micro_eventqueue.pdb"
+  "CMakeFiles/bench_micro_eventqueue.dir/micro/eventqueue_bench.cc.o"
+  "CMakeFiles/bench_micro_eventqueue.dir/micro/eventqueue_bench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_eventqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_tensor"
+  "../bench/bench_micro_tensor.pdb"
+  "CMakeFiles/bench_micro_tensor.dir/micro/tensor_bench.cc.o"
+  "CMakeFiles/bench_micro_tensor.dir/micro/tensor_bench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switch_resources"
+  "../bench/bench_switch_resources.pdb"
+  "CMakeFiles/bench_switch_resources.dir/bench_switch_resources.cc.o"
+  "CMakeFiles/bench_switch_resources.dir/bench_switch_resources.cc.o.d"
+  "CMakeFiles/bench_switch_resources.dir/common.cc.o"
+  "CMakeFiles/bench_switch_resources.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switch_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_control"
+  "../bench/bench_table2_control.pdb"
+  "CMakeFiles/bench_table2_control.dir/bench_table2_control.cc.o"
+  "CMakeFiles/bench_table2_control.dir/bench_table2_control.cc.o.d"
+  "CMakeFiles/bench_table2_control.dir/common.cc.o"
+  "CMakeFiles/bench_table2_control.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_speedups"
+  "../bench/bench_table3_speedups.pdb"
+  "CMakeFiles/bench_table3_speedups.dir/bench_table3_speedups.cc.o"
+  "CMakeFiles/bench_table3_speedups.dir/bench_table3_speedups.cc.o.d"
+  "CMakeFiles/bench_table3_speedups.dir/common.cc.o"
+  "CMakeFiles/bench_table3_speedups.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_sync"
+  "../bench/bench_table4_sync.pdb"
+  "CMakeFiles/bench_table4_sync.dir/bench_table4_sync.cc.o"
+  "CMakeFiles/bench_table4_sync.dir/bench_table4_sync.cc.o.d"
+  "CMakeFiles/bench_table4_sync.dir/common.cc.o"
+  "CMakeFiles/bench_table4_sync.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_async"
+  "../bench/bench_table5_async.pdb"
+  "CMakeFiles/bench_table5_async.dir/bench_table5_async.cc.o"
+  "CMakeFiles/bench_table5_async.dir/bench_table5_async.cc.o.d"
+  "CMakeFiles/bench_table5_async.dir/common.cc.o"
+  "CMakeFiles/bench_table5_async.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_switch_protocol.dir/custom_switch_protocol.cpp.o"
+  "CMakeFiles/custom_switch_protocol.dir/custom_switch_protocol.cpp.o.d"
+  "custom_switch_protocol"
+  "custom_switch_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_switch_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_scale_training.dir/rack_scale_training.cpp.o"
+  "CMakeFiles/rack_scale_training.dir/rack_scale_training.cpp.o.d"
+  "rack_scale_training"
+  "rack_scale_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_scale_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_save_eval.dir/train_save_eval.cpp.o"
+  "CMakeFiles/train_save_eval.dir/train_save_eval.cpp.o.d"
+  "train_save_eval"
+  "train_save_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_save_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

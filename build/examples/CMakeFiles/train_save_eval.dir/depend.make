@@ -1,0 +1,2 @@
+# Empty dependencies file for train_save_eval.
+# This may be replaced when dependencies are built.

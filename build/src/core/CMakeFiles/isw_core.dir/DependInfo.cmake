@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cc" "src/core/CMakeFiles/isw_core.dir/accelerator.cc.o" "gcc" "src/core/CMakeFiles/isw_core.dir/accelerator.cc.o.d"
+  "/root/repo/src/core/control.cc" "src/core/CMakeFiles/isw_core.dir/control.cc.o" "gcc" "src/core/CMakeFiles/isw_core.dir/control.cc.o.d"
+  "/root/repo/src/core/programmable_switch.cc" "src/core/CMakeFiles/isw_core.dir/programmable_switch.cc.o" "gcc" "src/core/CMakeFiles/isw_core.dir/programmable_switch.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/isw_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/isw_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/seg_buffer.cc" "src/core/CMakeFiles/isw_core.dir/seg_buffer.cc.o" "gcc" "src/core/CMakeFiles/isw_core.dir/seg_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/isw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

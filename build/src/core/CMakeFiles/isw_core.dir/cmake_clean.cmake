@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_core.dir/accelerator.cc.o"
+  "CMakeFiles/isw_core.dir/accelerator.cc.o.d"
+  "CMakeFiles/isw_core.dir/control.cc.o"
+  "CMakeFiles/isw_core.dir/control.cc.o.d"
+  "CMakeFiles/isw_core.dir/programmable_switch.cc.o"
+  "CMakeFiles/isw_core.dir/programmable_switch.cc.o.d"
+  "CMakeFiles/isw_core.dir/protocol.cc.o"
+  "CMakeFiles/isw_core.dir/protocol.cc.o.d"
+  "CMakeFiles/isw_core.dir/seg_buffer.cc.o"
+  "CMakeFiles/isw_core.dir/seg_buffer.cc.o.d"
+  "libisw_core.a"
+  "libisw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/allreduce.cc" "src/dist/CMakeFiles/isw_dist.dir/allreduce.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/allreduce.cc.o.d"
+  "/root/repo/src/dist/cluster.cc" "src/dist/CMakeFiles/isw_dist.dir/cluster.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/dist/iswitch_async.cc" "src/dist/CMakeFiles/isw_dist.dir/iswitch_async.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/iswitch_async.cc.o.d"
+  "/root/repo/src/dist/iswitch_sync.cc" "src/dist/CMakeFiles/isw_dist.dir/iswitch_sync.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/iswitch_sync.cc.o.d"
+  "/root/repo/src/dist/metrics.cc" "src/dist/CMakeFiles/isw_dist.dir/metrics.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/metrics.cc.o.d"
+  "/root/repo/src/dist/ps_async.cc" "src/dist/CMakeFiles/isw_dist.dir/ps_async.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/ps_async.cc.o.d"
+  "/root/repo/src/dist/ps_sharded.cc" "src/dist/CMakeFiles/isw_dist.dir/ps_sharded.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/ps_sharded.cc.o.d"
+  "/root/repo/src/dist/ps_sync.cc" "src/dist/CMakeFiles/isw_dist.dir/ps_sync.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/ps_sync.cc.o.d"
+  "/root/repo/src/dist/strategy.cc" "src/dist/CMakeFiles/isw_dist.dir/strategy.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/strategy.cc.o.d"
+  "/root/repo/src/dist/timing.cc" "src/dist/CMakeFiles/isw_dist.dir/timing.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/timing.cc.o.d"
+  "/root/repo/src/dist/transport.cc" "src/dist/CMakeFiles/isw_dist.dir/transport.cc.o" "gcc" "src/dist/CMakeFiles/isw_dist.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/isw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/isw_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

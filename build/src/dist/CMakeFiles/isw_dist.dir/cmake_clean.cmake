@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_dist.dir/allreduce.cc.o"
+  "CMakeFiles/isw_dist.dir/allreduce.cc.o.d"
+  "CMakeFiles/isw_dist.dir/cluster.cc.o"
+  "CMakeFiles/isw_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/isw_dist.dir/iswitch_async.cc.o"
+  "CMakeFiles/isw_dist.dir/iswitch_async.cc.o.d"
+  "CMakeFiles/isw_dist.dir/iswitch_sync.cc.o"
+  "CMakeFiles/isw_dist.dir/iswitch_sync.cc.o.d"
+  "CMakeFiles/isw_dist.dir/metrics.cc.o"
+  "CMakeFiles/isw_dist.dir/metrics.cc.o.d"
+  "CMakeFiles/isw_dist.dir/ps_async.cc.o"
+  "CMakeFiles/isw_dist.dir/ps_async.cc.o.d"
+  "CMakeFiles/isw_dist.dir/ps_sharded.cc.o"
+  "CMakeFiles/isw_dist.dir/ps_sharded.cc.o.d"
+  "CMakeFiles/isw_dist.dir/ps_sync.cc.o"
+  "CMakeFiles/isw_dist.dir/ps_sync.cc.o.d"
+  "CMakeFiles/isw_dist.dir/strategy.cc.o"
+  "CMakeFiles/isw_dist.dir/strategy.cc.o.d"
+  "CMakeFiles/isw_dist.dir/timing.cc.o"
+  "CMakeFiles/isw_dist.dir/timing.cc.o.d"
+  "CMakeFiles/isw_dist.dir/transport.cc.o"
+  "CMakeFiles/isw_dist.dir/transport.cc.o.d"
+  "libisw_dist.a"
+  "libisw_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

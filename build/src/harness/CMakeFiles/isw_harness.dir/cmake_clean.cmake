@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_harness.dir/calibration.cc.o"
+  "CMakeFiles/isw_harness.dir/calibration.cc.o.d"
+  "CMakeFiles/isw_harness.dir/cli.cc.o"
+  "CMakeFiles/isw_harness.dir/cli.cc.o.d"
+  "CMakeFiles/isw_harness.dir/experiment.cc.o"
+  "CMakeFiles/isw_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/isw_harness.dir/report.cc.o"
+  "CMakeFiles/isw_harness.dir/report.cc.o.d"
+  "libisw_harness.a"
+  "libisw_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/layers.cc" "src/ml/CMakeFiles/isw_ml.dir/layers.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/layers.cc.o.d"
+  "/root/repo/src/ml/losses.cc" "src/ml/CMakeFiles/isw_ml.dir/losses.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/losses.cc.o.d"
+  "/root/repo/src/ml/network.cc" "src/ml/CMakeFiles/isw_ml.dir/network.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/network.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/isw_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/optimizer.cc.o.d"
+  "/root/repo/src/ml/quantize.cc" "src/ml/CMakeFiles/isw_ml.dir/quantize.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/quantize.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/isw_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/serialize.cc.o.d"
+  "/root/repo/src/ml/tensor.cc" "src/ml/CMakeFiles/isw_ml.dir/tensor.cc.o" "gcc" "src/ml/CMakeFiles/isw_ml.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/isw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

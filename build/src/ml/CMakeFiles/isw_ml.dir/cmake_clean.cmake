@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_ml.dir/layers.cc.o"
+  "CMakeFiles/isw_ml.dir/layers.cc.o.d"
+  "CMakeFiles/isw_ml.dir/losses.cc.o"
+  "CMakeFiles/isw_ml.dir/losses.cc.o.d"
+  "CMakeFiles/isw_ml.dir/network.cc.o"
+  "CMakeFiles/isw_ml.dir/network.cc.o.d"
+  "CMakeFiles/isw_ml.dir/optimizer.cc.o"
+  "CMakeFiles/isw_ml.dir/optimizer.cc.o.d"
+  "CMakeFiles/isw_ml.dir/quantize.cc.o"
+  "CMakeFiles/isw_ml.dir/quantize.cc.o.d"
+  "CMakeFiles/isw_ml.dir/serialize.cc.o"
+  "CMakeFiles/isw_ml.dir/serialize.cc.o.d"
+  "CMakeFiles/isw_ml.dir/tensor.cc.o"
+  "CMakeFiles/isw_ml.dir/tensor.cc.o.d"
+  "libisw_ml.a"
+  "libisw_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_net.dir/address.cc.o"
+  "CMakeFiles/isw_net.dir/address.cc.o.d"
+  "CMakeFiles/isw_net.dir/host.cc.o"
+  "CMakeFiles/isw_net.dir/host.cc.o.d"
+  "CMakeFiles/isw_net.dir/link.cc.o"
+  "CMakeFiles/isw_net.dir/link.cc.o.d"
+  "CMakeFiles/isw_net.dir/node.cc.o"
+  "CMakeFiles/isw_net.dir/node.cc.o.d"
+  "CMakeFiles/isw_net.dir/packet.cc.o"
+  "CMakeFiles/isw_net.dir/packet.cc.o.d"
+  "CMakeFiles/isw_net.dir/switch.cc.o"
+  "CMakeFiles/isw_net.dir/switch.cc.o.d"
+  "CMakeFiles/isw_net.dir/topology.cc.o"
+  "CMakeFiles/isw_net.dir/topology.cc.o.d"
+  "CMakeFiles/isw_net.dir/trace.cc.o"
+  "CMakeFiles/isw_net.dir/trace.cc.o.d"
+  "libisw_net.a"
+  "libisw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

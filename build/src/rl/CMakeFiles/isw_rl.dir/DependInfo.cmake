@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a2c.cc" "src/rl/CMakeFiles/isw_rl.dir/a2c.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/a2c.cc.o.d"
+  "/root/repo/src/rl/agent.cc" "src/rl/CMakeFiles/isw_rl.dir/agent.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/agent.cc.o.d"
+  "/root/repo/src/rl/ddpg.cc" "src/rl/CMakeFiles/isw_rl.dir/ddpg.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/ddpg.cc.o.d"
+  "/root/repo/src/rl/dqn.cc" "src/rl/CMakeFiles/isw_rl.dir/dqn.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/dqn.cc.o.d"
+  "/root/repo/src/rl/envs/cheetah.cc" "src/rl/CMakeFiles/isw_rl.dir/envs/cheetah.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/envs/cheetah.cc.o.d"
+  "/root/repo/src/rl/envs/hopper.cc" "src/rl/CMakeFiles/isw_rl.dir/envs/hopper.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/envs/hopper.cc.o.d"
+  "/root/repo/src/rl/envs/pong.cc" "src/rl/CMakeFiles/isw_rl.dir/envs/pong.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/envs/pong.cc.o.d"
+  "/root/repo/src/rl/envs/qbert.cc" "src/rl/CMakeFiles/isw_rl.dir/envs/qbert.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/envs/qbert.cc.o.d"
+  "/root/repo/src/rl/evaluate.cc" "src/rl/CMakeFiles/isw_rl.dir/evaluate.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/evaluate.cc.o.d"
+  "/root/repo/src/rl/model_zoo.cc" "src/rl/CMakeFiles/isw_rl.dir/model_zoo.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/model_zoo.cc.o.d"
+  "/root/repo/src/rl/ppo.cc" "src/rl/CMakeFiles/isw_rl.dir/ppo.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/ppo.cc.o.d"
+  "/root/repo/src/rl/replay_buffer.cc" "src/rl/CMakeFiles/isw_rl.dir/replay_buffer.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/replay_buffer.cc.o.d"
+  "/root/repo/src/rl/returns.cc" "src/rl/CMakeFiles/isw_rl.dir/returns.cc.o" "gcc" "src/rl/CMakeFiles/isw_rl.dir/returns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/isw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_rl.dir/a2c.cc.o"
+  "CMakeFiles/isw_rl.dir/a2c.cc.o.d"
+  "CMakeFiles/isw_rl.dir/agent.cc.o"
+  "CMakeFiles/isw_rl.dir/agent.cc.o.d"
+  "CMakeFiles/isw_rl.dir/ddpg.cc.o"
+  "CMakeFiles/isw_rl.dir/ddpg.cc.o.d"
+  "CMakeFiles/isw_rl.dir/dqn.cc.o"
+  "CMakeFiles/isw_rl.dir/dqn.cc.o.d"
+  "CMakeFiles/isw_rl.dir/envs/cheetah.cc.o"
+  "CMakeFiles/isw_rl.dir/envs/cheetah.cc.o.d"
+  "CMakeFiles/isw_rl.dir/envs/hopper.cc.o"
+  "CMakeFiles/isw_rl.dir/envs/hopper.cc.o.d"
+  "CMakeFiles/isw_rl.dir/envs/pong.cc.o"
+  "CMakeFiles/isw_rl.dir/envs/pong.cc.o.d"
+  "CMakeFiles/isw_rl.dir/envs/qbert.cc.o"
+  "CMakeFiles/isw_rl.dir/envs/qbert.cc.o.d"
+  "CMakeFiles/isw_rl.dir/evaluate.cc.o"
+  "CMakeFiles/isw_rl.dir/evaluate.cc.o.d"
+  "CMakeFiles/isw_rl.dir/model_zoo.cc.o"
+  "CMakeFiles/isw_rl.dir/model_zoo.cc.o.d"
+  "CMakeFiles/isw_rl.dir/ppo.cc.o"
+  "CMakeFiles/isw_rl.dir/ppo.cc.o.d"
+  "CMakeFiles/isw_rl.dir/replay_buffer.cc.o"
+  "CMakeFiles/isw_rl.dir/replay_buffer.cc.o.d"
+  "CMakeFiles/isw_rl.dir/returns.cc.o"
+  "CMakeFiles/isw_rl.dir/returns.cc.o.d"
+  "libisw_rl.a"
+  "libisw_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

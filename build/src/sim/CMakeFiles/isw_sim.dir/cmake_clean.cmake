@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isw_sim.dir/event_queue.cc.o"
+  "CMakeFiles/isw_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/isw_sim.dir/log.cc.o"
+  "CMakeFiles/isw_sim.dir/log.cc.o.d"
+  "CMakeFiles/isw_sim.dir/random.cc.o"
+  "CMakeFiles/isw_sim.dir/random.cc.o.d"
+  "CMakeFiles/isw_sim.dir/stats.cc.o"
+  "CMakeFiles/isw_sim.dir/stats.cc.o.d"
+  "libisw_sim.a"
+  "libisw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

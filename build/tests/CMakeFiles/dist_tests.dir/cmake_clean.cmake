@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_tests.dir/dist/async_regression_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/async_regression_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/cluster_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/cluster_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/ps_sharded_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/ps_sharded_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/strategies_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/strategies_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/timing_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/timing_test.cc.o.d"
+  "CMakeFiles/dist_tests.dir/dist/transport_test.cc.o"
+  "CMakeFiles/dist_tests.dir/dist/transport_test.cc.o.d"
+  "dist_tests"
+  "dist_tests.pdb"
+  "dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/layers_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/layers_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/losses_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/losses_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/network_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/network_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/optimizer_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/optimizer_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/quantize_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/quantize_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/serialize_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/tensor_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/tensor_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

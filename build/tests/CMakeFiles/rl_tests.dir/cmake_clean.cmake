@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_tests.dir/rl/agents_test.cc.o"
+  "CMakeFiles/rl_tests.dir/rl/agents_test.cc.o.d"
+  "CMakeFiles/rl_tests.dir/rl/envs_test.cc.o"
+  "CMakeFiles/rl_tests.dir/rl/envs_test.cc.o.d"
+  "CMakeFiles/rl_tests.dir/rl/evaluate_test.cc.o"
+  "CMakeFiles/rl_tests.dir/rl/evaluate_test.cc.o.d"
+  "CMakeFiles/rl_tests.dir/rl/replay_test.cc.o"
+  "CMakeFiles/rl_tests.dir/rl/replay_test.cc.o.d"
+  "CMakeFiles/rl_tests.dir/rl/returns_test.cc.o"
+  "CMakeFiles/rl_tests.dir/rl/returns_test.cc.o.d"
+  "rl_tests"
+  "rl_tests.pdb"
+  "rl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
