@@ -20,22 +20,38 @@ using namespace isw;
 
 namespace {
 
+harness::ExperimentSpec
+wireSpec(rl::Algo algo, dist::StrategyKind k, bool fp16)
+{
+    harness::ExperimentSpec spec = harness::timingSpec(algo, k);
+    spec.name += fp16 ? "/fp16" : "/fp32";
+    spec.tags.push_back("fp16-sweep");
+    if (fp16)
+        spec.config.wire_model_bytes /= 2;
+    spec.config.stop.max_iterations = 20;
+    return spec;
+}
+
 double
 periterHalved(rl::Algo algo, dist::StrategyKind k, bool fp16)
 {
-    dist::JobConfig cfg = harness::timingJob(algo, k);
-    if (fp16)
-        cfg.wire_model_bytes /= 2;
-    cfg.stop.max_iterations = 20;
-    return dist::runJob(cfg).perIterationMs();
+    return bench::runner().run(wireSpec(algo, k, fp16)).perIterationMs();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Ablation — fp16 gradient wire (extension)");
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto k : bench::kSyncStrategies) {
+        specs.push_back(wireSpec(rl::Algo::kDqn, k, false));
+        specs.push_back(wireSpec(rl::Algo::kDqn, k, true));
+    }
+    bench::prefetch(specs);
 
     harness::banner("Timing: per-iteration ms, fp32 wire vs fp16 wire (DQN)");
     {
@@ -75,5 +91,6 @@ main()
               << "\nalready near the compute floor. Gradient fidelity is"
               << "\nessentially unharmed at these magnitudes — consistent"
               << "\nwith the compression literature the paper cites.\n";
+    bench::writeReport("ablation_fp16");
     return 0;
 }

@@ -16,30 +16,56 @@ using namespace isw;
 
 namespace {
 
+harness::ExperimentSpec
+overheadSpec(dist::StrategyKind k, sim::TimeNs send_oh, sim::TimeNs recv_oh)
+{
+    harness::ExperimentSpec spec = harness::timingSpec(rl::Algo::kPpo, k);
+    spec.name += "/oh" + std::to_string(send_oh / sim::kUsec) + "us";
+    spec.tags.push_back("overhead-sweep");
+    spec.config.overhead.send = send_oh;
+    spec.config.overhead.recv = recv_oh;
+    spec.config.stop.max_iterations = 25;
+    return spec;
+}
+
 double
 periterMs(dist::StrategyKind k, sim::TimeNs send_oh, sim::TimeNs recv_oh)
 {
-    dist::JobConfig cfg = harness::timingJob(rl::Algo::kPpo, k);
-    cfg.overhead.send = send_oh;
-    cfg.overhead.recv = recv_oh;
-    cfg.stop.max_iterations = 25;
-    return dist::runJob(cfg).perIterationMs();
+    return bench::runner()
+        .run(overheadSpec(k, send_oh, recv_oh))
+        .perIterationMs();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader(
         "Ablation — per-message host overhead vs the AR/PS crossover (PPO)");
+
+    const std::array<sim::TimeNs, 5> kOverheadsUs{25u, 100u, 400u, 1500u,
+                                                  4000u};
+    std::vector<harness::ExperimentSpec> specs{
+        overheadSpec(dist::StrategyKind::kSyncIswitch, 30 * sim::kUsec,
+                     20 * sim::kUsec)};
+    for (sim::TimeNs oh_us : kOverheadsUs) {
+        const sim::TimeNs send = oh_us * sim::kUsec;
+        const sim::TimeNs recv = send * 2 / 3;
+        specs.push_back(overheadSpec(dist::StrategyKind::kSyncPs, send,
+                                     recv));
+        specs.push_back(overheadSpec(dist::StrategyKind::kSyncAllReduce,
+                                     send, recv));
+    }
+    bench::prefetch(specs);
 
     harness::Table t({"send/recv overhead (us)", "PS per-iter (ms)",
                       "AR per-iter (ms)", "AR vs PS", "iSW per-iter (ms)"});
     const double isw =
         periterMs(dist::StrategyKind::kSyncIswitch, 30 * sim::kUsec,
                   20 * sim::kUsec);
-    for (sim::TimeNs oh_us : {25u, 100u, 400u, 1500u, 4000u}) {
+    for (sim::TimeNs oh_us : kOverheadsUs) {
         const sim::TimeNs send = oh_us * sim::kUsec;
         const sim::TimeNs recv = send * 2 / 3;
         const double ps = periterMs(dist::StrategyKind::kSyncPs, send, recv);
@@ -55,5 +81,6 @@ main()
               << "\ntransfer — the paper's Table 3 PPO/DDPG rows (0.91x,"
               << "\n0.90x). iSwitch is unaffected: its raw protocol posts"
               << "\none message per iteration.\n";
+    bench::writeReport("ablation_overheads");
     return 0;
 }

@@ -14,22 +14,41 @@ using namespace isw;
 
 namespace {
 
+harness::ExperimentSpec
+shardSpec(rl::Algo algo, dist::StrategyKind k, std::size_t shards)
+{
+    harness::ExperimentSpec spec = harness::timingSpec(algo, k);
+    spec.name += "/shards" + std::to_string(shards);
+    spec.tags.push_back("shard-sweep");
+    spec.config.ps_shards = shards;
+    spec.config.stop.max_iterations = 20;
+    return spec;
+}
+
 double
 periter(rl::Algo algo, dist::StrategyKind k, std::size_t shards)
 {
-    dist::JobConfig cfg = harness::timingJob(algo, k);
-    cfg.ps_shards = shards;
-    cfg.stop.max_iterations = 20;
-    return dist::runJob(cfg).perIterationMs();
+    return bench::runner().run(shardSpec(algo, k, shards)).perIterationMs();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader(
         "Ablation — sharded parameter server vs in-switch aggregation");
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : {rl::Algo::kDqn, rl::Algo::kA2c}) {
+        specs.push_back(shardSpec(algo, dist::StrategyKind::kSyncPs, 1));
+        for (std::size_t shards : {2u, 4u, 8u})
+            specs.push_back(
+                shardSpec(algo, dist::StrategyKind::kSyncShardedPs, shards));
+        specs.push_back(shardSpec(algo, dist::StrategyKind::kSyncIswitch, 1));
+    }
+    bench::prefetch(specs);
 
     for (auto algo : {rl::Algo::kDqn, rl::Algo::kA2c}) {
         harness::banner(std::string(rl::algoName(algo)) +
@@ -55,5 +74,6 @@ main()
         << "\nK x N framework messages, and whole-vector aggregation;"
         << "\nin-switch aggregation keeps 2 hops, raw-protocol overheads,"
         << "\nand packet-granularity overlap.\n";
+    bench::writeReport("ablation_sharded_ps");
     return 0;
 }

@@ -6,42 +6,58 @@
  * staler ones.
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "common.hh"
-#include "dist/iswitch_async.hh"
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+harness::ExperimentSpec
+stalenessSpec(std::uint32_t s)
 {
+    harness::ExperimentSpec spec = harness::learningSpec(
+        rl::Algo::kPpo, dist::StrategyKind::kAsyncIswitch);
+    spec.name += "/S" + std::to_string(s);
+    spec.tags.push_back("staleness-sweep");
+    spec.config.staleness_bound = s;
+    spec.config.stop.target_reward = 1e18; // fixed budget: compare rewards
+    spec.config.stop.max_iterations = 600;
+    // Stress the aggregation path so staleness actually builds:
+    // a DQN-sized wire footprint over slow 1 GbE links makes the
+    // GA stage lag the pipelined LGC stage.
+    spec.config.wire_model_bytes = 3 * 1024 * 1024;
+    spec.config.cluster.edge_link.bandwidth_bps = 1e9;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader("Ablation — staleness bound S in Async iSwitch");
+
+    const std::array<std::uint32_t, 4> kBounds{0u, 1u, 3u, 8u};
+    std::vector<harness::ExperimentSpec> specs;
+    for (std::uint32_t s : kBounds)
+        specs.push_back(stalenessSpec(s));
+    bench::prefetch(specs);
 
     harness::Table t({"S", "updates", "committed", "skipped", "skip rate",
                       "final reward"});
-    for (std::uint32_t s : {0u, 1u, 3u, 8u}) {
-        dist::JobConfig cfg = harness::learningJob(
-            rl::Algo::kPpo, dist::StrategyKind::kAsyncIswitch);
-        cfg.staleness_bound = s;
-        cfg.stop.target_reward = 1e18; // fixed budget: compare rewards
-        cfg.stop.max_iterations = 600;
-        // Stress the aggregation path so staleness actually builds:
-        // a DQN-sized wire footprint over slow 1 GbE links makes the
-        // GA stage lag the pipelined LGC stage.
-        cfg.wire_model_bytes = 3 * 1024 * 1024;
-        cfg.cluster.edge_link.bandwidth_bps = 1e9;
-        auto job = std::make_unique<dist::AsyncIswitchJob>(cfg);
-        dist::AsyncIswitchJob *raw = job.get();
-        const dist::RunResult res = job->run();
-        const double total = static_cast<double>(
-            raw->gradientsCommitted() + raw->gradientsSkipped());
+    for (std::uint32_t s : kBounds) {
+        const dist::RunResult &res = bench::runner().run(stalenessSpec(s));
+        const double committed = res.extras.at("gradients_committed");
+        const double skipped = res.extras.at("gradients_skipped");
+        const double total = committed + skipped;
         t.row({std::to_string(s), std::to_string(res.iterations),
-               std::to_string(raw->gradientsCommitted()),
-               std::to_string(raw->gradientsSkipped()),
-               harness::fmt(100.0 * raw->gradientsSkipped() /
-                                std::max(total, 1.0),
-                            1) + "%",
+               harness::fmt(committed, 0), harness::fmt(skipped, 0),
+               harness::fmt(100.0 * skipped / std::max(total, 1.0), 1) +
+                   "%",
                harness::fmt(res.final_avg_reward, 2)});
     }
     t.print();
@@ -49,5 +65,6 @@ main()
     std::cout << "\nThe paper bounds staleness at S=3: loose enough that"
               << "\nhealthy pipelines skip almost nothing, tight enough to"
               << "\nprotect convergence when aggregation lags.\n";
+    bench::writeReport("ablation_staleness");
     return 0;
 }

@@ -12,20 +12,38 @@
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+harness::ExperimentSpec
+thresholdSpec(std::uint32_t h)
 {
+    harness::ExperimentSpec spec = harness::learningSpec(
+        rl::Algo::kPpo, dist::StrategyKind::kAsyncIswitch);
+    spec.name += "/H" + std::to_string(h);
+    spec.tags.push_back("threshold-sweep");
+    spec.config.agg_threshold = h;
+    spec.config.stop.target_reward = 1e18; // fixed budget
+    spec.config.stop.max_iterations = 600;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader("Ablation — aggregation threshold H (SetH, async)");
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (std::uint32_t h : {1u, 2u, 4u})
+        specs.push_back(thresholdSpec(h));
+    bench::prefetch(specs);
 
     harness::Table t({"H", "updates", "update interval (ms)",
                       "final reward"});
     for (std::uint32_t h : {1u, 2u, 4u}) {
-        dist::JobConfig cfg = harness::learningJob(
-            rl::Algo::kPpo, dist::StrategyKind::kAsyncIswitch);
-        cfg.agg_threshold = h;
-        cfg.stop.target_reward = 1e18; // fixed budget
-        cfg.stop.max_iterations = 600;
-        const dist::RunResult res = dist::runJob(cfg);
+        const dist::RunResult &res = bench::runner().run(thresholdSpec(h));
         t.row({std::to_string(h), std::to_string(res.iterations),
                harness::fmt(res.perIterationMs(), 2),
                harness::fmt(res.final_avg_reward, 2)});
@@ -35,5 +53,6 @@ main()
     std::cout << "\nH = #workers (the paper default) averages every"
               << "\nworker per update; H=1 degenerates toward Hogwild-"
               << "\nstyle per-gradient updates with 1/N the interval.\n";
+    bench::writeReport("ablation_threshold");
     return 0;
 }

@@ -8,33 +8,36 @@
 #include <iostream>
 
 #include "common.hh"
-#include "harness/cli.hh"
 
 using namespace isw;
 
 int
 main(int argc, char **argv)
 {
-    const harness::Cli cli(argc, argv);
-    cli.requireKnown({"workers", "csv"});
+    const harness::Cli cli = bench::initBench(argc, argv, {"workers", "csv"});
     const auto workers =
         static_cast<std::size_t>(cli.getInt("workers", 4));
     const bool csv = cli.has("csv");
 
     bench::printHeader(
         "Figure 12 — synchronous per-iteration time, normalized to PS");
-    bench::TimingCache cache;
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos)
+        for (auto k : bench::kSyncStrategies)
+            specs.push_back(harness::timingSpec(algo, k, workers));
+    bench::prefetch(specs);
 
     for (auto algo : bench::kAlgos) {
         harness::banner(std::string(rl::algoName(algo)));
         const double ps_total =
-            cache.result(algo, dist::StrategyKind::kSyncPs, workers)
+            bench::timingResult(algo, dist::StrategyKind::kSyncPs, workers)
                 .breakdown.totalMeanMs();
         harness::Table t({"Strategy", "Per-iter (ms)", "Normalized",
                           "LGC (ms)", "Grad Agg (ms)", "Weight Upd (ms)",
                           "Paper per-iter (ms)"});
         for (auto k : bench::kSyncStrategies) {
-            const auto &res = cache.result(algo, k, workers);
+            const auto &res = bench::timingResult(algo, k, workers);
             double lgc = 0.0;
             for (std::size_t c = 0; c < dist::kNumComponents; ++c) {
                 const auto comp = static_cast<dist::IterComponent>(c);
@@ -64,18 +67,21 @@ main(int argc, char **argv)
     harness::Table t({"Algorithm", "iSW vs PS", "iSW vs AR"});
     for (auto algo : bench::kAlgos) {
         const double ps =
-            cache.result(algo, dist::StrategyKind::kSyncPs, workers)
+            bench::timingResult(algo, dist::StrategyKind::kSyncPs, workers)
                 .breakdown.meanMs(dist::IterComponent::kGradAggregation);
         const double ar =
-            cache.result(algo, dist::StrategyKind::kSyncAllReduce, workers)
+            bench::timingResult(algo, dist::StrategyKind::kSyncAllReduce,
+                                workers)
                 .breakdown.meanMs(dist::IterComponent::kGradAggregation);
         const double isw =
-            cache.result(algo, dist::StrategyKind::kSyncIswitch, workers)
+            bench::timingResult(algo, dist::StrategyKind::kSyncIswitch,
+                                workers)
                 .breakdown.meanMs(dist::IterComponent::kGradAggregation);
         t.row({rl::algoName(algo),
                harness::fmt((1.0 - isw / ps) * 100.0, 1) + "%",
                harness::fmt((1.0 - isw / ar) * 100.0, 1) + "%"});
     }
     t.print();
+    bench::writeReport("fig12_periteration");
     return 0;
 }

@@ -15,29 +15,46 @@
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+harness::ExperimentSpec
+curveSpec()
 {
+    harness::ExperimentSpec spec = harness::learningSpec(
+        rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    spec.name += "/curve50";
+    spec.tags.push_back("fig13-curve");
+    spec.config.curve_every = 50;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader("Figure 13 — sync DQN training curves (reward vs time)");
-    bench::TimingCache cache;
 
-    dist::JobConfig learn =
-        harness::learningJob(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
-    learn.curve_every = 50;
-    const dist::RunResult lr = dist::runJob(learn);
+    std::vector<harness::ExperimentSpec> specs{curveSpec()};
+    for (auto k : bench::kSyncStrategies)
+        specs.push_back(harness::timingSpec(rl::Algo::kDqn, k));
+    bench::prefetch(specs);
 
+    const dist::RunResult &lr = bench::runner().run(curveSpec());
     const double ps_ms =
-        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncPs);
+        bench::perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncPs);
     const double ar_ms =
-        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncAllReduce);
+        bench::perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncAllReduce);
     const double isw_ms =
-        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+        bench::perIterMs(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
 
     harness::Table t({"iteration", "reward", "PS time (s)", "AR time (s)",
                       "iSW time (s)"});
+    const std::size_t curve_every = 50;
     std::size_t iter = 0;
     for (const auto &p : lr.reward_curve.points()) {
-        iter += learn.curve_every;
+        iter += curve_every;
         t.row({std::to_string(iter), harness::fmt(p.v, 2),
                harness::fmt(iter * ps_ms / 1000.0, 1),
                harness::fmt(iter * ar_ms / 1000.0, 1),
@@ -54,5 +71,6 @@ main()
               << harness::fmt(ps_ms / isw_ms, 2)
               << "x sooner than PS in wall-clock time (paper Figure 13"
               << "\nshows the same horizontally compressed curve).\n";
+    bench::writeReport("fig13_sync_curves");
     return 0;
 }

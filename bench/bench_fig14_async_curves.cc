@@ -13,48 +13,61 @@
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+constexpr std::size_t kCurveEvery = 200;
+
+harness::ExperimentSpec
+curveSpec(dist::StrategyKind k)
 {
+    harness::ExperimentSpec spec =
+        harness::learningSpec(rl::Algo::kDqn, k);
+    spec.name += "/curve200";
+    spec.tags.push_back("fig14-curve");
+    spec.config.curve_every = kCurveEvery;
+    return spec;
+}
+
+void
+curveTable(const char *title, const dist::RunResult &res, double periter_ms)
+{
+    harness::banner(title);
+    harness::Table t({"iteration", "reward", "time (s)"});
+    std::size_t iter = 0;
+    for (const auto &p : res.reward_curve.points()) {
+        iter += kCurveEvery;
+        t.row({std::to_string(iter), harness::fmt(p.v, 2),
+               harness::fmt(iter * periter_ms / 1000.0, 1)});
+    }
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader("Figure 14 — async DQN training curves (reward vs time)");
-    bench::TimingCache cache;
 
-    dist::JobConfig ps_learn =
-        harness::learningJob(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs);
-    dist::JobConfig isw_learn =
-        harness::learningJob(rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch);
-    ps_learn.curve_every = 200;
-    isw_learn.curve_every = 200;
-    const dist::RunResult ps = dist::runJob(ps_learn);
-    const dist::RunResult isw = dist::runJob(isw_learn);
+    bench::prefetch({curveSpec(dist::StrategyKind::kAsyncPs),
+                     curveSpec(dist::StrategyKind::kAsyncIswitch),
+                     harness::timingSpec(rl::Algo::kDqn,
+                                         dist::StrategyKind::kAsyncPs),
+                     harness::timingSpec(rl::Algo::kDqn,
+                                         dist::StrategyKind::kAsyncIswitch)});
 
+    const dist::RunResult &ps =
+        bench::runner().run(curveSpec(dist::StrategyKind::kAsyncPs));
+    const dist::RunResult &isw =
+        bench::runner().run(curveSpec(dist::StrategyKind::kAsyncIswitch));
     const double ps_ms =
-        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs);
+        bench::perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs);
     const double isw_ms =
-        cache.perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch);
+        bench::perIterMs(rl::Algo::kDqn, dist::StrategyKind::kAsyncIswitch);
 
-    harness::banner("Async PS curve");
-    {
-        harness::Table t({"iteration", "reward", "time (s)"});
-        std::size_t iter = 0;
-        for (const auto &p : ps.reward_curve.points()) {
-            iter += ps_learn.curve_every;
-            t.row({std::to_string(iter), harness::fmt(p.v, 2),
-                   harness::fmt(iter * ps_ms / 1000.0, 1)});
-        }
-        t.print();
-    }
-    harness::banner("Async iSW curve");
-    {
-        harness::Table t({"iteration", "reward", "time (s)"});
-        std::size_t iter = 0;
-        for (const auto &p : isw.reward_curve.points()) {
-            iter += isw_learn.curve_every;
-            t.row({std::to_string(iter), harness::fmt(p.v, 2),
-                   harness::fmt(iter * isw_ms / 1000.0, 1)});
-        }
-        t.print();
-    }
+    curveTable("Async PS curve", ps, ps_ms);
+    curveTable("Async iSW curve", isw, isw_ms);
 
     std::cout << "\nAsync PS: " << ps.iterations << " updates to reward "
               << harness::fmt(ps.final_avg_reward, 2) << "; Async iSW: "
@@ -62,5 +75,6 @@ main()
               << harness::fmt(isw.final_avg_reward, 2)
               << "\n(paper: iSwitch converges in 44.4%-77.8% fewer"
               << " iterations thanks to fresher gradients).\n";
+    bench::writeReport("fig14_async_curves");
     return 0;
 }

@@ -13,6 +13,7 @@
  */
 
 #include <iostream>
+#include <map>
 
 #include "common.hh"
 
@@ -23,8 +24,8 @@ namespace {
 const std::array<std::size_t, 4> kWorkerCounts{4, 6, 9, 12};
 
 void
-panel(bench::TimingCache &cache, rl::Algo algo,
-      const std::vector<dist::StrategyKind> &strategies, const char *title)
+panel(rl::Algo algo, const std::vector<dist::StrategyKind> &strategies,
+      const char *title)
 {
     harness::banner(std::string(rl::algoName(algo)) + " — " + title);
     std::vector<std::string> headers{"Workers"};
@@ -35,12 +36,12 @@ panel(bench::TimingCache &cache, rl::Algo algo,
 
     std::map<dist::StrategyKind, double> base;
     for (auto k : strategies)
-        base[k] = cache.perIterMs(algo, k, 4, /*tree=*/true);
+        base[k] = bench::perIterMs(algo, k, 4, /*tree=*/true);
 
     for (std::size_t n : kWorkerCounts) {
         std::vector<std::string> row{std::to_string(n)};
         for (auto k : strategies) {
-            const double periter = cache.perIterMs(algo, k, n, true);
+            const double periter = bench::perIterMs(algo, k, n, true);
             // Fixed total gradient-sample budget G. One Async PS
             // update consumes one gradient (updates = G); every other
             // strategy's update consumes N gradients (updates = G/N).
@@ -62,10 +63,10 @@ panel(bench::TimingCache &cache, rl::Algo algo,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Figure 15 — rack-scale scalability (racks of 3)");
-    bench::TimingCache cache;
 
     const std::vector<dist::StrategyKind> sync{
         dist::StrategyKind::kSyncPs, dist::StrategyKind::kSyncAllReduce,
@@ -73,14 +74,27 @@ main()
     const std::vector<dist::StrategyKind> async_k{
         dist::StrategyKind::kAsyncPs, dist::StrategyKind::kAsyncIswitch};
 
-    panel(cache, rl::Algo::kPpo, sync, "synchronous (Fig. 15a)");
-    panel(cache, rl::Algo::kPpo, async_k, "asynchronous (Fig. 15b)");
-    panel(cache, rl::Algo::kDdpg, sync, "synchronous (Fig. 15c)");
-    panel(cache, rl::Algo::kDdpg, async_k, "asynchronous (Fig. 15d)");
+    // The full sweep: 5 strategies x 4 worker counts x 2 algorithms,
+    // all independent tree-topology timing runs.
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : {rl::Algo::kPpo, rl::Algo::kDdpg}) {
+        for (const auto &group : {sync, async_k})
+            for (auto k : group)
+                for (std::size_t n : kWorkerCounts)
+                    specs.push_back(
+                        harness::timingSpec(algo, k, n, /*tree=*/true));
+    }
+    bench::prefetch(specs);
+
+    panel(rl::Algo::kPpo, sync, "synchronous (Fig. 15a)");
+    panel(rl::Algo::kPpo, async_k, "asynchronous (Fig. 15b)");
+    panel(rl::Algo::kDdpg, sync, "synchronous (Fig. 15c)");
+    panel(rl::Algo::kDdpg, async_k, "asynchronous (Fig. 15d)");
 
     std::cout << "\nExpected shape (paper): AR scales worst (hop count"
               << "\nlinear in N), PS second (central bottleneck), iSwitch"
               << "\nbest via hierarchical in-switch aggregation; async"
               << "\niSwitch approaches linear speedup.\n";
+    bench::writeReport("fig15_scalability");
     return 0;
 }

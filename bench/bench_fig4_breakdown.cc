@@ -15,7 +15,7 @@ using namespace isw;
 namespace {
 
 void
-breakdownTable(bench::TimingCache &cache, dist::StrategyKind k)
+breakdownTable(dist::StrategyKind k)
 {
     harness::banner(std::string("Figure 4") +
                     (k == dist::StrategyKind::kSyncPs ? "a — PS"
@@ -29,7 +29,7 @@ breakdownTable(bench::TimingCache &cache, dist::StrategyKind k)
         const auto comp = static_cast<dist::IterComponent>(c);
         std::vector<std::string> row{dist::componentName(comp)};
         for (auto algo : bench::kAlgos) {
-            const auto &res = cache.result(algo, k);
+            const auto &res = bench::timingResult(algo, k);
             row.push_back(
                 harness::fmt(res.breakdown.fraction(comp) * 100.0, 1) + "%");
         }
@@ -41,26 +41,32 @@ breakdownTable(bench::TimingCache &cache, dist::StrategyKind k)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader(
         "Figure 4 — per-iteration breakdown of PS and AllReduce training");
-    bench::TimingCache cache;
 
-    breakdownTable(cache, dist::StrategyKind::kSyncPs);
-    breakdownTable(cache, dist::StrategyKind::kSyncAllReduce);
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos)
+        for (auto k : {dist::StrategyKind::kSyncPs,
+                       dist::StrategyKind::kSyncAllReduce})
+            specs.push_back(harness::timingSpec(algo, k));
+    bench::prefetch(specs);
+
+    breakdownTable(dist::StrategyKind::kSyncPs);
+    breakdownTable(dist::StrategyKind::kSyncAllReduce);
 
     harness::banner("Gradient-aggregation share (paper: 49.9%-83.2%)");
     harness::Table t({"Algorithm", "PS agg share", "AR agg share"});
     double lo = 1.0, hi = 0.0;
     for (auto algo : bench::kAlgos) {
-        const double ps = cache.result(algo, dist::StrategyKind::kSyncPs)
-                              .breakdown.fraction(
-                                  dist::IterComponent::kGradAggregation);
+        const double ps =
+            bench::timingResult(algo, dist::StrategyKind::kSyncPs)
+                .breakdown.fraction(dist::IterComponent::kGradAggregation);
         const double ar =
-            cache.result(algo, dist::StrategyKind::kSyncAllReduce)
-                .breakdown.fraction(
-                    dist::IterComponent::kGradAggregation);
+            bench::timingResult(algo, dist::StrategyKind::kSyncAllReduce)
+                .breakdown.fraction(dist::IterComponent::kGradAggregation);
         lo = std::min({lo, ps, ar});
         hi = std::max({hi, ps, ar});
         t.row({rl::algoName(algo), harness::fmt(ps * 100.0, 1) + "%",
@@ -70,5 +76,6 @@ main()
     std::cout << "measured range: " << harness::fmt(lo * 100.0, 1) << "%-"
               << harness::fmt(hi * 100.0, 1)
               << "% (paper reports 49.9%-83.2%)\n";
+    bench::writeReport("fig4_breakdown");
     return 0;
 }

@@ -15,33 +15,52 @@ using namespace isw;
 
 namespace {
 
-double
-aggMs(rl::Algo algo, dist::StrategyKind k, std::uint64_t wire_bytes)
+const std::uint64_t kKb = 1024;
+
+harness::ExperimentSpec
+sweepSpec(dist::StrategyKind k, std::uint64_t wire_bytes)
 {
-    dist::JobConfig cfg = harness::timingJob(algo, k);
-    cfg.wire_model_bytes = wire_bytes;
-    cfg.stop.max_iterations = 12;
-    const dist::RunResult res = dist::runJob(cfg);
-    return res.breakdown.meanMs(dist::IterComponent::kGradAggregation);
+    harness::ExperimentSpec spec =
+        harness::timingSpec(rl::Algo::kPpo, k);
+    spec.name += "/wire" + std::to_string(wire_bytes / kKb) + "KB";
+    spec.tags.push_back("fig8-sweep");
+    spec.config.wire_model_bytes = wire_bytes;
+    spec.config.stop.max_iterations = 12;
+    return spec;
+}
+
+double
+aggMs(dist::StrategyKind k, std::uint64_t wire_bytes)
+{
+    return bench::runner()
+        .run(sweepSpec(k, wire_bytes))
+        .breakdown.meanMs(dist::IterComponent::kGradAggregation);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader(
         "Figure 8 — conventional vs on-the-fly aggregation latency");
 
+    const std::array<std::uint64_t, 5> kSizes{
+        64 * kKb, 256 * kKb, 1024 * kKb, 3328 * kKb, 6564 * kKb};
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (std::uint64_t size : kSizes) {
+        specs.push_back(sweepSpec(dist::StrategyKind::kSyncPs, size));
+        specs.push_back(sweepSpec(dist::StrategyKind::kSyncIswitch, size));
+    }
+    bench::prefetch(specs);
+
     harness::Table t({"Gradient size", "PS conventional (ms)",
                       "iSW on-the-fly (ms)", "Reduction"});
-    const std::uint64_t kKb = 1024;
-    for (std::uint64_t size :
-         {64 * kKb, 256 * kKb, 1024 * kKb, 3328 * kKb, 6564 * kKb}) {
-        const double ps = aggMs(rl::Algo::kPpo, dist::StrategyKind::kSyncPs,
-                                size);
-        const double isw =
-            aggMs(rl::Algo::kPpo, dist::StrategyKind::kSyncIswitch, size);
+    for (std::uint64_t size : kSizes) {
+        const double ps = aggMs(dist::StrategyKind::kSyncPs, size);
+        const double isw = aggMs(dist::StrategyKind::kSyncIswitch, size);
         const std::string label =
             size >= kKb * 1024
                 ? harness::fmt(double(size) / (1024.0 * 1024.0), 2) + " MB"
@@ -57,5 +76,6 @@ main()
         << "\nwhile the PS baseline buffers N complete vectors first"
         << "\n(Figure 8a), pays the central-link serialization twice, and"
         << "\nonly then sums.\n";
+    bench::writeReport("fig8_onthefly");
     return 0;
 }

@@ -14,34 +14,51 @@
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+harness::ExperimentSpec
+resourceSpec(rl::Algo algo)
 {
+    harness::ExperimentSpec spec =
+        harness::timingSpec(algo, dist::StrategyKind::kSyncIswitch);
+    spec.name += "/resources";
+    spec.tags.push_back("switch-resources");
+    spec.config.stop.max_iterations = 12;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader(
         "switch resource pressure (software analogue of paper section 3.5)");
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos)
+        specs.push_back(resourceSpec(algo));
+    bench::prefetch(specs);
 
     harness::Table t({"Benchmark", "wire size", "segments/round",
                       "peak active segs", "peak buffer KB",
                       "recovery cache KB"});
     for (auto algo : bench::kAlgos) {
-        dist::JobConfig cfg = harness::timingJob(
-            algo, dist::StrategyKind::kSyncIswitch);
-        cfg.stop.max_iterations = 12;
-        auto job = dist::makeJob(cfg);
-        job->run();
-        auto *sw = job->cluster().root;
-        const auto &pool = sw->accelerator().pool();
+        const harness::ExperimentSpec spec = resourceSpec(algo);
+        const dist::RunResult &res = bench::runner().run(spec);
+        const double peak_segs = res.extras.at("peak_active_segments");
+        const double cached = res.extras.at("cached_results");
         const double seg_bytes = 366.0 * 4.0;
-        const std::uint64_t wire = cfg.wire_model_bytes;
+        const std::uint64_t wire = spec.config.wire_model_bytes;
         t.row({rl::algoName(algo),
                wire >= (1 << 20)
                    ? harness::fmt(double(wire) / (1 << 20), 2) + " MB"
                    : harness::fmt(double(wire) / 1024.0, 1) + " KB",
                std::to_string(core::segCount(wire)),
-               std::to_string(pool.peakActiveSegments()),
-               harness::fmt(pool.peakActiveSegments() * seg_bytes / 1024.0,
-                            1),
-               harness::fmt(sw->cachedResults() * seg_bytes / 1024.0, 1)});
+               harness::fmt(peak_segs, 0),
+               harness::fmt(peak_segs * seg_bytes / 1024.0, 1),
+               harness::fmt(cached * seg_bytes / 1024.0, 1)});
     }
     t.print();
 
@@ -49,5 +66,6 @@ main()
         << "\nOn-the-fly aggregation keeps only the in-flight window of"
         << "\nsegments buffered (paper: 44.5% of NetFPGA BRAM), far below"
         << "\none full gradient vector per worker as a server would need.\n";
+    bench::writeReport("switch_resources");
     return 0;
 }

@@ -13,8 +13,9 @@
 using namespace isw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Table 1 — study of popular RL algorithms");
 
     harness::Table t({"RL Algorithm", "Paper Env", "Local Env",
@@ -39,5 +40,6 @@ main()
     std::cout << "\nThe local models are laptop-scale learnable stand-ins;"
               << "\nthe transport carries the paper-sized wire footprint"
               << "\n(DESIGN.md section 2).\n";
+    bench::writeReport("table1_models");
     return 0;
 }

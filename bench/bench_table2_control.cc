@@ -60,8 +60,9 @@ struct ControlBench
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Table 2 — control messages in the iSwitch protocol");
     ControlBench b;
 
@@ -127,5 +128,6 @@ main()
            "-"});
 
     t.print();
+    bench::writeReport("table2_control");
     return 0;
 }

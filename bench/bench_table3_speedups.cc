@@ -16,11 +16,42 @@
 
 using namespace isw;
 
-int
-main()
+namespace {
+
+/** The capped half-milestone async learning run used by this summary. */
+harness::ExperimentSpec
+asyncSummarySpec(rl::Algo algo, dist::StrategyKind k)
 {
+    harness::ExperimentSpec spec = harness::learningSpec(algo, k);
+    // Summary-level budget: race both strategies to a halfway reward
+    // milestone (Table 5 runs the full budgets).
+    spec.name += "/half-target";
+    spec.tags.push_back("half-target");
+    spec.config.stop.target_reward *= 0.5;
+    spec.config.stop.max_iterations =
+        std::min<std::uint64_t>(spec.config.stop.max_iterations, 8000);
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
     bench::printHeader("Table 3 — end-to-end speedup summary (vs PS)");
-    bench::TimingCache cache;
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos) {
+        for (auto k : bench::kSyncStrategies)
+            specs.push_back(harness::timingSpec(algo, k));
+        for (auto k : {dist::StrategyKind::kAsyncPs,
+                       dist::StrategyKind::kAsyncIswitch}) {
+            specs.push_back(harness::timingSpec(algo, k));
+            specs.push_back(asyncSummarySpec(algo, k));
+        }
+    }
+    bench::prefetch(specs);
 
     harness::banner("Synchronous (measured / paper)");
     {
@@ -29,8 +60,8 @@ main()
             std::vector<std::string> row{dist::strategyName(k)};
             for (auto algo : bench::kAlgos) {
                 const double ps =
-                    cache.perIterMs(algo, dist::StrategyKind::kSyncPs);
-                const double mine = cache.perIterMs(algo, k);
+                    bench::perIterMs(algo, dist::StrategyKind::kSyncPs);
+                const double mine = bench::perIterMs(algo, k);
                 row.push_back(bench::speedupStr(ps / mine) + " / " +
                               bench::speedupStr(
                                   harness::paperSyncSpeedup(algo, k)));
@@ -47,26 +78,16 @@ main()
         std::vector<std::string> isw_row{"Async iSW"};
         for (auto algo : bench::kAlgos) {
             ps_row.push_back("1.00x / 1.00x");
-            dist::JobConfig psl =
-                harness::learningJob(algo, dist::StrategyKind::kAsyncPs);
-            dist::JobConfig iswl =
-                harness::learningJob(algo, dist::StrategyKind::kAsyncIswitch);
-            // Summary-level budget: race both strategies to a halfway
-            // reward milestone (Table 5 runs the full budgets).
-            psl.stop.target_reward *= 0.5;
-            iswl.stop.target_reward *= 0.5;
-            psl.stop.max_iterations =
-                std::min<std::uint64_t>(psl.stop.max_iterations, 8000);
-            iswl.stop.max_iterations =
-                std::min<std::uint64_t>(iswl.stop.max_iterations, 8000);
-            const dist::RunResult ps = dist::runJob(psl);
-            const dist::RunResult isw = dist::runJob(iswl);
+            const dist::RunResult &ps = bench::runner().run(
+                asyncSummarySpec(algo, dist::StrategyKind::kAsyncPs));
+            const dist::RunResult &isw = bench::runner().run(
+                asyncSummarySpec(algo, dist::StrategyKind::kAsyncIswitch));
             const double e2e_ps =
                 static_cast<double>(ps.iterations) *
-                cache.perIterMs(algo, dist::StrategyKind::kAsyncPs);
+                bench::perIterMs(algo, dist::StrategyKind::kAsyncPs);
             const double e2e_isw =
                 static_cast<double>(isw.iterations) *
-                cache.perIterMs(algo, dist::StrategyKind::kAsyncIswitch);
+                bench::perIterMs(algo, dist::StrategyKind::kAsyncIswitch);
             isw_row.push_back(bench::speedupStr(e2e_ps / e2e_isw) + " / " +
                               bench::speedupStr(
                                   harness::paperAsyncSpeedup(algo)));
@@ -77,5 +98,6 @@ main()
     }
 
     std::cout << "\nPaper headline: up to 3.66x sync, 3.71x async (DQN).\n";
+    bench::writeReport("table3_speedups");
     return 0;
 }

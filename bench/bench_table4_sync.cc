@@ -18,10 +18,21 @@
 using namespace isw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Table 4 — synchronous training comparison");
-    bench::TimingCache cache;
+
+    // Declare the whole sweep up front: 4 learning runs + 12 timing
+    // runs execute in parallel on the runner's pool.
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos) {
+        specs.push_back(
+            harness::learningSpec(algo, dist::StrategyKind::kSyncIswitch));
+        for (auto k : bench::kSyncStrategies)
+            specs.push_back(harness::timingSpec(algo, k));
+    }
+    bench::prefetch(specs);
 
     harness::Table t({"Benchmark", "Iterations", "Final Avg Reward",
                       "PS end-to-end (s)", "AR end-to-end (s)",
@@ -29,20 +40,20 @@ main()
                       "paper speedup"});
 
     for (auto algo : bench::kAlgos) {
-        dist::JobConfig learn =
-            harness::learningJob(algo, dist::StrategyKind::kSyncIswitch);
-        const dist::RunResult lr = dist::runJob(learn);
+        const dist::RunResult &lr = bench::runner().run(
+            harness::learningSpec(algo, dist::StrategyKind::kSyncIswitch));
 
         const double iters = static_cast<double>(lr.iterations);
         const double ps_s =
-            iters * cache.perIterMs(algo, dist::StrategyKind::kSyncPs) /
+            iters * bench::perIterMs(algo, dist::StrategyKind::kSyncPs) /
             1000.0;
         const double ar_s =
             iters *
-            cache.perIterMs(algo, dist::StrategyKind::kSyncAllReduce) /
+            bench::perIterMs(algo, dist::StrategyKind::kSyncAllReduce) /
             1000.0;
         const double isw_s =
-            iters * cache.perIterMs(algo, dist::StrategyKind::kSyncIswitch) /
+            iters *
+            bench::perIterMs(algo, dist::StrategyKind::kSyncIswitch) /
             1000.0;
 
         t.row({rl::algoName(algo),
@@ -71,5 +82,6 @@ main()
     std::cout << "\nAbsolute times differ (local envs, laptop-scale models,"
               << "\nscaled iteration budgets); orderings and speedup shapes"
               << "\nare the reproduction target.\n";
+    bench::writeReport("table4_sync");
     return 0;
 }

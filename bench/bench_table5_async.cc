@@ -17,10 +17,20 @@
 using namespace isw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
     bench::printHeader("Table 5 — asynchronous training comparison (S=3)");
-    bench::TimingCache cache;
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto algo : bench::kAlgos) {
+        for (auto k : {dist::StrategyKind::kAsyncPs,
+                       dist::StrategyKind::kAsyncIswitch}) {
+            specs.push_back(harness::learningSpec(algo, k));
+            specs.push_back(harness::timingSpec(algo, k));
+        }
+    }
+    bench::prefetch(specs);
 
     harness::Table t(
         {"Benchmark", "PS iters", "iSW iters", "iter reduction",
@@ -28,17 +38,15 @@ main()
          "iSW e2e (s)", "speedup", "paper", "rewards PS/iSW"});
 
     for (auto algo : bench::kAlgos) {
-        dist::JobConfig ps_learn =
-            harness::learningJob(algo, dist::StrategyKind::kAsyncPs);
-        dist::JobConfig isw_learn =
-            harness::learningJob(algo, dist::StrategyKind::kAsyncIswitch);
-        const dist::RunResult ps = dist::runJob(ps_learn);
-        const dist::RunResult isw = dist::runJob(isw_learn);
+        const dist::RunResult &ps = bench::runner().run(
+            harness::learningSpec(algo, dist::StrategyKind::kAsyncPs));
+        const dist::RunResult &isw = bench::runner().run(
+            harness::learningSpec(algo, dist::StrategyKind::kAsyncIswitch));
 
         const double ps_periter =
-            cache.perIterMs(algo, dist::StrategyKind::kAsyncPs);
+            bench::perIterMs(algo, dist::StrategyKind::kAsyncPs);
         const double isw_periter =
-            cache.perIterMs(algo, dist::StrategyKind::kAsyncIswitch);
+            bench::perIterMs(algo, dist::StrategyKind::kAsyncIswitch);
         const double ps_e2e =
             static_cast<double>(ps.iterations) * ps_periter / 1000.0;
         const double isw_e2e =
@@ -74,5 +82,6 @@ main()
                harness::fmt(row.isw_hours, 2)});
     }
     p.print();
+    bench::writeReport("table5_async");
     return 0;
 }

@@ -1,31 +1,64 @@
 #include "common.hh"
 
 #include <iostream>
-#include <sstream>
+#include <memory>
 
 namespace isw::bench {
 
-double
-TimingCache::perIterMs(rl::Algo algo, dist::StrategyKind k,
-                       std::size_t workers, bool tree)
+namespace {
+
+std::size_t g_jobs = 0; ///< --jobs override captured by initBench()
+std::unique_ptr<harness::Runner> g_runner;
+
+} // namespace
+
+harness::Cli
+initBench(int argc, const char *const *argv,
+          std::vector<std::string> extra_known)
 {
-    return result(algo, k, workers, tree).perIterationMs();
+    harness::Cli cli(argc, argv);
+    std::vector<std::string> known = std::move(extra_known);
+    known.push_back("jobs");
+    cli.requireKnown(known);
+    g_jobs = static_cast<std::size_t>(cli.getInt("jobs", 0));
+    return cli;
+}
+
+harness::Runner &
+runner()
+{
+    if (!g_runner) {
+        harness::RunnerOptions opts;
+        opts.jobs = g_jobs;
+        g_runner = std::make_unique<harness::Runner>(opts);
+    }
+    return *g_runner;
+}
+
+void
+prefetch(const std::vector<harness::ExperimentSpec> &specs)
+{
+    runner().runAll(specs);
+}
+
+double
+perIterMs(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
+          bool tree)
+{
+    return timingResult(algo, k, workers, tree).perIterationMs();
 }
 
 const dist::RunResult &
-TimingCache::result(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
-                    bool tree)
+timingResult(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
+             bool tree)
 {
-    std::ostringstream key;
-    key << rl::algoName(algo) << "/" << dist::strategyName(k) << "/"
-        << workers << "/" << tree;
-    auto it = cache_.find(key.str());
-    if (it == cache_.end()) {
-        dist::JobConfig cfg = harness::timingJob(algo, k, workers);
-        cfg.use_tree = tree;
-        it = cache_.emplace(key.str(), dist::runJob(cfg)).first;
-    }
-    return it->second;
+    return runner().run(harness::timingSpec(algo, k, workers, tree));
+}
+
+void
+writeReport(const std::string &name)
+{
+    runner().writeReport(name);
 }
 
 void
@@ -34,7 +67,9 @@ printHeader(const std::string &what)
     const auto opts = harness::benchOptions();
     std::cout << "#\n# iswitch-sim reproduction: " << what << "\n"
               << "# scale: " << (opts.full ? "full" : "quick")
-              << " (set ISW_BENCH_SCALE=full for paper-scale runs)\n#\n";
+              << " (set ISW_BENCH_SCALE=full for paper-scale runs)\n"
+              << "# jobs: " << runner().jobs()
+              << " (set --jobs N or ISW_BENCH_JOBS)\n#\n";
 }
 
 std::string

@@ -106,4 +106,12 @@ AsyncIswitchJob::drainLwu(WorkerCtx &w)
     });
 }
 
+void
+AsyncIswitchJob::collectExtras(RunResult &res) const
+{
+    JobBase::collectExtras(res);
+    res.extras["gradients_committed"] = static_cast<double>(committed_);
+    res.extras["gradients_skipped"] = static_cast<double>(skipped_);
+}
+
 } // namespace isw::dist

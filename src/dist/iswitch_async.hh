@@ -30,6 +30,7 @@ class AsyncIswitchJob : public JobBase
 
   protected:
     void start() override;
+    void collectExtras(RunResult &res) const override;
 
   private:
     void lgcLoop(WorkerCtx &w);

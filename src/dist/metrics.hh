@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "dist/timing.hh"
 #include "sim/stats.hh"
@@ -59,6 +61,14 @@ struct RunResult
     bool reached_target = false;       ///< stopped by reward target?
     IterationMetrics breakdown;        ///< representative worker breakdown
     sim::TimeSeries reward_curve;      ///< (sim time, avg reward)
+    /**
+     * Strategy-specific counters collected after the run (e.g. async
+     * gradients committed/skipped, peak switch buffer occupancy), so
+     * bench binaries can consume every figure they print from a
+     * RunResult instead of poking at live Job internals. Keys are
+     * stable snake_case names; see JobBase::collectExtras.
+     */
+    std::map<std::string, double> extras;
 
     /** Mean per-iteration wall time in milliseconds. */
     double

@@ -195,7 +195,20 @@ JobBase::run()
     res.reached_target = reached_target_;
     res.breakdown = workers_.front().metrics;
     res.reward_curve = curve_;
+    collectExtras(res);
     return res;
+}
+
+void
+JobBase::collectExtras(RunResult &res) const
+{
+    if (cluster_.root != nullptr) {
+        const auto &pool = cluster_.root->accelerator().pool();
+        res.extras["peak_active_segments"] =
+            static_cast<double>(pool.peakActiveSegments());
+        res.extras["cached_results"] =
+            static_cast<double>(cluster_.root->cachedResults());
+    }
 }
 
 std::unique_ptr<JobBase>

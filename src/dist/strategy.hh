@@ -13,6 +13,7 @@
 #ifndef ISW_DIST_STRATEGY_HH
 #define ISW_DIST_STRATEGY_HH
 
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -54,7 +55,7 @@ struct StopCondition
     bool
     hasTarget() const
     {
-        return target_reward == target_reward; // !isnan
+        return !std::isnan(target_reward);
     }
 };
 
@@ -144,6 +145,14 @@ class JobBase
 
     /** Schedule the initial events (called once by run()). */
     virtual void start() = 0;
+
+    /**
+     * Populate RunResult::extras after the simulation drains. The base
+     * records switch-side resource stats (peak active segment buffers,
+     * recovery-cache entries) when the cluster has an aggregation
+     * root; subclasses add strategy-specific counters.
+     */
+    virtual void collectExtras(RunResult &res) const;
 
     /**
      * Run the LGC stage for @p w: computes the real gradient at the

@@ -45,9 +45,15 @@ Cli::getInt(const std::string &name, std::int64_t fallback) const
     if (it == flags_.end())
         return fallback;
     std::size_t pos = 0;
-    const std::int64_t v = std::stoll(it->second, &pos);
+    std::int64_t v = 0;
+    try {
+        v = std::stoll(it->second, &pos);
+    } catch (const std::exception &) {
+        pos = std::string::npos;
+    }
     if (pos != it->second.size())
-        throw std::invalid_argument("Cli: --" + name + " wants an integer");
+        throw std::invalid_argument("Cli: --" + name + " wants an integer, got '" +
+                                    it->second + "'");
     return v;
 }
 
@@ -58,9 +64,15 @@ Cli::getDouble(const std::string &name, double fallback) const
     if (it == flags_.end())
         return fallback;
     std::size_t pos = 0;
-    const double v = std::stod(it->second, &pos);
+    double v = 0.0;
+    try {
+        v = std::stod(it->second, &pos);
+    } catch (const std::exception &) {
+        pos = std::string::npos;
+    }
     if (pos != it->second.size())
-        throw std::invalid_argument("Cli: --" + name + " wants a number");
+        throw std::invalid_argument("Cli: --" + name + " wants a number, got '" +
+                                    it->second + "'");
     return v;
 }
 

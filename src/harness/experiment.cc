@@ -77,4 +77,41 @@ learningJob(rl::Algo algo, dist::StrategyKind k, std::size_t workers)
     return cfg;
 }
 
+std::string
+specName(const std::string &flavor, rl::Algo algo, dist::StrategyKind k,
+         std::size_t workers, bool tree)
+{
+    std::string strategy = dist::strategyName(k);
+    for (char &c : strategy)
+        if (c == ' ')
+            c = '-';
+    std::string name = flavor + "/" + rl::algoName(algo) + "/" + strategy +
+                       "/w" + std::to_string(workers);
+    if (tree)
+        name += "/tree";
+    return name;
+}
+
+ExperimentSpec
+timingSpec(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
+           bool tree)
+{
+    ExperimentSpec spec;
+    spec.name = specName("timing", algo, k, workers, tree);
+    spec.config = timingJob(algo, k, workers);
+    spec.config.use_tree = tree;
+    spec.tags = {"timing"};
+    return spec;
+}
+
+ExperimentSpec
+learningSpec(rl::Algo algo, dist::StrategyKind k, std::size_t workers)
+{
+    ExperimentSpec spec;
+    spec.name = specName("learn", algo, k, workers);
+    spec.config = learningJob(algo, k, workers);
+    spec.tags = {"learning"};
+    return spec;
+}
+
 } // namespace isw::harness

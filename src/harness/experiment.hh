@@ -22,6 +22,7 @@
 #define ISW_HARNESS_EXPERIMENT_HH
 
 #include "dist/strategy.hh"
+#include "harness/runner.hh"
 
 namespace isw::harness {
 
@@ -49,6 +50,22 @@ dist::JobConfig timingJob(rl::Algo algo, dist::StrategyKind k,
 
 /** Learning-run preset: trains for real until the reward target. */
 dist::JobConfig learningJob(rl::Algo algo, dist::StrategyKind k,
+                            std::size_t workers = 4);
+
+/**
+ * Canonical spec name, e.g. "timing/DQN/Async-iSW/w4/tree" (spaces in
+ * strategy names become '-' so names stay shell- and path-friendly).
+ */
+std::string specName(const std::string &flavor, rl::Algo algo,
+                     dist::StrategyKind k, std::size_t workers,
+                     bool tree = false);
+
+/** timingJob() wrapped as a named, tagged ExperimentSpec. */
+ExperimentSpec timingSpec(rl::Algo algo, dist::StrategyKind k,
+                          std::size_t workers = 4, bool tree = false);
+
+/** learningJob() wrapped as a named, tagged ExperimentSpec. */
+ExperimentSpec learningSpec(rl::Algo algo, dist::StrategyKind k,
                             std::size_t workers = 4);
 
 } // namespace isw::harness

@@ -1,0 +1,355 @@
+#include "harness/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace isw::harness::json {
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Shortest-round-trip-ish number formatting: integers (within the
+ * double-exact range) print without a fraction so keys like iteration
+ * counts stay readable; everything else prints with %.17g, which
+ * round-trips any double exactly.
+ */
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    out += buf;
+}
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::invalid_argument("json: " + why + " at offset " +
+                                    std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        skipWs();
+        if (text.compare(pos, word.size(), word) == 0) {
+            pos += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("short \\u escape");
+                const unsigned code =
+                    std::stoul(text.substr(pos, 4), nullptr, 16);
+                pos += 4;
+                // ASCII only; anything above is replaced. The writer
+                // never emits non-ASCII escapes.
+                out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            Value v = Value::object();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                const std::string key = parseString();
+                expect(':');
+                v[key] = parseValue();
+                const char n = peek();
+                ++pos;
+                if (n == '}')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Value v = Value::array();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.push(parseValue());
+                const char n = peek();
+                ++pos;
+                if (n == ']')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return Value(parseString());
+        if (consume("true"))
+            return Value(true);
+        if (consume("false"))
+            return Value(false);
+        if (consume("null"))
+            return Value();
+        // Number.
+        std::size_t end = pos;
+        while (end < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[end])) ||
+                text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+                text[end] == 'e' || text[end] == 'E'))
+            ++end;
+        if (end == pos)
+            fail("unexpected character");
+        try {
+            const double num = std::stod(text.substr(pos, end - pos));
+            pos = end;
+            return Value(num);
+        } catch (const std::exception &) {
+            fail("bad number");
+        }
+    }
+};
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::kBool)
+        throw std::logic_error("json: not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (type_ != Type::kNumber)
+        throw std::logic_error("json: not a number");
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::kString)
+        throw std::logic_error("json: not a string");
+    return str_;
+}
+
+Value &
+Value::push(Value v)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kArray;
+    if (type_ != Type::kArray)
+        throw std::logic_error("json: not an array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    if (type_ != Type::kObject)
+        throw std::logic_error("json: not an object");
+    return members_[key];
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::kObject)
+        return nullptr;
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 (static_cast<std::size_t>(depth) + 1),
+                             ' ')
+               : "";
+    const std::string close_pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 static_cast<std::size_t>(depth),
+                             ' ')
+               : "";
+    const char *nl = pretty ? "\n" : "";
+    const char *colon = pretty ? ": " : ":";
+
+    switch (type_) {
+      case Type::kNull: out += "null"; break;
+      case Type::kBool: out += bool_ ? "true" : "false"; break;
+      case Type::kNumber: appendNumber(out, num_); break;
+      case Type::kString: appendEscaped(out, str_); break;
+      case Type::kArray: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            out += pad;
+            items_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < items_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto &[key, val] : members_) {
+            out += pad;
+            appendEscaped(out, key);
+            out += colon;
+            val.dumpTo(out, indent, depth + 1);
+            if (++i < members_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Value
+Value::parse(const std::string &text)
+{
+    Parser p{text};
+    Value v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing characters");
+    return v;
+}
+
+} // namespace isw::harness::json

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal JSON value with deterministic serialization.
+ *
+ * Exists so the experiment runner can emit machine-readable
+ * `BENCH_<name>.json` reports (and tests can parse them back) without
+ * an external dependency. Deterministic output matters: the runner's
+ * parity test compares serialized RunResults byte-for-byte, so dump()
+ * must be a pure function of the value (sorted object keys, fixed
+ * number formatting).
+ */
+
+#ifndef ISW_HARNESS_JSON_HH
+#define ISW_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isw::harness::json {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Value() : type_(Type::kNull) {}
+    Value(bool b) : type_(Type::kBool), bool_(b) {}
+    Value(double n) : type_(Type::kNumber), num_(n) {}
+    Value(int n) : type_(Type::kNumber), num_(n) {}
+    Value(std::int64_t n) : type_(Type::kNumber),
+                            num_(static_cast<double>(n)) {}
+    Value(std::uint64_t n) : type_(Type::kNumber),
+                             num_(static_cast<double>(n)) {}
+    Value(const char *s) : type_(Type::kString), str_(s) {}
+    Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    static Value array() { Value v; v.type_ = Type::kArray; return v; }
+    static Value object() { Value v; v.type_ = Type::kObject; return v; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+
+    /** Typed accessors; throw std::logic_error on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array: append one element (converts a null value to an array). */
+    Value &push(Value v);
+    /** Array elements (empty for non-arrays). */
+    const std::vector<Value> &items() const { return items_; }
+    std::size_t size() const { return items_.size(); }
+
+    /** Object: member lookup, creating on first use (like a map). */
+    Value &operator[](const std::string &key);
+    /** Object: member lookup without creation; nullptr if absent. */
+    const Value *find(const std::string &key) const;
+    const std::map<std::string, Value> &members() const { return members_; }
+
+    /**
+     * Serialize. @p indent < 0 renders compact one-line JSON;
+     * otherwise pretty-printed with that many spaces per level.
+     * Non-finite numbers render as null (JSON has no NaN/Inf).
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Parse @p text; throws std::invalid_argument on malformed input. */
+    static Value parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> items_;
+    std::map<std::string, Value> members_;
+};
+
+} // namespace isw::harness::json
+
+#endif // ISW_HARNESS_JSON_HH

@@ -1,10 +1,14 @@
-/** @file Table/CSV rendering tests. */
+/** @file Table/CSV rendering and JSON report-schema tests. */
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
+#include "dist/metrics.hh"
+#include "harness/json.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 
 namespace isw::harness {
 namespace {
@@ -64,6 +68,113 @@ TEST(Banner, ContainsTitle)
     std::ostringstream os;
     banner("Table 1", os);
     EXPECT_NE(os.str().find("Table 1"), std::string::npos);
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    json::Value v = json::Value::object();
+    v["name"] = "timing/DQN/PS/w4";
+    v["iterations"] = std::uint64_t{60};
+    v["reward"] = 17.25;
+    v["reached_target"] = false;
+    json::Value arr = json::Value::array();
+    arr.push(1.5);
+    arr.push(json::Value()); // null (NaN serialization target)
+    v["curve"] = std::move(arr);
+
+    const json::Value back = json::Value::parse(v.dump(2));
+    EXPECT_EQ(back.dump(), v.dump());
+    EXPECT_EQ(back.find("name")->asString(), "timing/DQN/PS/w4");
+    EXPECT_EQ(back.find("iterations")->asNumber(), 60.0);
+    EXPECT_FALSE(back.find("reached_target")->asBool());
+    EXPECT_TRUE(back.find("curve")->items()[1].isNull());
+}
+
+TEST(Json, DeterministicKeyOrderAndFormatting)
+{
+    json::Value a = json::Value::object();
+    a["zeta"] = 1;
+    a["alpha"] = 2;
+    json::Value b = json::Value::object();
+    b["alpha"] = 2;
+    b["zeta"] = 1;
+    // Sorted object keys: insertion order must not leak into output.
+    EXPECT_EQ(a.dump(), b.dump());
+    EXPECT_LT(a.dump().find("alpha"), a.dump().find("zeta"));
+}
+
+/** A RunResult with every serialized field populated. */
+dist::RunResult
+sampleResult()
+{
+    dist::RunResult r;
+    r.iterations = 120;
+    r.total_time = 120 * sim::fromMillis(42.5);
+    r.final_avg_reward = 196.75;
+    r.reached_target = true;
+    r.breakdown.add(dist::IterComponent::kForwardPass, sim::fromMillis(30.0));
+    r.breakdown.add(dist::IterComponent::kGradAggregation, sim::fromMillis(8.0));
+    r.extras["gradients_committed"] = 118.0;
+    r.extras["gradients_skipped"] = 2.0;
+    r.reward_curve.record(1'000'000, 25.0);
+    r.reward_curve.record(2'000'000, 180.0);
+    return r;
+}
+
+TEST(ResultJson, SchemaFieldsPresent)
+{
+    const json::Value v = resultToJson(sampleResult());
+    // The fields the issue pins down for BENCH_<name>.json consumers.
+    ASSERT_NE(v.find("iterations"), nullptr);
+    ASSERT_NE(v.find("per_iter_ms"), nullptr);
+    ASSERT_NE(v.find("reward"), nullptr);
+    ASSERT_NE(v.find("reached_target"), nullptr);
+    ASSERT_NE(v.find("total_sim_ns"), nullptr);
+    ASSERT_NE(v.find("breakdown_ms"), nullptr);
+    ASSERT_NE(v.find("curve"), nullptr);
+    EXPECT_EQ(v.find("iterations")->asNumber(), 120.0);
+    EXPECT_NEAR(v.find("per_iter_ms")->asNumber(), 42.5, 1e-12);
+    EXPECT_EQ(v.find("reward")->asNumber(), 196.75);
+    EXPECT_TRUE(v.find("reached_target")->asBool());
+}
+
+TEST(ResultJson, RoundTripThroughText)
+{
+    const dist::RunResult orig = sampleResult();
+    const json::Value parsed =
+        json::Value::parse(resultToJson(orig).dump(2));
+    const dist::RunResult back = resultFromJson(parsed);
+
+    EXPECT_EQ(back.iterations, orig.iterations);
+    EXPECT_EQ(back.total_time, orig.total_time);
+    EXPECT_EQ(back.final_avg_reward, orig.final_avg_reward);
+    EXPECT_EQ(back.reached_target, orig.reached_target);
+    EXPECT_NEAR(back.perIterationMs(), orig.perIterationMs(), 1e-9);
+    EXPECT_NEAR(back.breakdown.meanMs(dist::IterComponent::kForwardPass),
+                30.0, 1e-9);
+    EXPECT_NEAR(back.breakdown.meanMs(dist::IterComponent::kGradAggregation),
+                8.0, 1e-9);
+    EXPECT_EQ(back.extras.at("gradients_committed"), 118.0);
+    EXPECT_EQ(back.extras.at("gradients_skipped"), 2.0);
+    ASSERT_EQ(back.reward_curve.points().size(), 2u);
+    EXPECT_EQ(back.reward_curve.points()[1].v, 180.0);
+
+    // Serialization is a fixed point: dump(fromJson(toJson(r))) is
+    // stable, which is what the parity test relies on.
+    EXPECT_EQ(resultToJson(back).dump(), resultToJson(orig).dump());
+}
+
+TEST(ConfigJson, NanTargetSerializesAsNull)
+{
+    dist::JobConfig cfg;
+    cfg.stop.target_reward = std::numeric_limits<double>::quiet_NaN();
+    const json::Value v = configToJson(cfg);
+    const json::Value *stop = v.find("stop");
+    ASSERT_NE(stop, nullptr);
+    ASSERT_NE(stop->find("target_reward"), nullptr);
+    EXPECT_TRUE(stop->find("target_reward")->isNull());
+    // And the text form is real JSON, not a bare nan token.
+    EXPECT_EQ(v.dump().find("nan"), std::string::npos);
 }
 
 } // namespace
