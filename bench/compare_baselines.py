@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_micro_*.json reports against bench/baselines/.
+
+Warn-only by design: micro-bench timings on shared CI runners are
+noisy, so ordinary drift only prints a warning. The step fails only on
+a catastrophic (> 2x by default) per-iteration slowdown, which almost
+always means a real regression rather than noise.
+
+Usage: compare_baselines.py <reports_dir> [--baselines DIR] [--fail-ratio R]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_runs(path):
+    """Map benchmark run name -> per-iteration cpu time (ns)."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        run["name"]: run["cpu_time_ns"]
+        for run in doc.get("runs", [])
+        if run.get("cpu_time_ns", 0) > 0
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reports_dir", type=pathlib.Path)
+    ap.add_argument(
+        "--baselines",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "baselines",
+    )
+    ap.add_argument("--fail-ratio", type=float, default=2.0)
+    args = ap.parse_args()
+
+    failures = []
+    compared = 0
+    for base_path in sorted(args.baselines.glob("BENCH_micro_*.json")):
+        fresh_path = args.reports_dir / base_path.name
+        if not fresh_path.exists():
+            print(f"WARN: no fresh report for {base_path.name}")
+            continue
+        base = load_runs(base_path)
+        fresh = load_runs(fresh_path)
+        for name, base_ns in sorted(base.items()):
+            if name not in fresh:
+                print(f"WARN: {base_path.name}: run '{name}' missing")
+                continue
+            ratio = fresh[name] / base_ns
+            compared += 1
+            tag = "OK"
+            if ratio > args.fail_ratio:
+                tag = "FAIL"
+                failures.append((name, ratio))
+            elif ratio > 1.25:
+                tag = "WARN"
+            print(
+                f"{tag:>4}  {name:<40} {base_ns:>12.1f} ns -> "
+                f"{fresh[name]:>12.1f} ns  ({ratio:.2f}x)"
+            )
+
+    print(f"# compared {compared} runs against {args.baselines}")
+    if failures:
+        print(f"# {len(failures)} run(s) slowed down more than "
+              f"{args.fail_ratio}x:")
+        for name, ratio in failures:
+            print(f"#   {name}: {ratio:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared main for the micro benchmarks: runs Google Benchmark with the
+ * normal console output, then writes a `BENCH_micro_<name>.json`
+ * report in the harness::json schema so micro-bench results land in
+ * the same trajectory as the macro benches (and CI can compare them
+ * against bench/baselines/).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+
+namespace {
+
+/** Console reporter that also captures every run for the JSON report. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<Run> captured;
+
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &r : report)
+            captured.push_back(r);
+        ConsoleReporter::ReportRuns(report);
+    }
+};
+
+/** "path/to/bench_micro_eventqueue" -> "micro_eventqueue". */
+std::string
+benchName(const char *argv0)
+{
+    std::string name = argv0;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const std::string prefix = "bench_";
+    if (name.rfind(prefix, 0) == 0)
+        name = name.substr(prefix.size());
+    return name;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    namespace json = isw::harness::json;
+    const std::string name = benchName(argv[0]);
+    json::Value root = json::Value::object();
+    root["bench"] = name;
+    root["schema_version"] = 1;
+    json::Value runs = json::Value::array();
+    for (const auto &r : reporter.captured) {
+        if (r.error_occurred)
+            continue;
+        json::Value run = json::Value::object();
+        run["name"] = r.benchmark_name();
+        run["iterations"] = static_cast<std::uint64_t>(r.iterations);
+        // Adjusted = per-iteration, in the run's declared time unit;
+        // normalize to nanoseconds so reports compare across benches.
+        const double unit_ns =
+            benchmark::GetTimeUnitMultiplier(r.time_unit) / 1e9;
+        run["real_time_ns"] = r.GetAdjustedRealTime() / unit_ns;
+        run["cpu_time_ns"] = r.GetAdjustedCPUTime() / unit_ns;
+        if (!r.counters.empty()) {
+            json::Value counters = json::Value::object();
+            for (const auto &[key, counter] : r.counters)
+                counters[key] = counter.value;
+            run["counters"] = std::move(counters);
+        }
+        runs.push(std::move(run));
+    }
+    root["runs"] = std::move(runs);
+
+    const std::string path = "./BENCH_" + name + ".json";
+    std::ofstream out(path);
+    out << root.dump(2) << "\n";
+    out.close();
+    std::printf("# wrote %s (%zu runs)\n", path.c_str(),
+                root.find("runs")->size());
+
+    benchmark::Shutdown();
+    return 0;
+}

@@ -39,6 +39,29 @@ Accelerator::ingest(const net::ChunkPayload &chunk, std::uint32_t src)
 }
 
 void
+Accelerator::ingest(const net::PacketPtr &pkt)
+{
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr)
+        return;
+    ++ingested_;
+    const sim::TimeNs now = sim_.now();
+    const std::size_t bytes = 8 + std::size_t{chunk->wire_floats} * 4;
+    const sim::TimeNs start = std::max(now, busy_until_);
+    const sim::TimeNs done = start + procTime(bytes);
+    busy_until_ = done;
+
+    // Same timing as the copying overload; the closure pins the packet
+    // (16 bytes, fits the event queue's inline buffer) instead of
+    // copying the chunk's float vector.
+    sim_.at(done + cfg_.fixed_latency, [this, pkt] {
+        const auto &c = std::get<net::ChunkPayload>(pkt->payload);
+        if (pool_.accumulate(c, threshold_, pkt->ip.src.bits(), dedupe_))
+            emitSeg(c.seg);
+    });
+}
+
+void
 Accelerator::forceEmit(std::uint64_t seg)
 {
     if (!pool_.has(seg))

@@ -72,6 +72,13 @@ class Accelerator
     void ingest(const net::ChunkPayload &chunk, std::uint32_t src = 0);
 
     /**
+     * Zero-copy ingest: holds a reference to the shared packet until
+     * the accumulate event fires instead of copying the chunk into the
+     * event closure. No-op for packets without a ChunkPayload.
+     */
+    void ingest(const net::PacketPtr &pkt);
+
+    /**
      * Force emission of a (possibly partial) segment, clearing its
      * buffer (control-plane FBcast). No-op if the segment is empty.
      */

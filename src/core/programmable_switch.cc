@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/packet_pool.hh"
+
 namespace isw::core {
 
 ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
@@ -85,8 +87,8 @@ ProgrammableSwitch::interceptIngress(const net::PacketPtr &pkt,
       case net::kTosData: {
         // Contribution plane: aggregate regardless of addressing;
         // every iSwitch hop on the path folds tagged gradients in.
-        if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
-            accel_.ingest(*chunk, pkt->ip.src.bits());
+        if (std::holds_alternative<net::ChunkPayload>(pkt->payload)) {
+            accel_.ingest(pkt);
             sim_.stats().counter("iswitch." + name() + ".data_in").inc();
         }
         return true;
@@ -198,7 +200,8 @@ ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t seg,
     net::ChunkPayload chunk;
     chunk.seg = seg;
     chunk.wire_floats = res.wire_floats;
-    chunk.values = res.values;
+    chunk.values = net::PacketPool::local().acquireFloats(res.values.size());
+    chunk.values.assign(res.values.begin(), res.values.end());
     pkt.payload = std::move(chunk);
     forward(net::makePacket(std::move(pkt)));
 }

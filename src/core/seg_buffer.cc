@@ -2,22 +2,111 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "net/packet_pool.hh"
 
 namespace isw::core {
+
+std::uint32_t
+SegBufferPool::findSlot(std::uint64_t seg) const
+{
+    if (buckets_.empty())
+        return kNoSlot;
+    std::size_t i = hashSeg(seg) & mask_;
+    while (buckets_[i].slot_plus1 != 0) {
+        if (buckets_[i].seg == seg)
+            return buckets_[i].slot_plus1 - 1;
+        i = (i + 1) & mask_;
+    }
+    return kNoSlot;
+}
+
+std::uint32_t
+SegBufferPool::findOrInsert(std::uint64_t seg)
+{
+    if (buckets_.empty() || (active_ + 1) * 4 > buckets_.size() * 3)
+        grow();
+    std::size_t i = hashSeg(seg) & mask_;
+    while (buckets_[i].slot_plus1 != 0) {
+        if (buckets_[i].seg == seg)
+            return buckets_[i].slot_plus1 - 1;
+        i = (i + 1) & mask_;
+    }
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    buckets_[i] = Bucket{seg, slot + 1};
+    ++active_;
+    peak_ = std::max(peak_, active_);
+    return slot;
+}
+
+void
+SegBufferPool::eraseIndex(std::uint64_t seg)
+{
+    std::size_t i = hashSeg(seg) & mask_;
+    while (buckets_[i].seg != seg || buckets_[i].slot_plus1 == 0)
+        i = (i + 1) & mask_;
+    // Backward-shift deletion keeps probe chains intact without
+    // tombstones: pull up any entry whose probe path crosses the hole.
+    std::size_t j = i;
+    for (;;) {
+        buckets_[i] = Bucket{};
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (buckets_[j].slot_plus1 == 0)
+                return;
+            const std::size_t k = hashSeg(buckets_[j].seg) & mask_;
+            // Movable iff the hole lies on j's probe path from k.
+            if (((j - k) & mask_) >= ((j - i) & mask_))
+                break;
+        }
+        buckets_[i] = buckets_[j];
+        i = j;
+    }
+}
+
+void
+SegBufferPool::grow()
+{
+    const std::size_t cap = buckets_.empty() ? 64 : buckets_.size() * 2;
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(cap, Bucket{});
+    mask_ = cap - 1;
+    for (const Bucket &b : old) {
+        if (b.slot_plus1 == 0)
+            continue;
+        std::size_t i = hashSeg(b.seg) & mask_;
+        while (buckets_[i].slot_plus1 != 0)
+            i = (i + 1) & mask_;
+        buckets_[i] = b;
+    }
+}
 
 bool
 SegBufferPool::accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
                           std::uint32_t src, bool dedupe)
 {
-    SegState &st = segs_[chunk.seg];
-    peak_ = std::max(peak_, segs_.size());
+    SegState &st = slab_[findOrInsert(chunk.seg)];
     if (dedupe && !st.contributors.insert(src).second)
         return false; // duplicate retransmission: already folded in
     st.wire_floats = std::max(st.wire_floats, chunk.wire_floats);
-    if (st.acc.size() < chunk.values.size())
-        st.acc.resize(chunk.values.size(), 0.0f);
-    for (std::size_t i = 0; i < chunk.values.size(); ++i)
-        st.acc[i] += chunk.values[i];
+    const std::size_t n = chunk.values.size();
+    if (st.acc.size() < n) {
+        if (st.acc.capacity() == 0)
+            st.acc = net::PacketPool::local().acquireFloats(n);
+        st.acc.resize(n, 0.0f);
+    }
+    float *__restrict__ a = st.acc.data();
+    const float *__restrict__ v = chunk.values.data();
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] += v[i];
     ++st.count;
     return st.count >= h;
 }
@@ -25,19 +114,37 @@ SegBufferPool::accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
 std::uint32_t
 SegBufferPool::count(std::uint64_t seg) const
 {
-    auto it = segs_.find(seg);
-    return it == segs_.end() ? 0 : it->second.count;
+    const std::uint32_t slot = findSlot(seg);
+    return slot == kNoSlot ? 0 : slab_[slot].count;
 }
 
 SegState
 SegBufferPool::harvest(std::uint64_t seg)
 {
-    auto it = segs_.find(seg);
-    if (it == segs_.end())
+    const std::uint32_t slot = findSlot(seg);
+    if (slot == kNoSlot)
         throw std::out_of_range("SegBufferPool::harvest: no such segment");
-    SegState st = std::move(it->second);
-    segs_.erase(it);
-    return st;
+    SegState out = std::move(slab_[slot]);
+    // Park a clean, capacity-preserving slot for the next segment.
+    SegState &st = slab_[slot];
+    st.acc.clear();
+    st.count = 0;
+    st.wire_floats = 0;
+    st.contributors.clear();
+    eraseIndex(seg);
+    free_.push_back(slot);
+    --active_;
+    return out;
+}
+
+void
+SegBufferPool::clear()
+{
+    buckets_.clear();
+    mask_ = 0;
+    slab_.clear();
+    free_.clear();
+    active_ = 0;
 }
 
 } // namespace isw::core

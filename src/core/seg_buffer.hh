@@ -8,7 +8,6 @@
 #define ISW_CORE_SEG_BUFFER_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -30,7 +29,14 @@ struct SegState
  * Pool of segment buffers keyed by Seg number.
  *
  * The hardware holds a fixed BRAM region indexed by segment; we model
- * the same semantics with a hash map so arbitrarily large models work.
+ * the same semantics with a flat slab of recycled SegState slots plus
+ * an open-addressing seg → slot index (linear probing, fibonacci
+ * hashing, backward-shift deletion), so the steady state allocates
+ * nothing and the accumulate loop runs over contiguous restrict-
+ * qualified floats the compiler can vectorize (DESIGN.md §9).
+ * Element-wise adds vectorize bit-identically, so results are
+ * unchanged from the scalar unordered_map version.
+ *
  * A segment "completes" when its counter reaches the aggregation
  * threshold H, at which point the caller harvests the sum and the
  * buffer is cleared (the paper's write-back-zeros step).
@@ -51,10 +57,10 @@ class SegBufferPool
                     std::uint32_t src = 0, bool dedupe = false);
 
     /** Number of segments currently holding partial sums. */
-    std::size_t activeSegments() const { return segs_.size(); }
+    std::size_t activeSegments() const { return active_; }
 
     /** True if segment @p seg holds any contributions. */
-    bool has(std::uint64_t seg) const { return segs_.count(seg) != 0; }
+    bool has(std::uint64_t seg) const { return findSlot(seg) != kNoSlot; }
 
     /** Contribution count for @p seg (0 if absent). */
     std::uint32_t count(std::uint64_t seg) const;
@@ -66,13 +72,40 @@ class SegBufferPool
     SegState harvest(std::uint64_t seg);
 
     /** Drop all partial state (control-plane Reset). */
-    void clear() { segs_.clear(); }
+    void clear();
 
     /** Peak number of simultaneously active segments (BRAM pressure). */
     std::size_t peakActiveSegments() const { return peak_; }
 
   private:
-    std::unordered_map<std::uint64_t, SegState> segs_;
+    static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+    struct Bucket
+    {
+        std::uint64_t seg = 0;
+        std::uint32_t slot_plus1 = 0; ///< 0 = empty
+    };
+
+    static std::size_t
+    hashSeg(std::uint64_t seg)
+    {
+        return static_cast<std::size_t>(
+            (seg + 1) * 0x9E3779B97F4A7C15ULL >> 32);
+    }
+
+    /** Slab slot for @p seg, or kNoSlot. */
+    std::uint32_t findSlot(std::uint64_t seg) const;
+    /** Slot for @p seg, inserting a recycled slab entry if absent. */
+    std::uint32_t findOrInsert(std::uint64_t seg);
+    /** Unlink @p seg from the index and park its slot for reuse. */
+    void eraseIndex(std::uint64_t seg);
+    void grow();
+
+    std::vector<Bucket> buckets_; ///< power-of-two open-addressed index
+    std::size_t mask_ = 0;
+    std::vector<SegState> slab_;  ///< slot storage, recycled via free_
+    std::vector<std::uint32_t> free_;
+    std::size_t active_ = 0;
     std::size_t peak_ = 0;
 };
 

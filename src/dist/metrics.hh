@@ -69,6 +69,14 @@ struct RunResult
      * stable snake_case names; see JobBase::collectExtras.
      */
     std::map<std::string, double> extras;
+    /**
+     * Wall-clock-derived throughput metrics (events/sec, packets/sec,
+     * allocator traffic from the instrumented PacketPool). Unlike
+     * `extras` these are NOT deterministic — they depend on host speed
+     * and pool warmth — so resultToJson excludes them; the runner
+     * report emits them next to wall_clock_ms instead (DESIGN.md §9).
+     */
+    std::map<std::string, double> perf;
 
     /** Mean per-iteration wall time in milliseconds. */
     double

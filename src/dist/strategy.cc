@@ -1,5 +1,6 @@
 #include "dist/strategy.hh"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "dist/allreduce.hh"
@@ -8,6 +9,7 @@
 #include "dist/ps_async.hh"
 #include "dist/ps_sharded.hh"
 #include "dist/ps_sync.hh"
+#include "net/packet_pool.hh"
 
 namespace isw::dist {
 
@@ -179,6 +181,12 @@ JobBase::checkStop()
 RunResult
 JobBase::run()
 {
+    // The job runs wholly on the calling thread, so the thread-local
+    // PacketPool's counter deltas are exactly this job's traffic.
+    const net::PacketPool::Stats pool0 = net::PacketPool::local().stats();
+    const std::uint64_t events0 = sim_->events().executed();
+    const auto t0 = std::chrono::steady_clock::now();
+
     start();
     // Generous runaway guard: every iteration costs a bounded number
     // of events (packets dominate), with extra headroom for loss
@@ -188,6 +196,14 @@ JobBase::run()
         (gradientWire(false).segments() * 64 + 4096);
     sim_->run(guard);
 
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const net::PacketPool::Stats pool1 = net::PacketPool::local().stats();
+    const auto events = static_cast<double>(sim_->events().executed() -
+                                            events0);
+    const auto sealed = static_cast<double>(pool1.sealed - pool0.sealed);
+
     RunResult res;
     res.iterations = global_iters_;
     res.total_time = last_update_time_;
@@ -195,6 +211,26 @@ JobBase::run()
     res.reached_target = reached_target_;
     res.breakdown = workers_.front().metrics;
     res.reward_curve = curve_;
+    // Deterministic counts: identical serial vs parallel, so they are
+    // safe in extras (which resultToJson serializes and the runner
+    // parity test compares byte-for-byte).
+    res.extras["events_executed"] = events;
+    res.extras["packets_sealed"] = sealed;
+    // Wall-clock / pool-warmth dependent rates live in perf only.
+    if (wall_s > 0.0) {
+        res.perf["events_per_sec"] = events / wall_s;
+        res.perf["packets_per_sec"] = sealed / wall_s;
+    }
+    const auto fresh_allocs =
+        static_cast<double>((pool1.packet_allocs - pool0.packet_allocs) +
+                            (pool1.float_allocs - pool0.float_allocs));
+    res.perf["pool_allocs"] = fresh_allocs;
+    res.perf["pool_reuses"] =
+        static_cast<double>((pool1.packet_reuses - pool0.packet_reuses) +
+                            (pool1.float_reuses - pool0.float_reuses));
+    if (global_iters_ > 0)
+        res.perf["allocs_per_iteration"] =
+            fresh_allocs / static_cast<double>(global_iters_);
     collectExtras(res);
     return res;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/packet_pool.hh"
+
 namespace isw::dist {
 
 void
@@ -10,6 +12,7 @@ sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
            std::uint64_t transfer_id, std::span<const float> logical,
            const WireFormat &fmt, std::uint64_t seg_base)
 {
+    auto &pool = net::PacketPool::local();
     const std::uint64_t segs = fmt.segments();
     for (std::uint64_t seg = 0; seg < segs; ++seg) {
         net::ChunkPayload chunk;
@@ -21,6 +24,7 @@ sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
             const std::uint64_t end =
                 std::min<std::uint64_t>(begin + core::kFloatsPerSeg,
                                         logical.size());
+            chunk.values = pool.acquireFloats(end - begin);
             chunk.values.assign(logical.begin() + begin,
                                 logical.begin() + end);
         }
@@ -62,14 +66,15 @@ VectorAssembler::offer(const net::ChunkPayload &chunk, std::uint64_t seg_base)
 bool
 MultiRoundAssembler::offer(const net::ChunkPayload &chunk)
 {
-    for (auto &round : rounds_) {
-        if (!round.hasSegment(chunk.seg)) {
-            round.offer(chunk);
-            return frontComplete();
-        }
-    }
-    rounds_.emplace_back(fmt_);
-    rounds_.back().offer(chunk);
+    // First-fit in O(1): the number of times this seg has arrived IS
+    // the absolute index of the oldest round still missing it (rounds
+    // are only popped once complete, so every popped round had every
+    // seg — arrivals_[seg] >= popped_ always holds).
+    const std::uint64_t target = arrivals_[chunk.seg]++;
+    const std::uint64_t idx = target - popped_;
+    if (idx == rounds_.size())
+        rounds_.emplace_back(fmt_);
+    rounds_[idx].offer(chunk);
     return frontComplete();
 }
 
@@ -78,6 +83,7 @@ MultiRoundAssembler::popFront()
 {
     std::vector<float> out = rounds_.front().vector();
     rounds_.pop_front();
+    ++popped_;
     return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -111,7 +112,8 @@ class VectorAssembler
  * across rounds (asynchronous iSwitch: the switch emits segment k the
  * moment its H-th contribution lands, so round r+1's early segments
  * can overtake round r's late ones). Segments are first-fit assigned
- * to the oldest round still missing them.
+ * to the oldest round still missing them; a per-segment arrival
+ * counter finds that round in O(1) instead of scanning.
  */
 class MultiRoundAssembler
 {
@@ -123,6 +125,8 @@ class MultiRoundAssembler
     {
         fmt_ = fmt;
         rounds_.clear();
+        arrivals_.clear();
+        popped_ = 0;
     }
 
     /** Offer a segment; returns true if the *front* round is complete. */
@@ -141,6 +145,9 @@ class MultiRoundAssembler
   private:
     WireFormat fmt_;
     std::deque<VectorAssembler> rounds_;
+    /** arrivals_[seg] = rounds that already hold seg (absolute). */
+    std::unordered_map<std::uint64_t, std::uint64_t> arrivals_;
+    std::uint64_t popped_ = 0; ///< completed rounds retired so far
 };
 
 } // namespace isw::dist

@@ -305,6 +305,14 @@ Runner::reportJson(const std::string &bench_name) const
         }
         run["config"] = configToJson(e->spec.config);
         run["wall_clock_ms"] = e->wall_ms;
+        if (!e->result.perf.empty()) {
+            // Wall-clock-class throughput metrics: kept out of
+            // resultToJson so determinism comparisons stay clean.
+            json::Value perf = json::Value::object();
+            for (const auto &[key, value] : e->result.perf)
+                perf[key] = value;
+            run["perf"] = std::move(perf);
+        }
         runs.push(std::move(run));
     }
     root["runs"] = std::move(runs);

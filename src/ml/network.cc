@@ -88,8 +88,7 @@ ParamSet::accumulateGrads(std::span<const float> in)
         throw std::invalid_argument("ParamSet::accumulateGrads: size");
     std::size_t off = 0;
     for (auto &r : refs_) {
-        for (std::size_t i = 0; i < r.grad.size(); ++i)
-            r.grad[i] += in[off + i];
+        axpy(1.0f, in.subspan(off, r.grad.size()), r.grad);
         off += r.grad.size();
     }
 }

@@ -13,15 +13,32 @@ affineForward(const Matrix &x, const Matrix &w, const Vec &b, Matrix &out)
     assert(w.cols() == in);
     assert(b.size() == outdim);
     out = Matrix(batch, outdim);
+
+    // Outer-product ordering over a transposed weight scratch: each
+    // output o still accumulates b[o] + x0*w[o][0] + x1*w[o][1] + …
+    // in exactly the i-order of the naive dot product — bit-identical
+    // results — but the inner loop is now elementwise across outputs,
+    // which auto-vectorizes without reassociating any reduction (a
+    // float dot product cannot vectorize without -ffast-math).
+    thread_local Vec wt_scratch;
+    wt_scratch.resize(in * outdim);
+    float *__restrict__ wt = wt_scratch.data();
+    const float *__restrict__ wp = w.data();
+    for (std::size_t o = 0; o < outdim; ++o)
+        for (std::size_t i = 0; i < in; ++i)
+            wt[i * outdim + o] = wp[o * in + i];
+
+    const float *__restrict__ bp = b.data();
     for (std::size_t r = 0; r < batch; ++r) {
-        const float *xr = x.data() + r * in;
-        float *or_ = out.data() + r * outdim;
-        for (std::size_t o = 0; o < outdim; ++o) {
-            const float *wr = w.data() + o * in;
-            float acc = b[o];
-            for (std::size_t i = 0; i < in; ++i)
-                acc += xr[i] * wr[i];
-            or_[o] = acc;
+        const float *__restrict__ xr = x.data() + r * in;
+        float *__restrict__ or_ = out.data() + r * outdim;
+        for (std::size_t o = 0; o < outdim; ++o)
+            or_[o] = bp[o];
+        for (std::size_t i = 0; i < in; ++i) {
+            const float xi = xr[i];
+            const float *__restrict__ wr = wt + i * outdim;
+            for (std::size_t o = 0; o < outdim; ++o)
+                or_[o] += xi * wr[o];
         }
     }
 }
@@ -38,14 +55,16 @@ affineBackward(const Matrix &dy, const Matrix &x, const Matrix &w, Matrix &dw,
     assert(db.size() == outdim);
     dx = Matrix(batch, in);
     for (std::size_t r = 0; r < batch; ++r) {
-        const float *dyr = dy.data() + r * outdim;
-        const float *xr = x.data() + r * in;
-        float *dxr = dx.data() + r * in;
+        const float *__restrict__ dyr = dy.data() + r * outdim;
+        const float *__restrict__ xr = x.data() + r * in;
+        float *__restrict__ dxr = dx.data() + r * in;
         for (std::size_t o = 0; o < outdim; ++o) {
             const float g = dyr[o];
             db[o] += g;
-            float *dwr = dw.data() + o * in;
-            const float *wr = w.data() + o * in;
+            float *__restrict__ dwr = dw.data() + o * in;
+            const float *__restrict__ wr = w.data() + o * in;
+            // Elementwise updates: vectorization preserves each
+            // element's operation order exactly.
             for (std::size_t i = 0; i < in; ++i) {
                 dwr[i] += g * xr[i];
                 dxr[i] += g * wr[i];
@@ -58,8 +77,11 @@ void
 axpy(float a, std::span<const float> x, std::span<float> y)
 {
     assert(x.size() == y.size());
-    for (std::size_t i = 0; i < x.size(); ++i)
-        y[i] += a * x[i];
+    const std::size_t n = x.size();
+    const float *__restrict__ xp = x.data();
+    float *__restrict__ yp = y.data();
+    for (std::size_t i = 0; i < n; ++i)
+        yp[i] += a * xp[i];
 }
 
 float

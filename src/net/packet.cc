@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "net/packet_pool.hh"
+
 namespace isw::net {
 
 const char *
@@ -84,7 +86,7 @@ Packet::describe() const
 PacketPtr
 makePacket(Packet pkt)
 {
-    return std::make_shared<const Packet>(std::move(pkt));
+    return PacketPool::local().seal(std::move(pkt));
 }
 
 } // namespace isw::net

@@ -1,9 +1,16 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace isw::sim {
+
+namespace {
+
+constexpr std::size_t kArity = 4;
+
+} // namespace
 
 EventId
 EventQueue::schedule(TimeNs when, Callback cb)
@@ -12,49 +19,140 @@ EventQueue::schedule(TimeNs when, Callback cb)
         throw std::logic_error("EventQueue: scheduling into the past");
     if (!cb)
         throw std::invalid_argument("EventQueue: null callback");
-    EventId id = next_id_++;
-    heap_.push(Event{when, id, std::move(cb)});
-    return id;
+
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        if (slot > kSlotMask)
+            throw std::length_error("EventQueue: too many pending events");
+        slots_.emplace_back();
+    }
+    SlotRec &rec = slots_[slot];
+    rec.cb = std::move(cb);
+    const std::uint64_t key = next_seq_++ << kSlotBits | slot;
+    rec.live_key = key;
+
+    const Entry e{when, key};
+    // Monotone arrivals (the common pattern: fixed-latency hops, link
+    // serialization, scheduleAfter chains) append to the sorted tail
+    // in O(1); only out-of-order arrivals pay the heap sift.
+    if (tail_head_ == tail_.size()) {
+        tail_.clear();
+        tail_head_ = 0;
+        tail_.push_back(e);
+    } else if (!earlier(e, tail_.back())) {
+        tail_.push_back(e);
+    } else {
+        pushHeap(e);
+    }
+    ++pending_;
+    return key + 1;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kInvalidEventId || id >= next_id_)
-        return false;
-    // We cannot cheaply tell fired-vs-pending; record the id and let
-    // popNext() discard it. Inserting an already-fired id is benign
-    // because ids are never reused.
-    return cancelled_.insert(id).second;
+    const std::uint64_t key = id - 1; // kInvalidEventId wraps to ~0
+    const std::uint64_t slot = key & kSlotMask;
+    if (id == kInvalidEventId || slot >= slots_.size() ||
+        slots_[slot].live_key != key)
+        return false; // already fired, already cancelled, or unknown
+    // The ordering entry stays buried and is discarded lazily when it
+    // surfaces; the cleared slot key makes it recognisably stale.
+    retireSlot(key);
+    --pending_;
+    return true;
 }
 
-bool
-EventQueue::popNext(Event &out)
+void
+EventQueue::pushHeap(const Entry &e)
 {
-    while (!heap_.empty()) {
-        // priority_queue::top returns const&; move via const_cast is
-        // the standard workaround, safe because we pop immediately.
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
-        auto it = cancelled_.find(ev.id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
-            continue;
-        }
-        out = std::move(ev);
-        return true;
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!earlier(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
     }
-    return false;
+    heap_[i] = e;
+}
+
+EventQueue::Entry
+EventQueue::popHeap()
+{
+    const Entry top = heap_.front();
+    const Entry v = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0)
+        return top;
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (earlier(heap_[c], heap_[best]))
+                best = c;
+        if (!earlier(heap_[best], v))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = v;
+    return top;
+}
+
+const EventQueue::Entry *
+EventQueue::peekLive(bool *from_tail)
+{
+    // Drop stale (cancelled) fronts from both structures first.
+    while (tail_head_ < tail_.size() && !live(tail_[tail_head_]))
+        ++tail_head_;
+    while (!heap_.empty() && !live(heap_.front()))
+        (void)popHeap();
+
+    const bool have_tail = tail_head_ < tail_.size();
+    const bool have_heap = !heap_.empty();
+    if (!have_tail && !have_heap)
+        return nullptr;
+    if (have_tail &&
+        (!have_heap || earlier(tail_[tail_head_], heap_.front()))) {
+        *from_tail = true;
+        return &tail_[tail_head_];
+    }
+    *from_tail = false;
+    return &heap_.front();
+}
+
+EventQueue::Entry
+EventQueue::extract(bool from_tail)
+{
+    if (from_tail)
+        return tail_[tail_head_++];
+    return popHeap();
 }
 
 bool
 EventQueue::runOne()
 {
-    Event ev;
-    if (!popNext(ev))
+    bool from_tail;
+    if (peekLive(&from_tail) == nullptr)
         return false;
-    now_ = ev.when;
-    ev.cb();
+    const Entry e = extract(from_tail);
+    Callback cb = std::move(slots_[e.key & kSlotMask].cb);
+    retireSlot(e.key);
+    --pending_;
+    ++executed_;
+    now_ = e.when;
+    cb();
     return true;
 }
 
@@ -62,19 +160,25 @@ std::size_t
 EventQueue::runUntil(TimeNs deadline)
 {
     std::size_t n = 0;
-    Event ev;
-    while (popNext(ev)) {
-        if (ev.when > deadline) {
-            // Put it back: re-push preserves id so ordering holds.
-            heap_.push(std::move(ev));
+    for (;;) {
+        bool from_tail;
+        const Entry *top = peekLive(&from_tail);
+        if (top == nullptr) {
+            if (now_ < deadline)
+                now_ = deadline;
             break;
         }
-        now_ = ev.when;
-        ev.cb();
+        if (top->when > deadline)
+            break;
+        const Entry e = extract(from_tail);
+        Callback cb = std::move(slots_[e.key & kSlotMask].cb);
+        retireSlot(e.key);
+        --pending_;
+        ++executed_;
+        now_ = e.when;
+        cb();
         ++n;
     }
-    if (now_ < deadline && heap_.empty())
-        now_ = deadline;
     return n;
 }
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * InlineFn: a move-only `void()` callable with small-buffer storage.
+ *
+ * The discrete-event queue stores millions of short-lived callbacks
+ * per run; `std::function` heap-allocates any capture larger than its
+ * tiny internal buffer (16 bytes on libstdc++), which made the event
+ * hot path allocator-bound. InlineFn embeds captures up to `Capacity`
+ * bytes directly in the object — every callback the simulator
+ * schedules (a `this` pointer, a PacketPtr, a couple of indices) fits
+ * inline — and falls back to the heap only for oversized or
+ * throwing-move captures.
+ *
+ * Differences from std::function, on purpose:
+ *  - move-only (no copy; the queue never copies callbacks),
+ *  - invoking a null InlineFn is undefined (the queue rejects null at
+ *    schedule time instead of paying a per-call branch + throw path).
+ */
+
+#ifndef ISW_SIM_SMALL_FN_HH
+#define ISW_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace isw::sim {
+
+template <std::size_t Capacity = 64>
+class InlineFn
+{
+  public:
+    InlineFn() = default;
+    InlineFn(std::nullptr_t) {}
+
+    template <class F,
+              class D = std::decay_t<F>,
+              class = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                       std::is_invocable_r_v<void, D &>>>
+    InlineFn(F &&f)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>();
+        } else {
+            using P = D *;
+            ::new (static_cast<void *>(buf_)) P(new D(std::forward<F>(f)));
+            ops_ = &heapOps<D>();
+        }
+    }
+
+    InlineFn(InlineFn &&o) noexcept : ops_(o.ops_)
+    {
+        if (ops_)
+            ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+    }
+
+    InlineFn &
+    operator=(InlineFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_)
+                ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke. Precondition: non-null. */
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <class D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= Capacity &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <class D>
+    static const Ops &
+    inlineOps()
+    {
+        static constexpr Ops ops{
+            [](void *p) { (*std::launder(static_cast<D *>(p)))(); },
+            [](void *dst, void *src) {
+                D *s = std::launder(static_cast<D *>(src));
+                ::new (dst) D(std::move(*s));
+                s->~D();
+            },
+            [](void *p) { std::launder(static_cast<D *>(p))->~D(); },
+        };
+        return ops;
+    }
+
+    template <class D>
+    static const Ops &
+    heapOps()
+    {
+        using P = D *;
+        static constexpr Ops ops{
+            [](void *p) { (**std::launder(static_cast<P *>(p)))(); },
+            [](void *dst, void *src) {
+                // The stored pointer is trivially destructible; just
+                // copy it across and forget the source.
+                ::new (dst) P(*std::launder(static_cast<P *>(src)));
+            },
+            [](void *p) { delete *std::launder(static_cast<P *>(p)); },
+        };
+        return ops;
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace isw::sim
+
+#endif // ISW_SIM_SMALL_FN_HH

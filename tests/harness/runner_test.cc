@@ -72,6 +72,54 @@ TEST(Runner, ParallelMatchesSerialByteForByte)
     }
 }
 
+TEST(Runner, WarmPacketPoolDoesNotChangeResults)
+{
+    // Pool-recycling parity: the first run starts on a cold
+    // thread-local PacketPool, the second reuses every recycled
+    // packet, control block, and float buffer the first one parked.
+    // Simulated results must be byte-identical either way.
+    ExperimentSpec spec =
+        timingSpec(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    spec.config.stop.max_iterations = 5;
+
+    Runner cold(quietOpts(1));
+    const std::string first = resultToJson(cold.run(spec)).dump();
+    Runner warm(quietOpts(1));
+    const std::string second = resultToJson(warm.run(spec)).dump();
+    EXPECT_EQ(first, second)
+        << "warm-pool rerun diverged from cold-pool run";
+}
+
+TEST(Runner, ReportCarriesPerfBlockOutsideResult)
+{
+    // Wall-clock-class throughput metrics must appear in the report
+    // next to wall_clock_ms but never inside resultToJson (which the
+    // parity tests compare byte-for-byte).
+    ExperimentSpec spec =
+        timingSpec(rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch);
+    spec.config.stop.max_iterations = 3;
+
+    Runner runner(quietOpts(1));
+    const dist::RunResult &res = runner.run(spec);
+    EXPECT_TRUE(res.perf.count("events_per_sec"));
+    EXPECT_TRUE(res.perf.count("pool_allocs"));
+    EXPECT_TRUE(res.extras.count("events_executed"));
+    EXPECT_TRUE(res.extras.count("packets_sealed"));
+    EXPECT_GT(res.extras.at("events_executed"), 0.0);
+    EXPECT_GT(res.extras.at("packets_sealed"), 0.0);
+
+    const json::Value result_json = resultToJson(res);
+    EXPECT_EQ(result_json.find("perf"), nullptr);
+
+    const json::Value report = runner.reportJson("unit");
+    const json::Value *runs = report.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->size(), 1u);
+    const json::Value *perf = runs->items()[0].find("perf");
+    ASSERT_NE(perf, nullptr);
+    EXPECT_NE(perf->find("events_per_sec"), nullptr);
+}
+
 TEST(Runner, DeduplicatesIdenticalSpecsBeforeSubmission)
 {
     ExperimentSpec spec =

@@ -160,5 +160,101 @@ TEST(EventQueue, CancelFromWithinEarlierEvent)
     EXPECT_FALSE(second_ran);
 }
 
+TEST(EventQueue, CancelOfFiredEventReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    q.runAll();
+    // Historic bug: this used to park the id in a tombstone set
+    // forever, and pending() (heap size minus tombstones) underflowed.
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingNeverUnderflowsUnderCancelChurn)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(static_cast<TimeNs>(i), [] {}));
+    // Cancel half, fire the rest, then re-cancel everything.
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        EXPECT_TRUE(q.cancel(ids[i]));
+    EXPECT_EQ(q.pending(), 50u);
+    q.runAll();
+    EXPECT_EQ(q.pending(), 0u);
+    for (EventId id : ids)
+        EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot)
+{
+    EventQueue q;
+    // Fire an event, then schedule another (which recycles the slot):
+    // the first id must stay dead and never alias the new event.
+    EventId first = q.schedule(1, [] {});
+    q.runAll();
+    bool ran = false;
+    q.schedule(2, [&] { ran = true; });
+    EXPECT_FALSE(q.cancel(first));
+    q.runAll();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ExecutedCountsLifetimeEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<TimeNs>(i), [] {});
+    EventId id = q.schedule(10, [] {});
+    q.cancel(id);
+    q.runAll();
+    EXPECT_EQ(q.executed(), 5u);
+    q.schedule(20, [] {});
+    q.runAll();
+    EXPECT_EQ(q.executed(), 6u);
+}
+
+TEST(EventQueue, InterleavedMonotoneAndOutOfOrderSchedules)
+{
+    // Exercises the monotone-tail / heap split: alternating ascending
+    // and descending timestamps must still fire in global time order
+    // with FIFO tie-breaks.
+    EventQueue q;
+    std::vector<TimeNs> fired;
+    const TimeNs times[] = {50, 10, 60, 20, 60, 5, 70, 60};
+    for (TimeNs t : times)
+        q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+    q.runAll();
+    const std::vector<TimeNs> want{5, 10, 20, 50, 60, 60, 60, 70};
+    EXPECT_EQ(fired, want);
+}
+
+TEST(EventQueue, CancelHeadOfMonotoneTail)
+{
+    EventQueue q;
+    bool a = false, b = false;
+    EventId first = q.schedule(10, [&] { a = true; });
+    q.schedule(20, [&] { b = true; });
+    EXPECT_TRUE(q.cancel(first));
+    q.runAll();
+    EXPECT_FALSE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(q.now(), 20u);
+}
+
 } // namespace
 } // namespace isw::sim
