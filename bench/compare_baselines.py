@@ -26,6 +26,52 @@ def load_runs(path):
     }
 
 
+RECOVERY_KEYS = (
+    "retx_timeouts",
+    "retx_segments",
+    "help_requests",
+    "fbcasts",
+    "recoveries",
+    "retx_gave_up",
+    "fault_ge_drops",
+    "fault_iid_drops",
+    "fault_down_drops",
+)
+
+
+def check_fault_recovery(base_path, fresh_path, failures):
+    """Correctness gate for the fault-injection bench.
+
+    Unlike the micro benches this report is simulated-deterministic,
+    so missing runs, errored runs, and runs that made zero training
+    progress are hard failures; recovery-counter drift only warns
+    (counters legitimately move when recovery tuning changes).
+    """
+    with open(base_path) as f:
+        base = {r["name"]: r for r in json.load(f).get("runs", [])}
+    with open(fresh_path) as f:
+        fresh = {r["name"]: r for r in json.load(f).get("runs", [])}
+    checked = 0
+    for name, b in sorted(base.items()):
+        r = fresh.get(name)
+        if r is None:
+            failures.append((name, "missing from fresh fault report"))
+            continue
+        if r.get("error"):
+            failures.append((name, f"errored: {r['error']}"))
+            continue
+        if r.get("iterations", 0) <= 0:
+            failures.append((name, "zero iterations under faults"))
+            continue
+        checked += 1
+        for key in RECOVERY_KEYS:
+            want = b.get("extras", {}).get(key)
+            got = r.get("extras", {}).get(key)
+            if want != got:
+                print(f"WARN  {name}: {key} drifted {want} -> {got}")
+    print(f"# fault-recovery: {checked}/{len(base)} runs healthy")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("reports_dir", type=pathlib.Path)
@@ -39,6 +85,14 @@ def main():
 
     failures = []
     compared = 0
+
+    recovery_base = args.baselines / "BENCH_fault_recovery.json"
+    recovery_fresh = args.reports_dir / "BENCH_fault_recovery.json"
+    if recovery_base.exists():
+        if recovery_fresh.exists():
+            check_fault_recovery(recovery_base, recovery_fresh, failures)
+        else:
+            print("WARN: no fresh report for BENCH_fault_recovery.json")
     for base_path in sorted(args.baselines.glob("BENCH_micro_*.json")):
         fresh_path = args.reports_dir / base_path.name
         if not fresh_path.exists():
@@ -55,7 +109,9 @@ def main():
             tag = "OK"
             if ratio > args.fail_ratio:
                 tag = "FAIL"
-                failures.append((name, ratio))
+                failures.append(
+                    (name, f"slowed down {ratio:.2f}x "
+                           f"(limit {args.fail_ratio}x)"))
             elif ratio > 1.25:
                 tag = "WARN"
             print(
@@ -65,10 +121,9 @@ def main():
 
     print(f"# compared {compared} runs against {args.baselines}")
     if failures:
-        print(f"# {len(failures)} run(s) slowed down more than "
-              f"{args.fail_ratio}x:")
-        for name, ratio in failures:
-            print(f"#   {name}: {ratio:.2f}x")
+        print(f"# {len(failures)} failing run(s):")
+        for name, reason in failures:
+            print(f"#   {name}: {reason}")
         return 1
     return 0
 

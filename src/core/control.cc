@@ -77,8 +77,10 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
         break;
       }
       case net::Action::kLeave: {
+        // A Leave from a non-member must not trigger a membership
+        // recompute: the table did not change.
         const bool ok = table_.leave(src_ip);
-        if (hooks_.membership_changed)
+        if (ok && hooks_.membership_changed)
             hooks_.membership_changed();
         ack(src_ip, src_port, ok);
         break;

@@ -29,6 +29,7 @@ SyncAllReduceJob::SyncAllReduceJob(const JobConfig &cfg) : JobBase(cfg)
             chunks_[c].wire_bytes = need;
     }
     ring_.resize(n);
+    out_.resize(n);
 }
 
 std::size_t
@@ -100,6 +101,41 @@ SyncAllReduceJob::sendStep(WorkerCtx &w, std::size_t step)
                    std::span<const float>(rs.acc.data() + cs.log_begin,
                                           cs.log_end - cs.log_begin),
                    cfmt);
+        if (!recoveryEnabled())
+            return;
+        // Snapshot the chunk as sent: rs.acc mutates as later steps
+        // fold into it, so resends must read the copy.
+        Outgoing &o = out_[wp->index][tid];
+        o.data.assign(rs.acc.data() + cs.log_begin,
+                      rs.acc.data() + cs.log_end);
+        o.fmt = cfmt;
+        o.src = wp->host;
+        o.dst = dst;
+        configureTimer(o.timer);
+        const std::size_t rcv = (wp->index + 1) % workers_.size();
+        o.timer.arm([this, wp, tid, rcv]() -> std::size_t {
+            auto oit = out_[wp->index].find(tid);
+            if (stopped() || oit == out_[wp->index].end())
+                return 0;
+            // Free-ack model: consult the successor's assembler for
+            // what is still missing (absent = nothing arrived yet).
+            std::vector<std::uint64_t> missing;
+            auto ait = ring_[rcv].inflight.find(tid);
+            if (ait != ring_[rcv].inflight.end()) {
+                missing = ait->second.missingSegments();
+            } else {
+                missing.resize(oit->second.fmt.segments());
+                for (std::uint64_t s = 0; s < missing.size(); ++s)
+                    missing[s] = s;
+            }
+            for (std::uint64_t seg : missing) {
+                sendVectorSegment(*oit->second.src, oit->second.dst->ip(),
+                                  kWorkerPort, kWorkerPort, /*tos=*/0, tid,
+                                  oit->second.data, oit->second.fmt, seg);
+                ++recovery_.retransmits;
+            }
+            return missing.size();
+        });
     });
 }
 
@@ -110,10 +146,15 @@ SyncAllReduceJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
     if (chunk == nullptr)
         return;
     RingState &rs = ring_[w.index];
+    const std::uint64_t round = chunk->transfer_id / 1000;
+    const std::size_t step = chunk->transfer_id % 1000;
+    // Stale gating: a consumed step's transfer can only reappear as a
+    // late retransmission or channel duplicate — never re-assemble it.
+    if (round < rs.round || (round == rs.round && step < rs.step))
+        return;
     auto it = rs.inflight.find(chunk->transfer_id);
     if (it == rs.inflight.end()) {
         // Derive which step this transfer is to size its assembler.
-        const std::size_t step = chunk->transfer_id % 1000;
         if (step >= totalSteps())
             return;
         const std::size_t c = recvChunkAt(w.index, step);
@@ -124,8 +165,18 @@ SyncAllReduceJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
         it = rs.inflight.emplace(chunk->transfer_id, VectorAssembler(cfmt))
                  .first;
     }
-    if (it->second.offer(*chunk))
+    if (it->second.offer(*chunk)) {
+        // Transfer complete: release the predecessor's retransmission
+        // guard for it.
+        auto &pout =
+            out_[(w.index + workers_.size() - 1) % workers_.size()];
+        auto oit = pout.find(chunk->transfer_id);
+        if (oit != pout.end()) {
+            oit->second.timer.done();
+            pout.erase(oit);
+        }
         tryAdvance(w);
+    }
 }
 
 void
@@ -184,6 +235,7 @@ SyncAllReduceJob::ringDone(WorkerCtx &w)
         w.agent->applyAggregatedGradient(
             rs.acc, static_cast<std::uint32_t>(workers_.size()));
         ++rs.round;
+        rs.step = 0; // keep the stale-transfer gate aligned with round
         ++w.round;
         if (w.index == 0)
             noteGlobalIteration();

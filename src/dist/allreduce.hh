@@ -50,6 +50,21 @@ class SyncAllReduceJob : public JobBase
         bool active = false;
     };
 
+    /**
+     * Retransmission state for one in-flight ring transfer. The data
+     * is a snapshot of the sent chunk: rs.acc keeps mutating as later
+     * steps fold into it, so resends must not re-read it. Lives in a
+     * std::map (node-based) because RetxTimer is address-pinned.
+     */
+    struct Outgoing
+    {
+        std::vector<float> data;
+        WireFormat fmt;
+        net::Host *src = nullptr;
+        net::Host *dst = nullptr;
+        RetxTimer timer;
+    };
+
     void beginRound(WorkerCtx &w);
     void startRing(WorkerCtx &w);
     void sendStep(WorkerCtx &w, std::size_t step);
@@ -71,6 +86,9 @@ class SyncAllReduceJob : public JobBase
 
     std::vector<ChunkSpec> chunks_;
     std::vector<RingState> ring_;
+    /** Per-sender in-flight transfers, keyed by transfer id; entries
+     *  exist only while recovery is enabled. */
+    std::vector<std::map<std::uint64_t, Outgoing>> out_;
 };
 
 } // namespace isw::dist

@@ -10,6 +10,10 @@ AsyncIswitchJob::AsyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
         rx.reset(fmt_);
     lwu_busy_.assign(workers_.size(), false);
     sent_.assign(workers_.size(), 0);
+    last_sent_.resize(workers_.size());
+    watch_.resize(workers_.size());
+    for (auto &t : watch_)
+        configureTimer(t);
     h_ = cfg_.agg_threshold == 0
              ? static_cast<std::uint32_t>(workers_.size())
              : cfg_.agg_threshold;
@@ -64,6 +68,10 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
             sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad, leaf] {
                 sendVector(*wp->host, leaf->ip(), kSwitchPort, kWorkerPort,
                            net::kTosData, /*transfer_id=*/0, grad, fmt_);
+                if (recoveryEnabled()) {
+                    last_sent_[wp->index] = grad;
+                    rearmWatch(*wp);
+                }
             });
         } else {
             ++skipped_;
@@ -102,8 +110,61 @@ AsyncIswitchJob::drainLwu(WorkerCtx &w)
         if (w.index == 0)
             noteGlobalIteration();
         lwu_busy_[w.index] = false;
+        if (recoveryEnabled())
+            rearmWatch(w);
         drainLwu(w);
     });
+}
+
+void
+AsyncIswitchJob::rearmWatch(WorkerCtx &w)
+{
+    // Outstanding results exist while our commit count runs ahead of
+    // the applied-version counter: some broadcast we depend on has not
+    // landed yet. Re-arming on every apply treats progress as an ack.
+    if (sent_[w.index] <= w.ts) {
+        watch_[w.index].done();
+        return;
+    }
+    WorkerCtx *wp = &w;
+    watch_[w.index].arm([this, wp]() -> std::size_t {
+        if (stopped() || sent_[wp->index] <= wp->ts)
+            return 0;
+        return nudge(*wp);
+    });
+}
+
+std::size_t
+AsyncIswitchJob::nudge(WorkerCtx &w)
+{
+    // The front round stalled: either the result broadcast was lost to
+    // us, or contributions were lost upstream and the segment never
+    // reached H. FBcast first flushes whatever partial the switch
+    // holds (async mode has no contributor dedupe, so emitting before
+    // we re-contribute avoids double-counting ourselves in one
+    // emission); then re-contribute our latest gradient so a starved
+    // segment refills. Repeated nudges from every stalled worker drive
+    // the count back to H even under a global stall.
+    const std::vector<std::uint64_t> missing =
+        rx_[w.index].missingFront();
+    auto *leaf = cluster_.leafOf(w.index);
+    for (std::uint64_t seg : missing) {
+        net::ControlPayload fb;
+        fb.action = net::Action::kFBcast;
+        fb.has_value = true;
+        fb.value = seg;
+        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+                       net::kTosControl, fb);
+        ++recovery_.fbcasts;
+        if (!last_sent_[w.index].empty()) {
+            sendVectorSegment(*w.host, leaf->ip(), kSwitchPort,
+                              kWorkerPort, net::kTosData,
+                              /*transfer_id=*/0, last_sent_[w.index],
+                              fmt_, seg);
+            ++recovery_.retransmits;
+        }
+    }
+    return missing.size();
 }
 
 void

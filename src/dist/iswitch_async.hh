@@ -18,6 +18,8 @@
 #ifndef ISW_DIST_ISWITCH_ASYNC_HH
 #define ISW_DIST_ISWITCH_ASYNC_HH
 
+#include <deque>
+
 #include "dist/strategy.hh"
 
 namespace isw::dist {
@@ -36,6 +38,11 @@ class AsyncIswitchJob : public JobBase
     void lgcLoop(WorkerCtx &w);
     void onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt);
     void drainLwu(WorkerCtx &w);
+    /** (Re)arm @p w's stall watchdog iff it has outstanding results. */
+    void rearmWatch(WorkerCtx &w);
+    /** Stall recovery: FBcast + re-contribute each missing front seg.
+     *  Returns the number of nudged segments (RetxTimer resend fn). */
+    std::size_t nudge(WorkerCtx &w);
 
     WireFormat fmt_;
     std::uint32_t h_ = 0; ///< effective aggregation threshold
@@ -45,6 +52,11 @@ class AsyncIswitchJob : public JobBase
     std::vector<std::uint64_t> sent_;
     std::uint64_t committed_ = 0; ///< gradients sent (stats)
     std::uint64_t skipped_ = 0;   ///< gradients dropped as too stale
+    /** Snapshot of the last committed gradient, for re-contribution
+     *  (pending_grad mutates as the LGC pipeline runs ahead). */
+    std::vector<ml::Vec> last_sent_;
+    /** Per-worker stall watchdogs (deque: RetxTimer is pinned). */
+    std::deque<RetxTimer> watch_;
 
   public:
     std::uint64_t gradientsCommitted() const { return committed_; }

@@ -5,18 +5,11 @@ namespace isw::dist {
 SyncIswitchJob::SyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
 {
     fmt_ = gradientWire(/*iswitch_plane=*/true);
-    timeout_ev_.assign(workers_.size(), sim::kInvalidEventId);
-    if (cfg_.cluster.edge_link.loss_prob > 0.0 ||
-        cfg_.cluster.uplink.loss_prob > 0.0) {
-        // Generous: several full-vector serializations plus slack.
-        const double bw = cfg_.cluster.edge_link.bandwidth_bps;
-        help_timeout_ = static_cast<sim::TimeNs>(
-                            static_cast<double>(fmt_.wire_bytes) * 8e9 / bw) *
-                            6 +
-                        5 * sim::kMsec;
-    }
     for (auto &w : workers_)
         w.rx.reset(fmt_);
+    help_.resize(workers_.size());
+    for (auto &t : help_)
+        configureTimer(t);
     // Retransmissions must be idempotent in synchronous mode.
     for (auto *leaf : cluster_.leaves)
         leaf->accelerator().setDedupeContributors(true);
@@ -64,7 +57,35 @@ SyncIswitchJob::sendGradient(WorkerCtx &w)
     auto *leaf = cluster_.leafOf(w.index);
     sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort, net::kTosData,
                /*transfer_id=*/0, w.pending_grad, fmt_, segBase(w));
-    armHelpTimeout(w);
+    WorkerCtx *wp = &w;
+    help_[w.index].arm([this, wp]() -> std::size_t {
+        if (stopped())
+            return 0;
+        return requestHelp(*wp);
+    });
+}
+
+std::size_t
+SyncIswitchJob::requestHelp(WorkerCtx &w)
+{
+    if (w.rx.complete())
+        return 0;
+    auto *leaf = cluster_.leafOf(w.index);
+    // Ask the switch for each missing segment (Table 2: Help). Each
+    // striped index identifies exactly one (round, offset), so a
+    // cached completion can be served unambiguously.
+    std::size_t n = 0;
+    for (std::uint64_t seg : w.rx.missingSegments()) {
+        net::ControlPayload help;
+        help.action = net::Action::kHelp;
+        help.has_value = true;
+        help.value = core::helpValue(1, segBase(w) + seg);
+        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+                       net::kTosControl, help);
+        ++recovery_.help_requests;
+        ++n;
+    }
+    return n;
 }
 
 void
@@ -73,51 +94,11 @@ SyncIswitchJob::resendSegment(WorkerCtx &w, std::uint64_t seg_prime)
     const std::uint64_t base = segBase(w);
     if (seg_prime < base || seg_prime >= base + fmt_.segments())
         return; // not our current round: ignore
-    const std::uint64_t seg = seg_prime - base;
     auto *leaf = cluster_.leafOf(w.index);
-    net::ChunkPayload chunk;
-    chunk.seg = seg_prime;
-    chunk.wire_floats = core::floatsInSeg(seg, fmt_.wire_bytes);
-    const std::uint64_t begin = seg * core::kFloatsPerSeg;
-    if (begin < w.pending_grad.size()) {
-        const std::uint64_t end = std::min<std::uint64_t>(
-            begin + core::kFloatsPerSeg, w.pending_grad.size());
-        chunk.values.assign(w.pending_grad.begin() + begin,
-                            w.pending_grad.begin() + end);
-    }
-    w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort, net::kTosData,
-                   std::move(chunk));
-}
-
-void
-SyncIswitchJob::armHelpTimeout(WorkerCtx &w)
-{
-    if (help_timeout_ == 0)
-        return;
-    sim_->events().cancel(timeout_ev_[w.index]);
-    WorkerCtx *wp = &w;
-    timeout_ev_[w.index] =
-        sim_->after(help_timeout_, [this, wp] { onHelpTimeout(*wp); });
-}
-
-void
-SyncIswitchJob::onHelpTimeout(WorkerCtx &w)
-{
-    if (stopped() || w.rx.complete())
-        return;
-    auto *leaf = cluster_.leafOf(w.index);
-    // Ask the switch for each missing segment (Table 2: Help). Each
-    // striped index identifies exactly one (round, offset), so a
-    // cached completion can be served unambiguously.
-    for (std::uint64_t seg : w.rx.missingSegments()) {
-        net::ControlPayload help;
-        help.action = net::Action::kHelp;
-        help.has_value = true;
-        help.value = core::helpValue(1, segBase(w) + seg);
-        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
-                       net::kTosControl, help);
-    }
-    armHelpTimeout(w);
+    sendVectorSegment(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
+                      net::kTosData, /*transfer_id=*/0, w.pending_grad,
+                      fmt_, seg_prime - base, base);
+    ++recovery_.retransmits;
 }
 
 void
@@ -144,7 +125,7 @@ SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 void
 SyncIswitchJob::onResultComplete(WorkerCtx &w)
 {
-    sim_->events().cancel(timeout_ev_[w.index]);
+    help_[w.index].done();
     WorkerCtx *wp = &w;
     sim_->after(cfg_.iswitch_overhead.recv, [this, wp] {
         WorkerCtx &w = *wp;

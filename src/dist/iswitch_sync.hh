@@ -6,13 +6,17 @@
  * the moment all H contributions land; workers apply sum/N locally.
  *
  * Loss recovery (paper §3.3 control plane): after sending, a worker
- * arms a timeout; if result segments are missing it sends Help(seg) to
- * the switch, which re-sends a cached completed segment or relays a
- * retransmission request to all workers.
+ * arms a retransmission timer; if result segments are missing it sends
+ * Help(seg) to the switch, which re-sends a cached completed segment
+ * or relays a retransmission request to all workers. The timer rides
+ * the shared RetxTimer layer, so Help requests follow the same
+ * exponential-backoff discipline as the unicast strategies.
  */
 
 #ifndef ISW_DIST_ISWITCH_SYNC_HH
 #define ISW_DIST_ISWITCH_SYNC_HH
+
+#include <deque>
 
 #include "dist/strategy.hh"
 
@@ -34,14 +38,15 @@ class SyncIswitchJob : public JobBase
     void beginRound(WorkerCtx &w);
     void sendGradient(WorkerCtx &w);
     void resendSegment(WorkerCtx &w, std::uint64_t seg_prime);
+    /** Send Help(seg) for every missing result segment; returns how
+     *  many were requested (the RetxTimer resend hook). */
+    std::size_t requestHelp(WorkerCtx &w);
     void onPacket(WorkerCtx &w, const net::PacketPtr &pkt);
     void onResultComplete(WorkerCtx &w);
-    void armHelpTimeout(WorkerCtx &w);
-    void onHelpTimeout(WorkerCtx &w);
 
     WireFormat fmt_;
-    sim::TimeNs help_timeout_ = 0; ///< 0 disables loss recovery
-    std::vector<sim::EventId> timeout_ev_;
+    /** Per-worker Help timers (deque: RetxTimer is address-pinned). */
+    std::deque<RetxTimer> help_;
 };
 
 } // namespace isw::dist

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "dist/timing.hh"
 #include "sim/stats.hh"
@@ -77,6 +78,17 @@ struct RunResult
      * report emits them next to wall_clock_ms instead (DESIGN.md §9).
      */
     std::map<std::string, double> perf;
+    /**
+     * Non-empty when the run did not complete cleanly: the simulated-
+     * time watchdog tripped (StopCondition::max_sim_time), the event
+     * queue drained before the stop condition (a deadlocked strategy),
+     * or the job constructor/runner caught an exception. Partial
+     * metrics above remain valid up to the failure point.
+     */
+    std::string error;
+
+    /** True when the run completed without a diagnostic error. */
+    bool ok() const { return error.empty(); }
 
     /** Mean per-iteration wall time in milliseconds. */
     double

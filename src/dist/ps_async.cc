@@ -4,7 +4,10 @@ namespace isw::dist {
 
 namespace {
 constexpr std::uint64_t kWeightXferShift = 16;
+constexpr std::uint64_t kIdMask = (1ULL << kWeightXferShift) - 1;
 constexpr std::uint64_t kPullRequestBytes = 64;
+/** rx_ver_ sentinel: the worker adopts the next reply it sees. */
+constexpr std::uint64_t kNoVer = ~0ULL;
 } // namespace
 
 AsyncPsJob::AsyncPsJob(const JobConfig &cfg) : JobBase(cfg)
@@ -20,6 +23,19 @@ AsyncPsJob::AsyncPsJob(const JobConfig &cfg) : JobBase(cfg)
     workers_.front().agent->getWeights(srv_weights_);
     srv_opt_ = std::make_unique<ml::Adam>(cfg_.agent.lr);
     ps_rng_ = sim_->forkRng();
+
+    push_seq_.assign(workers_.size(), 0);
+    last_push_.resize(workers_.size());
+    srv_applied_.assign(workers_.size(), 0);
+    srv_asm_seq_.assign(workers_.size(), 0);
+    rx_ver_.assign(workers_.size(), kNoVer);
+    pull_outstanding_.assign(workers_.size(), false);
+    push_retx_.resize(workers_.size());
+    pull_retx_.resize(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        configureTimer(push_retx_[i]);
+        configureTimer(pull_retx_[i]);
+    }
 }
 
 void
@@ -42,9 +58,23 @@ AsyncPsJob::pullWeights(WorkerCtx &w)
     if (stopped())
         return;
     WorkerCtx *wp = &w;
+    pull_outstanding_[w.index] = true;
     sim_->after(cfg_.overhead.send, [this, wp] {
         wp->host->sendTo(cluster_.ps->ip(), kPsPort, kWorkerPort, /*tos=*/0,
                          net::RawPayload{kPullRequestBytes, wp->index});
+        // The pull timer covers the whole request/reply exchange: if
+        // either direction loses frames, re-issuing the request makes
+        // the server reply with its *current* weights (possibly a
+        // newer version, which the worker adopts via rx_ver_).
+        pull_retx_[wp->index].arm([this, wp]() -> std::size_t {
+            if (stopped() || !pull_outstanding_[wp->index])
+                return 0;
+            wp->host->sendTo(cluster_.ps->ip(), kPsPort, kWorkerPort,
+                             /*tos=*/0,
+                             net::RawPayload{kPullRequestBytes, wp->index});
+            ++recovery_.retransmits;
+            return 1;
+        });
     });
 }
 
@@ -67,11 +97,24 @@ AsyncPsJob::onPsPacket(const net::PacketPtr &pkt)
         return;
     }
     if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
-        const std::size_t idx = chunk->transfer_id;
+        const std::size_t idx = chunk->transfer_id & kIdMask;
         if (idx >= srv_rx_.size())
             return;
+        const std::uint64_t seq = chunk->transfer_id >> kWeightXferShift;
+        if (seq <= srv_applied_[idx])
+            return; // late retransmission of an applied push (seq >= 1)
+        if (seq < srv_asm_seq_[idx])
+            return; // stale vs the push being assembled
+        if (seq > srv_asm_seq_[idx]) {
+            // Newer push supersedes a partial one (the worker moved
+            // on); restart assembly for it.
+            srv_rx_[idx].reset();
+            srv_asm_seq_[idx] = seq;
+        }
         if (!srv_rx_[idx].offer(*chunk))
             return;
+        srv_applied_[idx] = seq;
+        push_retx_[idx].done();
         // Full gradient received: apply it after the update cost.
         const sim::TimeNs wu =
             cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_);
@@ -94,9 +137,20 @@ AsyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
     if (chunk == nullptr)
         return;
+    const std::uint64_t version = chunk->transfer_id >> kWeightXferShift;
+    if (rx_ver_[w.index] == kNoVer || version > rx_ver_[w.index]) {
+        // First chunk of a reply, or a newer-version reply overtaking
+        // a partial one (re-issued pull): restart assembly.
+        w.rx.reset();
+        rx_ver_[w.index] = version;
+    } else if (version < rx_ver_[w.index]) {
+        return; // late chunk of an older reply: drop
+    }
     if (!w.rx.offer(*chunk))
         return;
-    const std::uint64_t version = chunk->transfer_id >> kWeightXferShift;
+    pull_retx_[w.index].done();
+    pull_outstanding_[w.index] = false;
+    rx_ver_[w.index] = kNoVer;
     WorkerCtx *wp = &w;
     sim_->after(cfg_.overhead.recv, [this, wp, version] {
         wp->agent->installWeights(wp->rx.vector());
@@ -117,10 +171,39 @@ AsyncPsJob::lgc(WorkerCtx &w)
         // Algorithm 1's staleness rule, applied to the PS baseline for
         // a fair comparison: commit only lightly stale gradients.
         if (srv_version_ - tw <= cfg_.staleness_bound) {
-            sim_->after(cfg_.overhead.send, [this, wp] {
+            const std::uint64_t seq = ++push_seq_[wp->index];
+            sim_->after(cfg_.overhead.send, [this, wp, seq] {
+                const std::uint64_t tid =
+                    (seq << kWeightXferShift) | wp->index;
+                if (recoveryEnabled())
+                    last_push_[wp->index] = wp->pending_grad;
                 sendVector(*wp->host, cluster_.ps->ip(), kPsPort,
-                           kWorkerPort, /*tos=*/0, wp->index,
+                           kWorkerPort, /*tos=*/0, tid,
                            wp->pending_grad, fmt_);
+                push_retx_[wp->index].arm([this, wp, tid,
+                                           seq]() -> std::size_t {
+                    const std::size_t i = wp->index;
+                    if (stopped() || push_seq_[i] != seq ||
+                        srv_applied_[i] >= seq)
+                        return 0;
+                    // If the server never adopted this seq, everything
+                    // is missing; otherwise consult its assembler.
+                    std::vector<std::uint64_t> missing;
+                    if (srv_asm_seq_[i] == seq) {
+                        missing = srv_rx_[i].missingSegments();
+                    } else {
+                        missing.resize(fmt_.segments());
+                        for (std::uint64_t s = 0; s < missing.size(); ++s)
+                            missing[s] = s;
+                    }
+                    for (std::uint64_t seg : missing) {
+                        sendVectorSegment(*wp->host, cluster_.ps->ip(),
+                                          kPsPort, kWorkerPort, /*tos=*/0,
+                                          tid, last_push_[i], fmt_, seg);
+                        ++recovery_.retransmits;
+                    }
+                    return missing.size();
+                });
             });
         }
         ++wp->round;

@@ -12,6 +12,8 @@
 #ifndef ISW_DIST_PS_ASYNC_HH
 #define ISW_DIST_PS_ASYNC_HH
 
+#include <deque>
+
 #include "dist/strategy.hh"
 
 namespace isw::dist {
@@ -38,6 +40,23 @@ class AsyncPsJob : public JobBase
     std::vector<VectorAssembler> srv_rx_; ///< per-worker gradient streams
     std::vector<std::uint64_t> installed_version_;
     sim::Rng ps_rng_;
+
+    // --- loss-recovery state (inert when recovery is off) ---
+    /** Per-worker push sequence stamped into gradient transfer ids so
+     *  a late retransmission cannot pollute a newer push. */
+    std::vector<std::uint64_t> push_seq_;
+    /** Snapshot of the last pushed gradient (pending_grad mutates). */
+    std::vector<ml::Vec> last_push_;
+    /** Highest push seq the server has applied, per worker. */
+    std::vector<std::uint64_t> srv_applied_;
+    /** Push seq the server's assembler is currently collecting. */
+    std::vector<std::uint64_t> srv_asm_seq_;
+    /** Weight version the worker's assembler is collecting (kNoVer =
+     *  idle: adopt whatever reply arrives next). */
+    std::vector<std::uint64_t> rx_ver_;
+    std::vector<bool> pull_outstanding_;
+    std::deque<RetxTimer> push_retx_;
+    std::deque<RetxTimer> pull_retx_;
 };
 
 } // namespace isw::dist

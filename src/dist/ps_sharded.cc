@@ -5,8 +5,33 @@
 namespace isw::dist {
 
 namespace {
-/** Transfer ids: shard results are offset past worker gradient ids. */
-constexpr std::uint64_t kResultXferBase = 1'000'000;
+/**
+ * Transfer ids stamp the round so late retransmissions from round r
+ * cannot pollute round r+1: gradients use (round << kRoundShift) |
+ * worker, shard results are (round << kRoundShift) | shard with
+ * kResultFlag set.
+ */
+constexpr std::uint64_t kRoundShift = 20;
+constexpr std::uint64_t kIdMask = (1ULL << kRoundShift) - 1;
+constexpr std::uint64_t kResultFlag = 1ULL << 63;
+
+constexpr std::uint64_t
+makeTid(std::uint64_t round, std::uint64_t id)
+{
+    return (round << kRoundShift) | id;
+}
+
+constexpr std::uint64_t
+tidRound(std::uint64_t tid)
+{
+    return (tid & ~kResultFlag) >> kRoundShift;
+}
+
+constexpr std::uint64_t
+tidId(std::uint64_t tid)
+{
+    return tid & kIdMask;
+}
 } // namespace
 
 SyncShardedPsJob::SyncShardedPsJob(const JobConfig &cfg) : JobBase(cfg)
@@ -51,6 +76,12 @@ SyncShardedPsJob::SyncShardedPsJob(const JobConfig &cfg) : JobBase(cfg)
             per_shard[s].reset(shards_[s].fmt);
     }
     ps_rng_ = sim_->forkRng();
+    grad_retx_.resize(workers_.size() * k);
+    result_retx_.resize(workers_.size() * k);
+    for (auto &t : grad_retx_)
+        configureTimer(t);
+    for (auto &t : result_retx_)
+        configureTimer(t);
 }
 
 void
@@ -79,14 +110,38 @@ SyncShardedPsJob::beginRound(WorkerCtx &w)
         // Scatter: one message per shard, each charged a send posting.
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             const ShardSpec &sp = shards_[s];
-            sim_->after(cfg_.overhead.send * (s + 1), [this, wp, s, sp] {
-                sendVector(
-                    *wp->host, cluster_.ps_shards[s]->ip(), kPsPort,
-                    kWorkerPort, /*tos=*/0, /*transfer_id=*/wp->index,
-                    std::span<const float>(
-                        wp->pending_grad.data() + sp.log_begin,
-                        sp.log_end - sp.log_begin),
-                    sp.fmt);
+            const std::uint64_t r = wp->round;
+            sim_->after(cfg_.overhead.send * (s + 1),
+                        [this, wp, s, sp, r] {
+                const std::span<const float> slice(
+                    wp->pending_grad.data() + sp.log_begin,
+                    sp.log_end - sp.log_begin);
+                sendVector(*wp->host, cluster_.ps_shards[s]->ip(),
+                           kPsPort, kWorkerPort, /*tos=*/0,
+                           makeTid(r, wp->index), slice, sp.fmt);
+                // Guard this slice: the free-ack model reads the
+                // shard's assembler to learn what is still missing.
+                grad_retx_[wp->index * shards_.size() + s].arm(
+                    [this, wp, s, r]() -> std::size_t {
+                        if (stopped() || state_[s].round != r)
+                            return 0;
+                        const ShardSpec &sp = shards_[s];
+                        std::size_t n = 0;
+                        for (std::uint64_t seg :
+                             state_[s].rx[wp->index].missingSegments()) {
+                            sendVectorSegment(
+                                *wp->host, cluster_.ps_shards[s]->ip(),
+                                kPsPort, kWorkerPort, /*tos=*/0,
+                                makeTid(r, wp->index),
+                                std::span<const float>(
+                                    wp->pending_grad.data() + sp.log_begin,
+                                    sp.log_end - sp.log_begin),
+                                sp.fmt, seg);
+                            ++recovery_.retransmits;
+                            ++n;
+                        }
+                        return n;
+                    });
             });
         }
     });
@@ -96,10 +151,15 @@ void
 SyncShardedPsJob::onShardPacket(std::size_t shard, const net::PacketPtr &pkt)
 {
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
-    if (chunk == nullptr || chunk->transfer_id >= workers_.size())
+    if (chunk == nullptr || (chunk->transfer_id & kResultFlag) != 0)
         return;
     ShardState &st = state_[shard];
-    if (st.rx[chunk->transfer_id].offer(*chunk)) {
+    const std::uint64_t widx = tidId(chunk->transfer_id);
+    if (widx >= workers_.size() ||
+        tidRound(chunk->transfer_id) != st.round)
+        return; // stale round (late retransmission): drop
+    if (st.rx[widx].offer(*chunk)) {
+        grad_retx_[widx * shards_.size() + shard].done();
         if (++st.received == workers_.size())
             shardAggregate(shard);
     }
@@ -129,17 +189,40 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
     for (auto &rx : st.rx)
         rx.reset();
     st.received = 0;
+    const std::uint64_t round = st.round++;
 
     sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_,
-                [this, shard] {
+                [this, shard, round] {
         for (std::size_t i = 0; i < workers_.size(); ++i) {
             WorkerCtx *wp = &workers_[i];
             sim_->after(cfg_.overhead.send * (i + 1),
-                        [this, shard, wp] {
+                        [this, shard, wp, round] {
+                const std::uint64_t tid =
+                    kResultFlag | makeTid(round, shard);
                 sendVector(*cluster_.ps_shards[shard], wp->host->ip(),
-                           kWorkerPort, kPsPort, /*tos=*/0,
-                           kResultXferBase + shard, state_[shard].sum,
-                           shards_[shard].fmt);
+                           kWorkerPort, kPsPort, /*tos=*/0, tid,
+                           state_[shard].sum, shards_[shard].fmt);
+                // Guard the result slice; st.sum is stable until every
+                // worker finished this round (a worker missing this
+                // slice cannot have scattered the next round's slice).
+                result_retx_[wp->index * shards_.size() + shard].arm(
+                    [this, shard, wp, tid, round]() -> std::size_t {
+                        if (stopped() || wp->round != round)
+                            return 0;
+                        std::size_t n = 0;
+                        for (std::uint64_t seg :
+                             worker_rx_[wp->index][shard]
+                                 .missingSegments()) {
+                            sendVectorSegment(*cluster_.ps_shards[shard],
+                                              wp->host->ip(), kWorkerPort,
+                                              kPsPort, /*tos=*/0, tid,
+                                              state_[shard].sum,
+                                              shards_[shard].fmt, seg);
+                            ++recovery_.retransmits;
+                            ++n;
+                        }
+                        return n;
+                    });
             });
         }
     });
@@ -149,13 +232,15 @@ void
 SyncShardedPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
-    if (chunk == nullptr || chunk->transfer_id < kResultXferBase)
+    if (chunk == nullptr || (chunk->transfer_id & kResultFlag) == 0)
         return;
-    const std::size_t shard =
-        static_cast<std::size_t>(chunk->transfer_id - kResultXferBase);
-    if (shard >= shards_.size())
-        return;
+    const auto shard =
+        static_cast<std::size_t>(tidId(chunk->transfer_id));
+    if (shard >= shards_.size() ||
+        tidRound(chunk->transfer_id) != w.round)
+        return; // stale round (late retransmission): drop
     if (worker_rx_[w.index][shard].offer(*chunk)) {
+        result_retx_[w.index * shards_.size() + shard].done();
         if (++slices_done_[w.index] == shards_.size())
             onSlicesComplete(w);
     }

@@ -15,6 +15,8 @@
 #ifndef ISW_DIST_PS_SHARDED_HH
 #define ISW_DIST_PS_SHARDED_HH
 
+#include <deque>
+
 #include "dist/strategy.hh"
 
 namespace isw::dist {
@@ -43,6 +45,7 @@ class SyncShardedPsJob : public JobBase
     {
         std::vector<VectorAssembler> rx; ///< one per worker
         std::size_t received = 0;
+        std::uint64_t round = 0; ///< round this shard is collecting
         ml::Vec sum;
     };
 
@@ -62,6 +65,10 @@ class SyncShardedPsJob : public JobBase
     std::vector<ml::Vec> agg_;
     sim::TimeNs last_server_wu_ = 0;
     sim::Rng ps_rng_;
+    /** Loss-recovery timers, flattened worker * K + shard (deque:
+     *  RetxTimer is address-pinned by its pending event). */
+    std::deque<RetxTimer> grad_retx_;
+    std::deque<RetxTimer> result_retx_;
 };
 
 } // namespace isw::dist

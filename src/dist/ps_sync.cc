@@ -3,9 +3,32 @@
 namespace isw::dist {
 
 namespace {
-/** Transfer ids: gradients use the worker index; result streams are
- *  offset so they can never collide. */
-constexpr std::uint64_t kResultXferBase = 1'000'000;
+/**
+ * Transfer ids stamp the round so a straggling retransmission from
+ * round r can never pollute round r+1's assembler: gradients use
+ * (round << kRoundShift) | worker, results set kResultFlag on top.
+ */
+constexpr std::uint64_t kRoundShift = 20;
+constexpr std::uint64_t kWorkerMask = (1ULL << kRoundShift) - 1;
+constexpr std::uint64_t kResultFlag = 1ULL << 63;
+
+constexpr std::uint64_t
+gradTid(std::uint64_t round, std::uint64_t worker)
+{
+    return (round << kRoundShift) | worker;
+}
+
+constexpr std::uint64_t
+tidRound(std::uint64_t tid)
+{
+    return (tid & ~kResultFlag) >> kRoundShift;
+}
+
+constexpr std::uint64_t
+tidWorker(std::uint64_t tid)
+{
+    return tid & kWorkerMask;
+}
 } // namespace
 
 SyncPsJob::SyncPsJob(const JobConfig &cfg) : JobBase(cfg)
@@ -17,6 +40,12 @@ SyncPsJob::SyncPsJob(const JobConfig &cfg) : JobBase(cfg)
     for (auto &w : workers_)
         w.rx.reset(fmt_);
     ps_rng_ = sim_->forkRng();
+    grad_retx_.resize(workers_.size());
+    result_retx_.resize(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        configureTimer(grad_retx_[i]);
+        configureTimer(result_retx_[i]);
+    }
 }
 
 void
@@ -41,9 +70,28 @@ SyncPsJob::beginRound(WorkerCtx &w)
     WorkerCtx *wp = &w;
     scheduleLgc(w, [this, wp] {
         sim_->after(cfg_.overhead.send, [this, wp] {
+            const std::uint64_t r = wp->round;
             sendVector(*wp->host, cluster_.ps->ip(), kPsPort, kWorkerPort,
-                       /*tos=*/0, /*transfer_id=*/wp->index,
-                       wp->pending_grad, fmt_);
+                       /*tos=*/0, gradTid(r, wp->index), wp->pending_grad,
+                       fmt_);
+            // Guard the uplink transfer: on timeout, re-send whatever
+            // the server's assembler is still missing (the ack channel
+            // is modeled as free; data resends pay full wire cost).
+            grad_retx_[wp->index].arm([this, wp, r]() -> std::size_t {
+                if (stopped() || srv_round_ != r)
+                    return 0;
+                std::size_t n = 0;
+                for (std::uint64_t seg :
+                     ps_rx_[wp->index].missingSegments()) {
+                    sendVectorSegment(*wp->host, cluster_.ps->ip(), kPsPort,
+                                      kWorkerPort, /*tos=*/0,
+                                      gradTid(r, wp->index),
+                                      wp->pending_grad, fmt_, seg);
+                    ++recovery_.retransmits;
+                    ++n;
+                }
+                return n;
+            });
         });
     });
 }
@@ -52,9 +100,13 @@ void
 SyncPsJob::onPsPacket(const net::PacketPtr &pkt)
 {
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
-    if (chunk == nullptr || chunk->transfer_id >= ps_rx_.size())
+    if (chunk == nullptr || (chunk->transfer_id & kResultFlag) != 0)
         return;
-    if (ps_rx_[chunk->transfer_id].offer(*chunk)) {
+    const std::uint64_t widx = tidWorker(chunk->transfer_id);
+    if (widx >= ps_rx_.size() || tidRound(chunk->transfer_id) != srv_round_)
+        return; // stale round (late retransmission): drop
+    if (ps_rx_[widx].offer(*chunk)) {
+        grad_retx_[widx].done();
         if (++ps_received_ == workers_.size())
             serverAggregate();
     }
@@ -82,16 +134,35 @@ SyncPsJob::serverAggregate()
     for (auto &rx : ps_rx_)
         rx.reset();
     ps_received_ = 0;
+    const std::uint64_t round = srv_round_++;
 
-    sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_, [this] {
+    sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_,
+                [this, round] {
         // Unicast the aggregate to every worker; each message costs a
         // send posting, and all share the server's single link.
         for (std::size_t i = 0; i < workers_.size(); ++i) {
             WorkerCtx *wp = &workers_[i];
-            sim_->after(cfg_.overhead.send * (i + 1), [this, wp] {
+            sim_->after(cfg_.overhead.send * (i + 1), [this, wp, round] {
+                const std::uint64_t tid =
+                    kResultFlag | gradTid(round, wp->index);
                 sendVector(*cluster_.ps, wp->host->ip(), kWorkerPort,
-                           kPsPort, /*tos=*/0,
-                           kResultXferBase + wp->index, ps_sum_, fmt_);
+                           kPsPort, /*tos=*/0, tid, ps_sum_, fmt_);
+                // Guard the downlink transfer; ps_sum_ is stable until
+                // every worker finished this round.
+                result_retx_[wp->index].arm([this, wp, tid,
+                                             round]() -> std::size_t {
+                    if (stopped() || wp->round != round)
+                        return 0;
+                    std::size_t n = 0;
+                    for (std::uint64_t seg : wp->rx.missingSegments()) {
+                        sendVectorSegment(*cluster_.ps, wp->host->ip(),
+                                          kWorkerPort, kPsPort, /*tos=*/0,
+                                          tid, ps_sum_, fmt_, seg);
+                        ++recovery_.retransmits;
+                        ++n;
+                    }
+                    return n;
+                });
             });
         }
     });
@@ -101,10 +172,15 @@ void
 SyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
-    if (chunk == nullptr)
+    if (chunk == nullptr || (chunk->transfer_id & kResultFlag) == 0)
         return;
-    if (w.rx.offer(*chunk))
+    if (tidWorker(chunk->transfer_id) != w.index ||
+        tidRound(chunk->transfer_id) != w.round)
+        return; // stale round or misrouted: drop
+    if (w.rx.offer(*chunk)) {
+        result_retx_[w.index].done();
         onWeightsComplete(w);
+    }
 }
 
 void

@@ -16,6 +16,8 @@
 #ifndef ISW_DIST_PS_SYNC_HH
 #define ISW_DIST_PS_SYNC_HH
 
+#include <deque>
+
 #include "dist/strategy.hh"
 
 namespace isw::dist {
@@ -39,9 +41,14 @@ class SyncPsJob : public JobBase
     WireFormat fmt_;
     std::vector<VectorAssembler> ps_rx_; ///< per-worker gradient streams
     std::size_t ps_received_ = 0;
+    std::uint64_t srv_round_ = 0; ///< round the server is collecting
     ml::Vec ps_sum_;
     sim::TimeNs last_server_wu_ = 0;
     sim::Rng ps_rng_;
+    /** Per-worker loss-recovery timers (uplink / downlink). Deque:
+     *  RetxTimer is address-pinned (its pending event captures this). */
+    std::deque<RetxTimer> grad_retx_;
+    std::deque<RetxTimer> result_retx_;
 };
 
 } // namespace isw::dist

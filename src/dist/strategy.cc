@@ -77,6 +77,69 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
                                 /*env_seed=*/cfg_.seed * 104729 + 31 + i);
         w.rng = sim_->forkRng();
     }
+
+    installFaults();
+
+    retx_ = cfg_.retx;
+    if (retx_.timeout == 0) {
+        // Auto timeout: the PS return path unicasts one full vector
+        // per worker over a single link, so a transfer can legally sit
+        // behind ~N serializations plus host overheads; pad generously
+        // (spurious firings are dedupe-safe but waste traffic).
+        const double bw = cfg_.cluster.edge_link.bandwidth_bps;
+        const auto serial = static_cast<sim::TimeNs>(
+            static_cast<double>(gradientWire(false).wire_bytes) * 8e9 / bw);
+        retx_.timeout =
+            serial * static_cast<sim::TimeNs>(cfg_.num_workers + 2) +
+            2 * (cfg_.overhead.send + cfg_.overhead.recv) + 5 * sim::kMsec;
+    }
+    recovery_on_ = lossyEnv() && retx_.max_retries > 0;
+}
+
+bool
+JobBase::lossyEnv() const
+{
+    return cfg_.cluster.edge_link.loss_prob > 0.0 ||
+           cfg_.cluster.uplink.loss_prob > 0.0 || !cfg_.faults.empty();
+}
+
+void
+JobBase::installFaults()
+{
+    if (cfg_.faults.empty())
+        return;
+    // The injector draws from a private RNG tree (seed ^ salt), never
+    // from sim_->forkRng(): attaching a plan must not shift the
+    // stream ids of workers or links vs. the lossless run.
+    injector_ = std::make_unique<net::FaultInjector>(*sim_, cfg_.faults,
+                                                     cfg_.seed);
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        injector_->attach(i, *cluster_.workers[i]->link(0));
+
+    for (const net::WorkerCrash &c : cfg_.faults.crashes) {
+        if (!c.announce || c.worker >= workers_.size())
+            continue;
+        net::Host *h = cluster_.workers[c.worker];
+        core::ProgrammableSwitch *leaf = cluster_.leafOf(c.worker);
+        // The Leave departs at the crash instant, inside the injector's
+        // grace window, driving the real membership/auto-H machinery;
+        // the Join goes out the moment the link is back up.
+        sim_->at(c.crash_at, [h, leaf] {
+            net::ControlPayload leave;
+            leave.action = net::Action::kLeave;
+            h->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+                      net::kTosControl, leave);
+        });
+        sim_->at(c.rejoin_at, [h, leaf] {
+            net::ControlPayload join;
+            join.action = net::Action::kJoin;
+            join.has_value = true;
+            join.value = core::encodeJoinValue(kWorkerPort,
+                                               core::MemberType::kWorker);
+            h->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+                      net::kTosControl, join);
+        });
+    }
 }
 
 rl::Agent &
@@ -103,18 +166,28 @@ JobBase::scheduleLgc(WorkerCtx &w, std::function<void()> done)
     const ml::Vec &g = w.agent->computeGradient();
     w.pending_grad.assign(g.begin(), g.end());
 
+    // Straggler injection: a slowed worker's compute stretches
+    // uniformly (and the stretched time is what its metrics record).
+    const double scale =
+        injector_ ? injector_->computeScale(w.index, sim_->now()) : 1.0;
+    const auto stretch = [scale](sim::TimeNs d) {
+        return scale == 1.0
+                   ? d
+                   : static_cast<sim::TimeNs>(static_cast<double>(d) * scale);
+    };
+
     sim::TimeNs total = 0;
     for (std::size_t c = 0; c < kNumComponents; ++c) {
         const auto comp = static_cast<IterComponent>(c);
         if (!isLgcComponent(comp))
             continue;
-        const sim::TimeNs dur = cfg_.profile.sample(comp, w.rng);
+        const sim::TimeNs dur = stretch(cfg_.profile.sample(comp, w.rng));
         w.metrics.add(comp, dur);
         total += dur;
     }
     // "Others" is measured as part of the local stage in Figure 4.
-    const sim::TimeNs oth = cfg_.profile.sample(IterComponent::kOthers,
-                                                w.rng);
+    const sim::TimeNs oth =
+        stretch(cfg_.profile.sample(IterComponent::kOthers, w.rng));
     w.metrics.add(IterComponent::kOthers, oth);
     total += oth;
 
@@ -194,7 +267,25 @@ JobBase::run()
     const std::size_t guard =
         (cfg_.stop.max_iterations + 10) * cfg_.num_workers *
         (gradientWire(false).segments() * 64 + 4096);
-    sim_->run(guard);
+    std::string error;
+    if (cfg_.stop.max_sim_time > 0) {
+        sim_->runUntil(cfg_.stop.max_sim_time);
+        if (!stopped_ && !sim_->events().empty())
+            error = "watchdog: no stop condition met by max_sim_time (" +
+                    std::to_string(global_iters_) + "/" +
+                    std::to_string(cfg_.stop.max_iterations) +
+                    " iterations)";
+    } else {
+        sim_->run(guard);
+        if (!sim_->events().empty())
+            error = "event guard exhausted: runaway event loop after " +
+                    std::to_string(global_iters_) + " iterations";
+    }
+    if (error.empty() && !stopped_)
+        error = "stalled: event queue drained after " +
+                std::to_string(global_iters_) + "/" +
+                std::to_string(cfg_.stop.max_iterations) +
+                " iterations (lost traffic never recovered?)";
 
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -205,6 +296,7 @@ JobBase::run()
     const auto sealed = static_cast<double>(pool1.sealed - pool0.sealed);
 
     RunResult res;
+    res.error = std::move(error);
     res.iterations = global_iters_;
     res.total_time = last_update_time_;
     res.final_avg_reward = clusterAvgReward();
@@ -244,6 +336,36 @@ JobBase::collectExtras(RunResult &res) const
             static_cast<double>(pool.peakActiveSegments());
         res.extras["cached_results"] =
             static_cast<double>(cluster_.root->cachedResults());
+    }
+    // Recovery/fault observability. Gated so lossless runs emit the
+    // exact pre-existing key set (BENCH_*.json byte-identity).
+    if (recovery_on_) {
+        const RecoveryStats &r = recovery_;
+        res.extras["retx_timeouts"] = static_cast<double>(r.timeouts);
+        res.extras["retx_segments"] = static_cast<double>(r.retransmits);
+        res.extras["help_requests"] = static_cast<double>(r.help_requests);
+        res.extras["fbcasts"] = static_cast<double>(r.fbcasts);
+        res.extras["recoveries"] = static_cast<double>(r.recoveries);
+        res.extras["retx_gave_up"] = static_cast<double>(r.gave_up);
+        res.extras["recovery_latency_ms_total"] =
+            sim::toMillis(r.latency_total);
+        res.extras["recovery_latency_ms_max"] = sim::toMillis(r.latency_max);
+        static const char *const kHistKeys[6] = {
+            "recovery_hist_lt1ms",   "recovery_hist_lt4ms",
+            "recovery_hist_lt16ms",  "recovery_hist_lt64ms",
+            "recovery_hist_lt256ms", "recovery_hist_ge256ms",
+        };
+        for (std::size_t b = 0; b < r.latency_hist.size(); ++b)
+            res.extras[kHistKeys[b]] =
+                static_cast<double>(r.latency_hist[b]);
+    }
+    if (injector_ != nullptr) {
+        const net::FaultStats &f = injector_->stats();
+        res.extras["fault_ge_drops"] = static_cast<double>(f.ge_drops);
+        res.extras["fault_iid_drops"] = static_cast<double>(f.iid_drops);
+        res.extras["fault_down_drops"] = static_cast<double>(f.down_drops);
+        res.extras["fault_duplicates"] = static_cast<double>(f.duplicates);
+        res.extras["fault_reorders"] = static_cast<double>(f.reorders);
     }
 }
 

@@ -21,6 +21,7 @@
 #include "dist/metrics.hh"
 #include "dist/timing.hh"
 #include "dist/transport.hh"
+#include "net/fault.hh"
 #include "rl/agent.hh"
 #include "rl/model_zoo.hh"
 
@@ -51,6 +52,13 @@ struct StopCondition
     double target_reward = std::numeric_limits<double>::quiet_NaN();
     /** Episodes required before the reward target is consulted. */
     std::uint64_t min_episodes = 10;
+    /**
+     * Simulated-time watchdog: when > 0 and the run has not met a stop
+     * condition by this simulated instant, it terminates with a
+     * diagnostic RunResult::error instead of spinning the event loop
+     * (a lossy run of an unprotected strategy used to hang forever).
+     */
+    sim::TimeNs max_sim_time = 0;
 
     bool
     hasTarget() const
@@ -101,6 +109,18 @@ struct JobConfig
     std::uint32_t agg_threshold = 0;
     StopCondition stop;
     std::size_t curve_every = 10; ///< curve sample period (iterations)
+    /**
+     * Declarative fault schedule (empty = no injector attached; the
+     * data path is bit-identical to a build without the subsystem).
+     */
+    net::FaultPlan faults;
+    /**
+     * Universal loss-recovery knobs. Recovery activates only in lossy
+     * environments (link loss_prob > 0 or a non-empty fault plan), so
+     * lossless runs schedule zero recovery events. timeout 0 derives a
+     * default from the wire size and worker count.
+     */
+    RetransmitPolicy retx;
 
     /** Preset for @p algo + @p strategy with zoo hyperparameters and
      *  the paper's wire model size. */
@@ -186,6 +206,26 @@ class JobBase
     /** The wire format gradients/weights use on this job. */
     WireFormat gradientWire(bool iswitch_plane) const;
 
+    /** Can frames be lost (link loss or an attached fault plan)? */
+    bool lossyEnv() const;
+
+    /** Should strategies arm retransmission timers? */
+    bool recoveryEnabled() const { return recovery_on_; }
+
+    /** The resolved retransmission policy (timeout never 0). */
+    const RetransmitPolicy &retxPolicy() const { return retx_; }
+
+    /** Configure @p t against this job's policy iff recovery is on;
+     *  unconfigured timers no-op, so call sites stay unconditional. */
+    void configureTimer(RetxTimer &t)
+    {
+        if (recovery_on_)
+            t.configure(*sim_, retx_, recovery_);
+    }
+
+    /** The attached fault injector, or nullptr. */
+    net::FaultInjector *faultInjector() const { return injector_.get(); }
+
     JobConfig cfg_;
     std::unique_ptr<sim::Simulation> sim_;
     Cluster cluster_;
@@ -196,9 +236,16 @@ class JobBase
     bool stopped_ = false;
     bool reached_target_ = false;
     sim::TimeSeries curve_;
+    /** Shared recovery counters (all strategies' timers feed here). */
+    RecoveryStats recovery_;
 
   private:
     void checkStop();
+    void installFaults();
+
+    std::unique_ptr<net::FaultInjector> injector_;
+    RetransmitPolicy retx_; ///< resolved policy (timeout never 0)
+    bool recovery_on_ = false;
 };
 
 /** Construct the right Job subclass for @p cfg. */

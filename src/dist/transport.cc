@@ -33,6 +33,132 @@ sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
 }
 
 void
+sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
+                  std::uint16_t dst_port, std::uint16_t src_port,
+                  std::uint8_t tos, std::uint64_t transfer_id,
+                  std::span<const float> logical, const WireFormat &fmt,
+                  std::uint64_t seg, std::uint64_t seg_base)
+{
+    net::ChunkPayload chunk;
+    chunk.transfer_id = transfer_id;
+    chunk.seg = seg_base + seg;
+    chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
+    const std::uint64_t begin = seg * core::kFloatsPerSeg;
+    if (begin < logical.size()) {
+        const std::uint64_t end = std::min<std::uint64_t>(
+            begin + core::kFloatsPerSeg, logical.size());
+        chunk.values = net::PacketPool::local().acquireFloats(end - begin);
+        chunk.values.assign(logical.begin() + begin, logical.begin() + end);
+    }
+    host.sendTo(dst_ip, dst_port, src_port, tos, std::move(chunk));
+}
+
+void
+RecoveryStats::recordRecovery(sim::TimeNs latency)
+{
+    ++recoveries;
+    latency_total += latency;
+    if (latency > latency_max)
+        latency_max = latency;
+    const double ms = sim::toMillis(latency);
+    std::size_t bucket = 0;
+    for (const double edge : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+        if (ms < edge)
+            break;
+        ++bucket;
+    }
+    ++latency_hist[bucket];
+}
+
+RetxTimer::~RetxTimer()
+{
+    if (sim_ != nullptr)
+        sim_->events().cancel(pending_);
+}
+
+void
+RetxTimer::configure(sim::Simulation &sim, const RetransmitPolicy &policy,
+                     RecoveryStats &stats)
+{
+    sim_ = &sim;
+    policy_ = &policy;
+    stats_ = &stats;
+}
+
+void
+RetxTimer::arm(ResendFn resend)
+{
+    if (sim_ == nullptr || policy_->max_retries == 0)
+        return;
+    // Re-arming an armed timer is progress on the guarded stream.
+    finish(/*record=*/true);
+    resend_ = std::move(resend);
+    retries_ = 0;
+    first_timeout_at_ = 0;
+    cur_timeout_ = policy_->timeout;
+    schedule();
+}
+
+void
+RetxTimer::done()
+{
+    finish(/*record=*/true);
+}
+
+void
+RetxTimer::cancel()
+{
+    finish(/*record=*/false);
+}
+
+void
+RetxTimer::finish(bool record)
+{
+    if (sim_ == nullptr)
+        return;
+    if (record && first_timeout_at_ != 0)
+        stats_->recordRecovery(sim_->now() - first_timeout_at_);
+    sim_->events().cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+    first_timeout_at_ = 0;
+    resend_ = nullptr;
+}
+
+void
+RetxTimer::schedule()
+{
+    pending_ = sim_->after(cur_timeout_, [this] { fire(); });
+}
+
+void
+RetxTimer::fire()
+{
+    pending_ = sim::kInvalidEventId;
+    if (!resend_)
+        return;
+    const std::size_t missing = resend_();
+    if (missing == 0) {
+        // Nothing left to recover; disarm without recording (the
+        // owner's completion path calls done() when it notices).
+        first_timeout_at_ = 0;
+        resend_ = nullptr;
+        return;
+    }
+    ++stats_->timeouts;
+    if (first_timeout_at_ == 0)
+        first_timeout_at_ = sim_->now();
+    if (++retries_ >= policy_->max_retries) {
+        ++stats_->gave_up;
+        first_timeout_at_ = 0;
+        resend_ = nullptr;
+        return;
+    }
+    cur_timeout_ = static_cast<sim::TimeNs>(
+        static_cast<double>(cur_timeout_) * policy_->backoff);
+    schedule();
+}
+
+void
 VectorAssembler::reset(WireFormat fmt)
 {
     fmt_ = fmt;
@@ -85,6 +211,17 @@ MultiRoundAssembler::popFront()
     rounds_.pop_front();
     ++popped_;
     return out;
+}
+
+std::vector<std::uint64_t>
+MultiRoundAssembler::missingFront() const
+{
+    if (!rounds_.empty())
+        return rounds_.front().missingSegments();
+    std::vector<std::uint64_t> all(fmt_.segments());
+    for (std::uint64_t seg = 0; seg < all.size(); ++seg)
+        all[seg] = seg;
+    return all;
 }
 
 std::vector<std::uint64_t>

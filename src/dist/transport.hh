@@ -13,7 +13,9 @@
 #ifndef ISW_DIST_TRANSPORT_HH
 #define ISW_DIST_TRANSPORT_HH
 
+#include <array>
 #include <deque>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,6 +23,7 @@
 
 #include "core/protocol.hh"
 #include "net/host.hh"
+#include "sim/simulation.hh"
 #include "sim/time.hh"
 
 namespace isw::dist {
@@ -69,6 +72,109 @@ void sendVector(net::Host &host, net::Ipv4Addr dst_ip,
                 std::uint8_t tos, std::uint64_t transfer_id,
                 std::span<const float> logical, const WireFormat &fmt,
                 std::uint64_t seg_base = 0);
+
+/**
+ * Enqueue a single segment of a vector (loss-recovery resends).
+ * @p seg is the segment offset within @p fmt; the packet carries
+ * seg_base + seg like sendVector would.
+ */
+void sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
+                       std::uint16_t dst_port, std::uint16_t src_port,
+                       std::uint8_t tos, std::uint64_t transfer_id,
+                       std::span<const float> logical, const WireFormat &fmt,
+                       std::uint64_t seg, std::uint64_t seg_base = 0);
+
+/**
+ * Knobs of the universal retransmission layer (DESIGN.md §10): a
+ * timeout re-sends whatever a transfer is still missing, backing off
+ * exponentially up to a retry cap.
+ */
+struct RetransmitPolicy
+{
+    /** Initial timeout; 0 = auto (the job derives it from wire size). */
+    sim::TimeNs timeout = 0;
+    double backoff = 2.0;
+    /** Retry cap; 0 disables recovery entirely. */
+    std::uint32_t max_retries = 12;
+};
+
+/** Deterministic recovery counters, exported via RunResult::extras. */
+struct RecoveryStats
+{
+    std::uint64_t timeouts = 0;      ///< timer firings that found work
+    std::uint64_t retransmits = 0;   ///< data segments re-sent
+    std::uint64_t help_requests = 0; ///< iSwitch Help messages sent
+    std::uint64_t fbcasts = 0;       ///< FBcast nudges sent
+    std::uint64_t recoveries = 0;    ///< guarded ops completed after >=1 timeout
+    std::uint64_t gave_up = 0;       ///< retry cap exhausted
+    sim::TimeNs latency_total = 0;   ///< sum of recovery latencies
+    sim::TimeNs latency_max = 0;
+    /**
+     * Recovery latency histogram (first timeout -> completion):
+     * {<1ms, <4ms, <16ms, <64ms, <256ms, >=256ms}.
+     */
+    std::array<std::uint64_t, 6> latency_hist{};
+
+    /** Record one recovery that took @p latency beyond first timeout. */
+    void recordRecovery(sim::TimeNs latency);
+};
+
+/**
+ * One guarded operation's retransmission timer.
+ *
+ * arm(resend) starts the clock; when it expires, @p resend is invoked
+ * and must re-send whatever is still missing, returning how many items
+ * it re-sent (0 = nothing missing: the timer disarms silently). While
+ * work remains the timer re-arms with exponential backoff until the
+ * retry cap, then gives up. done() stops the timer and records the
+ * recovery latency if any timeout had fired; re-arming an armed timer
+ * counts as progress the same way.
+ *
+ * Unconfigured timers (lossless runs) make every call a no-op, so
+ * strategies can arm/done unconditionally without scheduling a single
+ * event when recovery is off. Not movable: the pending event captures
+ * `this` (store RetxTimers in a std::deque or node-based container).
+ */
+class RetxTimer
+{
+  public:
+    using ResendFn = std::function<std::size_t()>;
+
+    RetxTimer() = default;
+    ~RetxTimer();
+
+    RetxTimer(const RetxTimer &) = delete;
+    RetxTimer &operator=(const RetxTimer &) = delete;
+
+    /** Enable the timer; without this every operation is a no-op. */
+    void configure(sim::Simulation &sim, const RetransmitPolicy &policy,
+                   RecoveryStats &stats);
+
+    /** (Re)start guarding an operation. */
+    void arm(ResendFn resend);
+
+    /** The guarded operation completed. */
+    void done();
+
+    /** Abandon silently (no recovery recorded). */
+    void cancel();
+
+    bool armed() const { return pending_ != sim::kInvalidEventId; }
+
+  private:
+    void fire();
+    void schedule();
+    void finish(bool record);
+
+    sim::Simulation *sim_ = nullptr;
+    const RetransmitPolicy *policy_ = nullptr;
+    RecoveryStats *stats_ = nullptr;
+    ResendFn resend_;
+    sim::EventId pending_ = sim::kInvalidEventId;
+    sim::TimeNs cur_timeout_ = 0;
+    sim::TimeNs first_timeout_at_ = 0;
+    std::uint32_t retries_ = 0;
+};
 
 /** Reassembles one vector from its segment packets. */
 class VectorAssembler
@@ -139,6 +245,12 @@ class MultiRoundAssembler
 
     /** Pop the completed front round's vector. */
     std::vector<float> popFront();
+
+    /**
+     * Segments the oldest pending round is still missing; every
+     * segment when no round has started arriving (loss recovery).
+     */
+    std::vector<std::uint64_t> missingFront() const;
 
     std::size_t pendingRounds() const { return rounds_.size(); }
 

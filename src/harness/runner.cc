@@ -120,7 +120,42 @@ SpecKey::of(const dist::JobConfig &cfg)
     kb.u(cfg.stop.max_iterations);
     kb.d(cfg.stop.target_reward);
     kb.u(cfg.stop.min_episodes);
+    kb.u(cfg.stop.max_sim_time);
     kb.u(cfg.curve_every);
+
+    kb.u(cfg.retx.timeout);
+    kb.d(cfg.retx.backoff);
+    kb.u(cfg.retx.max_retries);
+
+    const net::FaultPlan &f = cfg.faults;
+    kb.d(f.ge.p_good_to_bad);
+    kb.d(f.ge.p_bad_to_good);
+    kb.d(f.ge.loss_good);
+    kb.d(f.ge.loss_bad);
+    kb.d(f.extra_loss);
+    kb.d(f.duplicate_prob);
+    kb.d(f.reorder_prob);
+    kb.u(f.reorder_delay);
+    kb.u(f.link_down.size());
+    for (const net::LinkDownWindow &w : f.link_down) {
+        kb.u(w.worker);
+        kb.u(w.down_at);
+        kb.u(w.up_at);
+    }
+    kb.u(f.crashes.size());
+    for (const net::WorkerCrash &c : f.crashes) {
+        kb.u(c.worker);
+        kb.u(c.crash_at);
+        kb.u(c.rejoin_at);
+        kb.u(c.announce ? 1 : 0);
+    }
+    kb.u(f.stragglers.size());
+    for (const net::Straggler &s : f.stragglers) {
+        kb.u(s.worker);
+        kb.d(s.slowdown);
+        kb.u(s.from);
+        kb.u(s.until);
+    }
 
     return SpecKey{std::move(kb.words)};
 }
@@ -132,7 +167,6 @@ struct Runner::Entry
     dist::RunResult result;
     double wall_ms = 0.0;
     bool done = false;
-    std::exception_ptr error;
 };
 
 Runner::Runner(RunnerOptions opts)
@@ -164,7 +198,6 @@ Runner::execute(Entry &e)
 {
     const auto t0 = std::chrono::steady_clock::now();
     dist::RunResult result;
-    std::exception_ptr error;
     try {
         auto job = dist::makeJob(e.spec.config);
         // Per-runner serialized sink: a job's log lines never
@@ -181,8 +214,12 @@ Runner::execute(Entry &e)
                              line.c_str());
         });
         result = job->run();
+    } catch (const std::exception &ex) {
+        // One faulty spec must not abort a whole sweep: the failure
+        // becomes this spec's diagnostic result instead.
+        result.error = ex.what();
     } catch (...) {
-        error = std::current_exception();
+        result.error = "unknown exception";
     }
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
@@ -192,7 +229,6 @@ Runner::execute(Entry &e)
         std::lock_guard<std::mutex> lock(mu_);
         e.result = std::move(result);
         e.wall_ms = wall_ms;
-        e.error = error;
         e.done = true;
     }
     cv_.notify_all();
@@ -203,8 +239,6 @@ Runner::waitDone(Entry &e)
 {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&e] { return e.done; });
-    if (e.error)
-        std::rethrow_exception(e.error);
 }
 
 const dist::RunResult &
@@ -293,7 +327,7 @@ Runner::reportJson(const std::string &bench_name) const
     root["scale"] = benchOptions().full ? "full" : "quick";
     json::Value runs = json::Value::array();
     for (const auto &e : entries) {
-        if (!e->done || e->error)
+        if (!e->done)
             continue;
         json::Value run = resultToJson(e->result);
         run["name"] = e->spec.name;
@@ -342,6 +376,8 @@ resultToJson(const dist::RunResult &r)
     v["reward"] = r.final_avg_reward;
     v["reached_target"] = r.reached_target;
     v["total_sim_ns"] = r.total_time;
+    if (!r.error.empty())
+        v["error"] = r.error;
 
     json::Value breakdown = json::Value::object();
     for (std::size_t c = 0; c < dist::kNumComponents; ++c) {
@@ -380,6 +416,8 @@ resultFromJson(const json::Value &v)
         r.final_avg_reward = f->asNumber();
     if (const json::Value *f = v.find("reached_target"))
         r.reached_target = f->asBool();
+    if (const json::Value *f = v.find("error"))
+        r.error = f->asString();
     if (const json::Value *f = v.find("breakdown_ms")) {
         for (std::size_t c = 0; c < dist::kNumComponents; ++c) {
             const auto comp = static_cast<dist::IterComponent>(c);
@@ -428,7 +466,46 @@ configToJson(const dist::JobConfig &cfg)
     else
         stop["target_reward"] = json::Value(); // null: no reward target
     stop["min_episodes"] = cfg.stop.min_episodes;
+    // Conditional keys: absent on pre-fault-subsystem configs so the
+    // committed BENCH baselines stay byte-identical.
+    if (cfg.stop.max_sim_time > 0)
+        stop["max_sim_time_ns"] = cfg.stop.max_sim_time;
     v["stop"] = std::move(stop);
+    const bool lossy = !cfg.faults.empty() ||
+                       cfg.cluster.edge_link.loss_prob > 0.0 ||
+                       cfg.cluster.uplink.loss_prob > 0.0;
+    if (lossy) {
+        json::Value retx = json::Value::object();
+        retx["timeout_ns"] = cfg.retx.timeout;
+        retx["backoff"] = cfg.retx.backoff;
+        retx["max_retries"] =
+            static_cast<std::uint64_t>(cfg.retx.max_retries);
+        v["retx"] = std::move(retx);
+    }
+    if (!cfg.faults.empty()) {
+        const net::FaultPlan &f = cfg.faults;
+        json::Value fp = json::Value::object();
+        if (f.ge.enabled()) {
+            json::Value ge = json::Value::object();
+            ge["p_good_to_bad"] = f.ge.p_good_to_bad;
+            ge["p_bad_to_good"] = f.ge.p_bad_to_good;
+            ge["loss_good"] = f.ge.loss_good;
+            ge["loss_bad"] = f.ge.loss_bad;
+            fp["gilbert_elliott"] = std::move(ge);
+        }
+        if (f.extra_loss > 0.0)
+            fp["extra_loss"] = f.extra_loss;
+        if (f.duplicate_prob > 0.0)
+            fp["duplicate_prob"] = f.duplicate_prob;
+        if (f.reorder_prob > 0.0)
+            fp["reorder_prob"] = f.reorder_prob;
+        fp["link_down_windows"] =
+            static_cast<std::uint64_t>(f.link_down.size());
+        fp["crashes"] = static_cast<std::uint64_t>(f.crashes.size());
+        fp["stragglers"] =
+            static_cast<std::uint64_t>(f.stragglers.size());
+        v["faults"] = std::move(fp);
+    }
     return v;
 }
 

@@ -73,9 +73,29 @@ Link::transmit(Node *from, PacketPtr pkt)
         return; // the pipe time is still consumed: the frame was sent
     }
 
+    sim::TimeNs extra = 0;
+    if (channel_ != nullptr) {
+        const ChannelVerdict v = channel_->onFrame(*this, pkt);
+        if (v.drop) {
+            ++dropped_;
+            if (tap_)
+                tap_(LinkEvent::kDrop, pkt);
+            return;
+        }
+        extra = v.delay;
+        if (v.duplicate)
+            deliverAt(done + cfg_.propagation + v.dup_delay, rx, pkt);
+    }
+
+    deliverAt(done + cfg_.propagation + extra, rx, pkt);
+}
+
+void
+Link::deliverAt(sim::TimeNs when, const End &rx, const PacketPtr &pkt)
+{
     Node *dst_node = rx.node;
     const std::size_t dst_port = rx.port;
-    sim_.at(done + cfg_.propagation, [this, dst_node, dst_port, pkt] {
+    sim_.at(when, [this, dst_node, dst_port, pkt] {
         ++delivered_;
         if (tap_)
             tap_(LinkEvent::kDeliver, pkt);

@@ -22,6 +22,31 @@ class Node;
 /** Observable events on a link (see PacketTrace in net/trace.hh). */
 enum class LinkEvent { kTx, kDeliver, kDrop };
 
+class Link;
+
+/** What a ChannelModel decided about one frame. */
+struct ChannelVerdict
+{
+    bool drop = false;       ///< lose the frame (pipe time still spent)
+    bool duplicate = false;  ///< deliver a second copy
+    sim::TimeNs delay = 0;   ///< extra delivery delay (reordering)
+    sim::TimeNs dup_delay = 0; ///< extra delay of the duplicate copy
+};
+
+/**
+ * Pluggable per-frame channel impairment model (fault injection).
+ * Consulted after the link's own iid loss draw; the default (no model
+ * installed) leaves the data path bit-for-bit unchanged.
+ */
+class ChannelModel
+{
+  public:
+    virtual ~ChannelModel() = default;
+
+    /** Decide the fate of @p pkt crossing @p link right now. */
+    virtual ChannelVerdict onFrame(const Link &link, const PacketPtr &pkt) = 0;
+};
+
 /** Static configuration of a link. */
 struct LinkConfig
 {
@@ -65,6 +90,13 @@ class Link
         tap_ = std::move(tap);
     }
 
+    /**
+     * Install a channel impairment model (non-owning; pass nullptr to
+     * detach). Zero cost when unset beyond one branch per frame.
+     */
+    void setChannel(ChannelModel *model) { channel_ = model; }
+    ChannelModel *channel() const { return channel_; }
+
     const std::string &name() const { return name_; }
     const LinkConfig &config() const { return cfg_; }
     Node *peerOf(const Node *n) const;
@@ -85,12 +117,14 @@ class Link
     };
 
     int endIndexOf(const Node *n) const;
+    void deliverAt(sim::TimeNs when, const End &rx, const PacketPtr &pkt);
 
     sim::Simulation &sim_;
     std::string name_;
     LinkConfig cfg_;
     std::array<End, 2> ends_;
     sim::Rng loss_rng_;
+    ChannelModel *channel_ = nullptr;
     std::function<void(LinkEvent, const PacketPtr &)> tap_;
     std::uint64_t dropped_ = 0;
     std::uint64_t delivered_ = 0;

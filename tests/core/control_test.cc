@@ -129,6 +129,39 @@ TEST_F(ControlFixture, LeaveOfUnknownAcksFailure)
     plane.handle(Ipv4Addr(9, 9, 9, 9), 50, msg(Action::kLeave, 0, false));
     ASSERT_EQ(sent.size(), 1u);
     EXPECT_EQ(sent[0].second.value, 0u);
+    EXPECT_EQ(membership_changes, 0);
+}
+
+TEST_F(ControlFixture, LeaveRemovesMemberAndRecomputesMembership)
+{
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin, encodeJoinValue(1, MemberType::kWorker)));
+    plane.handle(Ipv4Addr(10, 0, 0, 3), 50,
+                 msg(Action::kJoin, encodeJoinValue(1, MemberType::kWorker)));
+    sent.clear();
+    ASSERT_EQ(membership_changes, 2);
+
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50, msg(Action::kLeave, 0, false));
+    EXPECT_EQ(plane.table().size(), 1u);
+    EXPECT_FALSE(plane.table().find(Ipv4Addr(10, 0, 0, 2)).has_value());
+    // Departure triggers the same membership hook a Join does (the
+    // switch recomputes its auto threshold from the new count).
+    EXPECT_EQ(membership_changes, 3);
+    ASSERT_EQ(sent.size(), 1u);
+    EXPECT_EQ(sent[0].second.action, Action::kAck);
+    EXPECT_EQ(sent[0].second.value, 1u);
+}
+
+TEST_F(ControlFixture, LeaveThenRejoinAssignsAFreshId)
+{
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin, encodeJoinValue(1, MemberType::kWorker)));
+    const auto id0 = plane.table().find(Ipv4Addr(10, 0, 0, 2))->id;
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50, msg(Action::kLeave, 0, false));
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin, encodeJoinValue(1, MemberType::kWorker)));
+    EXPECT_EQ(plane.table().size(), 1u);
+    EXPECT_NE(plane.table().find(Ipv4Addr(10, 0, 0, 2))->id, id0);
 }
 
 TEST_F(ControlFixture, ResetInvokesHook)

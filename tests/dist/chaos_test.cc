@@ -1,0 +1,248 @@
+/** @file Chaos matrix: every training strategy must survive iid loss,
+ *  Gilbert–Elliott bursts, and a mid-training worker crash + rejoin.
+ *  Synchronous strategies must additionally converge to the *same*
+ *  final weights as a lossless run (recovery is exact, not lossy);
+ *  asynchronous strategies must stay live and finish. Also covers the
+ *  announced-churn path (Leave/Join + auto-H) and the watchdog/stall
+ *  diagnostics for unprotected runs. */
+
+#include <gtest/gtest.h>
+
+#include "dist/strategy.hh"
+
+namespace isw::dist {
+namespace {
+
+JobConfig
+chaosConfig(StrategyKind k, std::uint64_t iters = 6)
+{
+    JobConfig cfg = JobConfig::forBenchmark(rl::Algo::kPpo, k, 4);
+    cfg.wire_model_bytes = 0; // actual model size: fast tests
+    cfg.stop.max_iterations = iters;
+    cfg.curve_every = 4;
+    return cfg;
+}
+
+struct Baseline
+{
+    ml::Vec weights;
+    std::uint64_t iterations = 0;
+    sim::TimeNs total_time = 0;
+};
+
+Baseline
+losslessBaseline(const JobConfig &cfg)
+{
+    auto job = makeJob(cfg);
+    const RunResult res = job->run();
+    EXPECT_TRUE(res.ok()) << res.error;
+    Baseline base;
+    job->workerAgent(0).getWeights(base.weights);
+    base.iterations = res.iterations;
+    base.total_time = res.total_time;
+    return base;
+}
+
+/** Run @p cfg and require full completion despite its faults. Sync
+ *  strategies must reproduce the lossless weights: PS/AR sum in a
+ *  fixed structural order, so recovery leaves the arithmetic
+ *  untouched; sync iSwitch accumulates in switch-arrival order, so
+ *  retransmissions reassociate the float sums and only a looser
+ *  tolerance is meaningful. */
+void
+expectSurvives(const JobConfig &faulty, const Baseline &base)
+{
+    JobConfig cfg = faulty;
+    // Safety net: a recovery bug diagnoses as a watchdog error
+    // instead of hanging the test binary.
+    cfg.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+    auto job = makeJob(cfg);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GE(res.iterations, cfg.stop.max_iterations);
+    // Recovery counters are part of the observable result.
+    EXPECT_TRUE(res.extras.count("retx_timeouts"));
+    EXPECT_TRUE(res.extras.count("retx_segments"));
+    EXPECT_TRUE(res.extras.count("recoveries"));
+    if (isAsyncStrategy(cfg.strategy))
+        return; // async: liveness + counters is the contract
+    EXPECT_EQ(res.iterations, base.iterations);
+    ml::Vec w;
+    job->workerAgent(0).getWeights(w);
+    ASSERT_EQ(w.size(), base.weights.size());
+    const float tol =
+        cfg.strategy == StrategyKind::kSyncIswitch ? 1e-4f : 1e-6f;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        ASSERT_NEAR(w[i], base.weights[i], tol)
+            << strategyName(cfg.strategy) << " weight " << i;
+}
+
+class ChaosMatrix : public ::testing::TestWithParam<StrategyKind>
+{
+};
+
+TEST_P(ChaosMatrix, SurvivesOnePercentIidLoss)
+{
+    const JobConfig cfg = chaosConfig(GetParam());
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig lossy = cfg;
+    lossy.faults.extra_loss = 0.01;
+    expectSurvives(lossy, base);
+}
+
+TEST_P(ChaosMatrix, SurvivesGilbertElliottBursts)
+{
+    const JobConfig cfg = chaosConfig(GetParam());
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig bursty = cfg;
+    bursty.faults.ge.p_good_to_bad = 0.02;
+    bursty.faults.ge.p_bad_to_good = 0.25;
+    bursty.faults.ge.loss_bad = 0.8;
+    expectSurvives(bursty, base);
+}
+
+TEST_P(ChaosMatrix, SurvivesSilentCrashAndRejoin)
+{
+    const JobConfig cfg = chaosConfig(GetParam());
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig crashy = cfg;
+    // Blackout worker 2's edge link for a quarter of the lossless
+    // runtime, starting mid-training. announce=false: a silent
+    // partition the retransmission layer must ride out on its own.
+    crashy.faults.crashes.push_back(net::WorkerCrash{
+        2, base.total_time * 3 / 10, base.total_time * 11 / 20, false});
+    expectSurvives(crashy, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ChaosMatrix,
+    ::testing::Values(StrategyKind::kSyncPs, StrategyKind::kSyncAllReduce,
+                      StrategyKind::kSyncIswitch,
+                      StrategyKind::kSyncShardedPs, StrategyKind::kAsyncPs,
+                      StrategyKind::kAsyncIswitch),
+    [](const auto &info) {
+        switch (info.param) {
+          case StrategyKind::kSyncPs: return "SyncPs";
+          case StrategyKind::kSyncAllReduce: return "SyncAr";
+          case StrategyKind::kSyncIswitch: return "SyncIsw";
+          case StrategyKind::kSyncShardedPs: return "ShardedPs";
+          case StrategyKind::kAsyncPs: return "AsyncPs";
+          case StrategyKind::kAsyncIswitch: return "AsyncIsw";
+        }
+        return "?";
+    });
+
+TEST(ChaosCounters, BurstyLossTripsTheRecoveryPath)
+{
+    // Under a sustained ~6% burst loss, a synchronous run cannot
+    // finish without the retransmission layer actually firing.
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncPs, 8);
+    cfg.faults.ge.p_good_to_bad = 0.02;
+    cfg.faults.ge.p_bad_to_good = 0.25;
+    cfg.faults.ge.loss_bad = 0.8;
+    cfg.stop.max_sim_time = 60 * sim::kSec;
+    const RunResult res = runJob(cfg);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_TRUE(res.extras.count("fault_ge_drops"));
+    EXPECT_GT(res.extras.at("fault_ge_drops"), 0.0);
+    EXPECT_GT(res.extras.at("retx_timeouts"), 0.0);
+    EXPECT_GT(res.extras.at("retx_segments"), 0.0);
+    EXPECT_GT(res.extras.at("recoveries"), 0.0);
+    EXPECT_GT(res.extras.at("recovery_latency_ms_total"), 0.0);
+    EXPECT_TRUE(res.extras.count("recovery_hist_lt1ms"));
+}
+
+TEST(ChaosCounters, CrashWindowDropsAreAttributed)
+{
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncPs);
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig crashy = cfg;
+    crashy.faults.crashes.push_back(net::WorkerCrash{
+        2, base.total_time * 3 / 10, base.total_time * 11 / 20, false});
+    crashy.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+    const RunResult res = runJob(crashy);
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_TRUE(res.extras.count("fault_down_drops"));
+    EXPECT_GT(res.extras.at("fault_down_drops"), 0.0);
+}
+
+TEST(ChaosCounters, LosslessRunExposesNoRecoveryKeys)
+{
+    // The recovery/fault extras are strictly conditional: a lossless
+    // config must produce a result indistinguishable from one made by
+    // a build without the fault subsystem (BENCH baseline contract).
+    const RunResult res = runJob(chaosConfig(StrategyKind::kSyncPs));
+    EXPECT_EQ(res.extras.count("retx_timeouts"), 0u);
+    EXPECT_EQ(res.extras.count("retx_segments"), 0u);
+    EXPECT_EQ(res.extras.count("fault_iid_drops"), 0u);
+    EXPECT_EQ(res.extras.count("recovery_hist_lt1ms"), 0u);
+}
+
+TEST(ChaosDeterminism, FaultyRunsAreSeedDeterministic)
+{
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncIswitch);
+    cfg.faults.ge.p_good_to_bad = 0.02;
+    cfg.faults.ge.p_bad_to_good = 0.25;
+    cfg.faults.ge.loss_bad = 0.8;
+    cfg.stop.max_sim_time = 60 * sim::kSec;
+    const RunResult a = runJob(cfg);
+    const RunResult b = runJob(cfg);
+    ASSERT_TRUE(a.ok()) << a.error;
+    EXPECT_EQ(a.total_time, b.total_time);
+    EXPECT_EQ(a.final_avg_reward, b.final_avg_reward);
+    EXPECT_EQ(a.extras.at("fault_ge_drops"), b.extras.at("fault_ge_drops"));
+    EXPECT_EQ(a.extras.at("retx_segments"), b.extras.at("retx_segments"));
+}
+
+TEST(Churn, AnnouncedCrashDrivesLeaveJoinAndAutoH)
+{
+    // announce=true exercises the control plane end to end: a Leave at
+    // the crash instant shrinks the membership table and recomputes
+    // the auto threshold H (4 -> 3), the Join at rejoin restores it.
+    JobConfig cfg = chaosConfig(StrategyKind::kAsyncIswitch, 16);
+    const Baseline base = losslessBaseline(cfg);
+    const sim::TimeNs crash_at = base.total_time * 3 / 10;
+    const sim::TimeNs rejoin_at = base.total_time * 6 / 10;
+    cfg.faults.crashes.push_back(
+        net::WorkerCrash{3, crash_at, rejoin_at, true});
+    cfg.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+
+    auto job = makeJob(cfg);
+    std::uint32_t h_mid_crash = 0;
+    job->simulation().at((crash_at + rejoin_at) / 2, [&] {
+        h_mid_crash = job->cluster().root->accelerator().threshold();
+    });
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GE(res.iterations, 16u);
+    EXPECT_EQ(h_mid_crash, 3u); // Leave shrank membership, auto-H followed
+    EXPECT_EQ(job->cluster().root->accelerator().threshold(), 4u);
+}
+
+TEST(Watchdog, UnprotectedLossyRunDiagnosesInsteadOfHanging)
+{
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncPs, 50);
+    cfg.faults.extra_loss = 0.05;
+    cfg.retx.max_retries = 0; // recovery explicitly disabled
+    cfg.stop.max_sim_time = 30 * sim::kSec;
+    const RunResult res = runJob(cfg);
+    EXPECT_FALSE(res.ok());
+    // The first lost chunk starves the round; the event queue drains
+    // (or the watchdog deadline passes) and the run reports why.
+    EXPECT_TRUE(res.error.find("stalled") != std::string::npos ||
+                res.error.find("watchdog") != std::string::npos)
+        << res.error;
+    EXPECT_LT(res.iterations, 50u);
+}
+
+TEST(Watchdog, TooShortDeadlineReportsWatchdogError)
+{
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncPs, 50);
+    cfg.stop.max_sim_time = 1 * sim::kUsec; // nothing can finish
+    const RunResult res = runJob(cfg);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("watchdog"), std::string::npos) << res.error;
+}
+
+} // namespace
+} // namespace isw::dist

@@ -248,6 +248,57 @@ TEST(SpecKey, EveryReportedFieldChangesTheKey)
     EXPECT_FALSE(SpecKey::of(c) == k0);
 }
 
+TEST(Runner, FaultySpecDoesNotAbortTheSweep)
+{
+    // One misconfigured spec (zero workers -> the job constructor
+    // throws) must yield an errored RunResult in its slot while every
+    // other spec completes normally.
+    std::vector<ExperimentSpec> specs = smallBatch();
+    ExperimentSpec broken =
+        timingSpec(rl::Algo::kDqn, dist::StrategyKind::kSyncPs);
+    broken.name = "broken/zero-workers";
+    broken.config.num_workers = 0;
+    specs.insert(specs.begin() + 1, broken);
+
+    Runner runner(quietOpts(4));
+    const auto results = runner.runAll(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_FALSE(results[1].error.empty());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 1)
+            continue;
+        EXPECT_TRUE(results[i].ok()) << specs[i].name << ": "
+                                     << results[i].error;
+        EXPECT_GT(results[i].iterations, 0u);
+    }
+
+    // The report carries the failure alongside the successes.
+    const json::Value report = runner.reportJson("unit");
+    const json::Value *runs = report.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->size(), specs.size());
+    const json::Value *err = runs->items()[1].find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_FALSE(err->asString().empty());
+    EXPECT_EQ(runs->items()[1].find("name")->asString(),
+              "broken/zero-workers");
+}
+
+TEST(Runner, WatchdogFailureIsCapturedPerSpec)
+{
+    // A run that trips the simulated-time watchdog reports through
+    // RunResult::error, not an exception out of the pool.
+    ExperimentSpec spec =
+        timingSpec(rl::Algo::kPpo, dist::StrategyKind::kSyncPs);
+    spec.config.stop.max_iterations = 50;
+    spec.config.stop.max_sim_time = 1; // 1ns: nothing can finish
+    Runner runner(quietOpts(1));
+    const dist::RunResult &res = runner.run(spec);
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("watchdog"), std::string::npos) << res.error;
+}
+
 TEST(Runner, ReportContainsEveryExecutedRun)
 {
     const std::vector<ExperimentSpec> specs = smallBatch();

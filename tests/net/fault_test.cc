@@ -1,0 +1,205 @@
+/** @file Unit tests for the declarative fault-injection subsystem:
+ *  channel verdicts, Gilbert–Elliott bursts, down/crash windows,
+ *  stragglers, and seed determinism. */
+
+#include <gtest/gtest.h>
+
+#include "net/fault.hh"
+#include "net/host.hh"
+#include "net/link.hh"
+#include "sim/simulation.hh"
+
+namespace isw::net {
+namespace {
+
+struct FaultFixture : ::testing::Test
+{
+    sim::Simulation s{1};
+    Host a{s, "a", MacAddr(1), Ipv4Addr(10, 0, 0, 1)};
+    Host b{s, "b", MacAddr(2), Ipv4Addr(10, 0, 0, 2)};
+    Link l{s, "l", LinkConfig{10e9, 0, 0.0}};
+
+    void
+    SetUp() override
+    {
+        l.connect(&a, 0, &b, 0);
+    }
+
+    PacketPtr
+    raw(std::uint32_t bytes = 934)
+    {
+        Packet p;
+        p.ip.src = a.ip();
+        p.ip.dst = b.ip();
+        p.payload = RawPayload{bytes, 0};
+        return makePacket(std::move(p));
+    }
+
+    /** Send @p n frames a->b at 10us spacing; returns deliveries. */
+    std::size_t
+    pump(std::size_t n)
+    {
+        std::size_t got = 0;
+        b.setReceiveHandler([&](PacketPtr) { ++got; });
+        for (std::size_t i = 0; i < n; ++i)
+            s.at(static_cast<sim::TimeNs>(i) * 10 * sim::kUsec,
+                 [this] { a.send(raw()); });
+        s.run();
+        return got;
+    }
+};
+
+TEST_F(FaultFixture, EmptyPlanChangesNothing)
+{
+    FaultInjector inj(s, FaultPlan{}, 7);
+    inj.attach(0, l);
+    EXPECT_EQ(pump(50), 50u);
+    EXPECT_EQ(inj.stats().ge_drops, 0u);
+    EXPECT_EQ(inj.stats().iid_drops, 0u);
+    EXPECT_EQ(inj.stats().down_drops, 0u);
+}
+
+TEST_F(FaultFixture, ExtraIidLossDropsRoughlyTheConfiguredFraction)
+{
+    FaultPlan plan;
+    plan.extra_loss = 0.3;
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    const std::size_t got = pump(2000);
+    EXPECT_EQ(got, 2000u - inj.stats().iid_drops);
+    EXPECT_NEAR(static_cast<double>(inj.stats().iid_drops) / 2000.0, 0.3,
+                0.05);
+}
+
+TEST_F(FaultFixture, GilbertElliottDropsInBursts)
+{
+    FaultPlan plan;
+    plan.ge.p_good_to_bad = 0.05;
+    plan.ge.p_bad_to_good = 0.2;
+    plan.ge.loss_bad = 0.9;
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    const std::size_t got = pump(2000);
+    EXPECT_GT(inj.stats().ge_drops, 0u);
+    EXPECT_EQ(got, 2000u - inj.stats().ge_drops);
+    // Steady-state bad fraction = 0.05/(0.05+0.2) = 20%; drop rate
+    // within the bad state is 90%, so ~18% overall.
+    EXPECT_NEAR(static_cast<double>(inj.stats().ge_drops) / 2000.0, 0.18,
+                0.06);
+}
+
+TEST_F(FaultFixture, LinkDownWindowDropsEverythingInside)
+{
+    FaultPlan plan;
+    plan.link_down.push_back(
+        LinkDownWindow{0, 100 * sim::kUsec, 300 * sim::kUsec});
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    // 50 frames at 10us spacing: indices 10..29 fall inside the window.
+    const std::size_t got = pump(50);
+    EXPECT_EQ(inj.stats().down_drops, 20u);
+    EXPECT_EQ(got, 30u);
+    EXPECT_FALSE(inj.linkDown(0, 99 * sim::kUsec));
+    EXPECT_TRUE(inj.linkDown(0, 100 * sim::kUsec));
+    EXPECT_TRUE(inj.linkDown(0, 299 * sim::kUsec));
+    EXPECT_FALSE(inj.linkDown(0, 300 * sim::kUsec));
+}
+
+TEST_F(FaultFixture, CrashWindowStartsAfterGraceAndEndsAtRejoin)
+{
+    FaultPlan plan;
+    plan.crashes.push_back(
+        WorkerCrash{0, 1 * sim::kMsec, 2 * sim::kMsec, false});
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    // The grace window lets the Leave announcement escape at the
+    // crash instant.
+    EXPECT_FALSE(inj.linkDown(0, 1 * sim::kMsec));
+    EXPECT_TRUE(inj.linkDown(0, 1 * sim::kMsec + FaultInjector::kCrashGrace));
+    EXPECT_TRUE(inj.linkDown(0, 2 * sim::kMsec - 1));
+    EXPECT_FALSE(inj.linkDown(0, 2 * sim::kMsec));
+}
+
+TEST_F(FaultFixture, DuplicationDeliversFrameTwice)
+{
+    FaultPlan plan;
+    plan.duplicate_prob = 1.0;
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    EXPECT_EQ(pump(10), 20u);
+    EXPECT_EQ(inj.stats().duplicates, 10u);
+}
+
+TEST_F(FaultFixture, ReorderDelaysFlaggedFrames)
+{
+    FaultPlan plan;
+    plan.reorder_prob = 1.0;
+    plan.reorder_delay = 50 * sim::kUsec;
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    sim::TimeNs arrival = 0;
+    b.setReceiveHandler([&](PacketPtr) { arrival = s.now(); });
+    a.send(raw());
+    s.run();
+    EXPECT_EQ(inj.stats().reorders, 1u);
+    EXPECT_EQ(arrival, l.txTime(1000) + 50 * sim::kUsec);
+}
+
+TEST_F(FaultFixture, StragglerScaleAppliesOnlyInsideItsWindow)
+{
+    FaultPlan plan;
+    plan.stragglers.push_back(
+        Straggler{2, 3.0, 1 * sim::kSec, 2 * sim::kSec});
+    FaultInjector inj(s, plan, 7);
+    EXPECT_DOUBLE_EQ(inj.computeScale(2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(inj.computeScale(2, 1 * sim::kSec), 3.0);
+    EXPECT_DOUBLE_EQ(inj.computeScale(2, 2 * sim::kSec), 1.0);
+    EXPECT_DOUBLE_EQ(inj.computeScale(0, 1 * sim::kSec), 1.0);
+}
+
+TEST_F(FaultFixture, SameSeedSameDrops)
+{
+    FaultPlan plan;
+    plan.extra_loss = 0.2;
+    auto run_once = [&] {
+        sim::Simulation sim{1};
+        Host x{sim, "x", MacAddr(1), Ipv4Addr(10, 0, 0, 1)};
+        Host y{sim, "y", MacAddr(2), Ipv4Addr(10, 0, 0, 2)};
+        Link link{sim, "l", LinkConfig{10e9, 0, 0.0}};
+        link.connect(&x, 0, &y, 0);
+        FaultInjector inj(sim, plan, 42);
+        inj.attach(0, link);
+        std::vector<sim::TimeNs> arrivals;
+        y.setReceiveHandler([&](PacketPtr) { arrivals.push_back(sim.now()); });
+        for (std::size_t i = 0; i < 200; ++i) {
+            sim.at(static_cast<sim::TimeNs>(i) * 10 * sim::kUsec, [&] {
+                Packet p;
+                p.ip.src = x.ip();
+                p.ip.dst = y.ip();
+                p.payload = RawPayload{934, 0};
+                x.send(makePacket(std::move(p)));
+            });
+        }
+        sim.run();
+        return arrivals;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(FaultFixture, PlanEmptyReflectsEveryKnob)
+{
+    EXPECT_TRUE(FaultPlan{}.empty());
+    FaultPlan ge;
+    ge.ge.p_good_to_bad = 0.1;
+    ge.ge.loss_bad = 0.5;
+    EXPECT_FALSE(ge.empty());
+    FaultPlan crash;
+    crash.crashes.push_back(WorkerCrash{0, 1, 2, true});
+    EXPECT_FALSE(crash.empty());
+    FaultPlan slow;
+    slow.stragglers.push_back(Straggler{0, 2.0, 0, 100});
+    EXPECT_FALSE(slow.empty());
+}
+
+} // namespace
+} // namespace isw::net
