@@ -72,6 +72,60 @@ def check_fault_recovery(base_path, fresh_path, failures):
     print(f"# fault-recovery: {checked}/{len(base)} runs healthy")
 
 
+FAIRNESS_FLOOR = 0.90
+
+SLOT_KEYS = (
+    "slot_capacity",
+    "slot_stale_drops",
+    "slot_busy_drops",
+    "slot_unadmitted",
+    "slot_reclaimed",
+    "slot_contention_events",
+)
+
+
+def check_switch_sharing(base_path, fresh_path, failures):
+    """Correctness gate for the multi-job switch-sharing bench.
+
+    The report is simulated-deterministic. Hard failures: a scenario
+    missing from the fresh report, a job that errored or made zero
+    progress, or cross-job fairness collapsing below FAIRNESS_FLOOR
+    (partitioned slots should keep co-scheduled jobs near-equal).
+    Slot-counter drift only warns, as with the fault bench.
+    """
+    with open(base_path) as f:
+        base = {r["name"]: r for r in json.load(f).get("runs", [])}
+    with open(fresh_path) as f:
+        fresh = {r["name"]: r for r in json.load(f).get("runs", [])}
+    checked = 0
+    for name, b in sorted(base.items()):
+        r = fresh.get(name)
+        if r is None:
+            failures.append((name, "missing from fresh sharing report"))
+            continue
+        bad = False
+        for i, job in enumerate(r.get("job_results", [])):
+            if job.get("error"):
+                failures.append((name, f"job {i} errored: {job['error']}"))
+                bad = True
+            elif job.get("iterations", 0) <= 0:
+                failures.append((name, f"job {i} made zero iterations"))
+                bad = True
+        fairness = r.get("fabric", {}).get("jain_fairness", 0.0)
+        if fairness < FAIRNESS_FLOOR:
+            failures.append(
+                (name, f"jain fairness {fairness:.3f} < {FAIRNESS_FLOOR}"))
+            bad = True
+        if not bad:
+            checked += 1
+        for key in SLOT_KEYS:
+            want = b.get("fabric", {}).get(key)
+            got = r.get("fabric", {}).get(key)
+            if want != got:
+                print(f"WARN  {name}: {key} drifted {want} -> {got}")
+    print(f"# switch-sharing: {checked}/{len(base)} scenarios healthy")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("reports_dir", type=pathlib.Path)
@@ -93,6 +147,13 @@ def main():
             check_fault_recovery(recovery_base, recovery_fresh, failures)
         else:
             print("WARN: no fresh report for BENCH_fault_recovery.json")
+    sharing_base = args.baselines / "BENCH_switch_sharing.json"
+    sharing_fresh = args.reports_dir / "BENCH_switch_sharing.json"
+    if sharing_base.exists():
+        if sharing_fresh.exists():
+            check_switch_sharing(sharing_base, sharing_fresh, failures)
+        else:
+            print("WARN: no fresh report for BENCH_switch_sharing.json")
     for base_path in sorted(args.baselines.glob("BENCH_micro_*.json")):
         fresh_path = args.reports_dir / base_path.name
         if not fresh_path.exists():

@@ -10,6 +10,7 @@ Accelerator::Accelerator(sim::Simulation &s, AcceleratorConfig cfg)
 {
     if (cfg_.clock_hz <= 0.0 || cfg_.burst_bytes == 0)
         throw std::invalid_argument("Accelerator: bad config");
+    pool_.setCapacity(cfg_.num_slots);
 }
 
 sim::TimeNs
@@ -19,6 +20,60 @@ Accelerator::procTime(std::size_t wire_bytes) const
         (wire_bytes + cfg_.burst_bytes - 1) / cfg_.burst_bytes;
     const double ns = static_cast<double>(bursts) * 1e9 / cfg_.clock_hz;
     return static_cast<sim::TimeNs>(std::llround(ns));
+}
+
+void
+Accelerator::setJobThreshold(std::uint8_t job, std::uint32_t h)
+{
+    if (job == 0) {
+        threshold_ = h; // keep job-0 visible through threshold()
+        return;
+    }
+    if (job_knobs_.size() <= job)
+        job_knobs_.resize(std::size_t{job} + 1);
+    job_knobs_[job].has_threshold = true;
+    job_knobs_[job].threshold = h;
+}
+
+std::uint32_t
+Accelerator::thresholdFor(std::uint8_t job) const
+{
+    if (job < job_knobs_.size() && job_knobs_[job].has_threshold)
+        return job_knobs_[job].threshold;
+    return threshold_;
+}
+
+void
+Accelerator::setJobDedupe(std::uint8_t job, bool on)
+{
+    if (job == 0) {
+        dedupe_ = on;
+        return;
+    }
+    if (job_knobs_.size() <= job)
+        job_knobs_.resize(std::size_t{job} + 1);
+    job_knobs_[job].has_dedupe = true;
+    job_knobs_[job].dedupe = on;
+}
+
+bool
+Accelerator::dedupeFor(std::uint8_t job) const
+{
+    if (job < job_knobs_.size() && job_knobs_[job].has_dedupe)
+        return job_knobs_[job].dedupe;
+    return dedupe_;
+}
+
+void
+Accelerator::afterAccumulate(const net::ChunkPayload &chunk,
+                             std::uint32_t src)
+{
+    const SlotOutcome out = pool_.offer(chunk, thresholdFor(chunk.job), src,
+                                        dedupeFor(chunk.job));
+    if (out == SlotOutcome::kCompleted)
+        emitSeg(packSegWord(chunk.seg, chunk.job));
+    else if (out == SlotOutcome::kBusy && nack_)
+        nack_(chunk.job, chunk.seg, src);
 }
 
 void
@@ -32,10 +87,8 @@ Accelerator::ingest(const net::ChunkPayload &chunk, std::uint32_t src)
     busy_until_ = done;
 
     // Logic fires when the packet's last burst clears the adders.
-    sim_.at(done + cfg_.fixed_latency, [this, chunk, src] {
-        if (pool_.accumulate(chunk, threshold_, src, dedupe_))
-            emitSeg(chunk.seg);
-    });
+    sim_.at(done + cfg_.fixed_latency,
+            [this, chunk, src] { afterAccumulate(chunk, src); });
 }
 
 void
@@ -56,26 +109,25 @@ Accelerator::ingest(const net::PacketPtr &pkt)
     // copying the chunk's float vector.
     sim_.at(done + cfg_.fixed_latency, [this, pkt] {
         const auto &c = std::get<net::ChunkPayload>(pkt->payload);
-        if (pool_.accumulate(c, threshold_, pkt->ip.src.bits(), dedupe_))
-            emitSeg(c.seg);
+        afterAccumulate(c, pkt->ip.src.bits());
     });
 }
 
 void
-Accelerator::forceEmit(std::uint64_t seg)
+Accelerator::forceEmit(std::uint64_t key)
 {
-    if (!pool_.has(seg))
+    if (!pool_.has(key))
         return;
-    emitSeg(seg);
+    emitSeg(key);
 }
 
 void
-Accelerator::emitSeg(std::uint64_t seg)
+Accelerator::emitSeg(std::uint64_t key)
 {
-    SegState sum = pool_.harvest(seg);
+    SegState sum = pool_.harvest(key);
     ++emitted_;
     if (emit_)
-        emit_(seg, std::move(sum));
+        emit_(key, std::move(sum));
 }
 
 } // namespace isw::core

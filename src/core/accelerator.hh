@@ -11,12 +11,18 @@
  * occupies the pipeline for ceil(B/32) cycles of 5 ns. The pipeline is
  * modeled as a busy-until serialization point plus a small fixed
  * latency, matching the "bump-in-the-wire" integration of Figure 6.
+ *
+ * Slot pool (DESIGN.md §11): with num_slots > 0 the segment buffers are
+ * a fixed SwitchML-style aggregator pool shared by one or more jobs;
+ * contributions that hit a busy slot are Nacked back to the sender and
+ * stale duplicates are dropped instead of corrupting a newer round.
  */
 
 #ifndef ISW_CORE_ACCELERATOR_HH
 #define ISW_CORE_ACCELERATOR_HH
 
 #include <functional>
+#include <vector>
 
 #include "core/seg_buffer.hh"
 #include "net/packet.hh"
@@ -30,6 +36,12 @@ struct AcceleratorConfig
     double clock_hz = 200e6;         ///< datapath clock
     std::size_t burst_bytes = 32;    ///< AXI4-Stream width: 256 bits
     sim::TimeNs fixed_latency = 100; ///< parse/decode pipeline depth
+    /**
+     * Aggregator slots carved out of switch SRAM (0 = unbounded, the
+     * paper's dedicated-switch model). Each slot buffers one segment:
+     * kFloatsPerSeg floats plus counters (DESIGN.md §11).
+     */
+    std::size_t num_slots = 0;
 };
 
 /**
@@ -39,21 +51,38 @@ struct AcceleratorConfig
  * ingest(); when a segment completes (or is force-broadcast) the
  * engine calls the emit callback with the harvested sum. Emission
  * happens in simulated time after the pipeline delay.
+ *
+ * Segment identity is the packed Seg word packSegWord(seg, job), so a
+ * single engine can serve several jobs without cross-talk; single-job
+ * callers (job 0) see plain segment indices, unchanged.
  */
 class Accelerator
 {
   public:
-    /** Called when a segment's aggregate is ready to leave the chip. */
-    using EmitFn = std::function<void(std::uint64_t seg, SegState sum)>;
+    /** Called when a segment's aggregate is ready to leave the chip.
+     *  @p key is the packed Seg word (bare seg index for job 0). */
+    using EmitFn = std::function<void(std::uint64_t key, SegState sum)>;
+
+    /** Called when a contribution bounced off a busy aggregator slot:
+     *  the switch turns this into a Nack control packet. */
+    using NackFn = std::function<void(std::uint8_t job, std::uint64_t seg,
+                                      std::uint32_t src)>;
 
     Accelerator(sim::Simulation &s, AcceleratorConfig cfg = {});
 
     /** Install the emission callback (owned by the switch). */
     void setEmit(EmitFn fn) { emit_ = std::move(fn); }
 
-    /** Aggregation threshold H (contributions per segment). */
+    /** Install the busy-slot rejection callback. */
+    void setNack(NackFn fn) { nack_ = std::move(fn); }
+
+    /** Aggregation threshold H (contributions per segment), job 0. */
     void setThreshold(std::uint32_t h) { threshold_ = h; }
     std::uint32_t threshold() const { return threshold_; }
+
+    /** Per-job threshold override (job 0 falls back to threshold()). */
+    void setJobThreshold(std::uint8_t job, std::uint32_t h);
+    std::uint32_t thresholdFor(std::uint8_t job) const;
 
     /**
      * Enable per-source contribution dedupe. Synchronous training
@@ -63,6 +92,11 @@ class Accelerator
      */
     void setDedupeContributors(bool on) { dedupe_ = on; }
     bool dedupeContributors() const { return dedupe_; }
+
+    /** Per-job dedupe override (jobs not set fall back to the global
+     *  flag — lets sync and async jobs share one switch). */
+    void setJobDedupe(std::uint8_t job, bool on);
+    bool dedupeFor(std::uint8_t job) const;
 
     /**
      * Feed one tagged data packet into the pipeline. Accumulation and
@@ -81,8 +115,9 @@ class Accelerator
     /**
      * Force emission of a (possibly partial) segment, clearing its
      * buffer (control-plane FBcast). No-op if the segment is empty.
+     * @p key is the packed Seg word.
      */
-    void forceEmit(std::uint64_t seg);
+    void forceEmit(std::uint64_t key);
 
     /** Clear all partial aggregation state (control-plane Reset). */
     void reset() { pool_.clear(); }
@@ -90,27 +125,53 @@ class Accelerator
     /**
      * Remove and return a segment's partial state without emitting
      * (loss recovery: the partial may mix duplicate retransmissions).
+     * Does not advance the slot's stale floor — the segment will be
+     * retransmitted and must stay admissible.
      */
-    SegState harvestPartial(std::uint64_t seg) { return pool_.harvest(seg); }
+    SegState harvestPartial(std::uint64_t key)
+    {
+        return pool_.harvest(key, /*completed=*/false);
+    }
+
+    /**
+     * Drop in-flight partials contributed to by @p src (membership
+     * Leave of a crashed worker). Returns reclaimed slot count.
+     */
+    std::size_t reclaimFrom(std::uint32_t src)
+    {
+        return pool_.reclaimFrom(src);
+    }
 
     /** Pipeline occupancy time for a packet of @p wire_bytes. */
     sim::TimeNs procTime(std::size_t wire_bytes) const;
 
     const SegBufferPool &pool() const { return pool_; }
+    SegBufferPool &pool() { return pool_; }
 
     std::uint64_t packetsIngested() const { return ingested_; }
     std::uint64_t segmentsEmitted() const { return emitted_; }
 
   private:
-    void emitSeg(std::uint64_t seg);
+    void emitSeg(std::uint64_t key);
+    void afterAccumulate(const net::ChunkPayload &chunk, std::uint32_t src);
 
     sim::Simulation &sim_;
     AcceleratorConfig cfg_;
     SegBufferPool pool_;
     std::uint32_t threshold_ = 1;
     EmitFn emit_;
+    NackFn nack_;
     sim::TimeNs busy_until_ = 0;
     bool dedupe_ = false;
+    /** Per-job overrides; .set false = fall back to the globals. */
+    struct JobKnobs
+    {
+        bool has_threshold = false;
+        bool has_dedupe = false;
+        std::uint32_t threshold = 1;
+        bool dedupe = false;
+    };
+    std::vector<JobKnobs> job_knobs_;
     std::uint64_t ingested_ = 0;
     std::uint64_t emitted_ = 0;
 };

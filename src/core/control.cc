@@ -1,20 +1,29 @@
 #include "core/control.hh"
 
+#include "core/protocol.hh"
+
 namespace isw::core {
 
 std::uint32_t
 MembershipTable::join(net::Ipv4Addr ip, std::uint16_t udp_port,
-                      MemberType type)
+                      MemberType type, std::uint8_t job, bool *changed)
 {
     auto it = by_ip_.find(ip);
     if (it != by_ip_.end()) {
-        it->second.udp_port = udp_port;
-        it->second.type = type;
-        return it->second.id;
+        Member &m = it->second;
+        if (changed != nullptr)
+            *changed = m.udp_port != udp_port || m.type != type ||
+                       m.job != job;
+        m.udp_port = udp_port;
+        m.type = type;
+        m.job = job;
+        return m.id;
     }
     const std::uint32_t id = next_id_++;
-    by_ip_[ip] = Member{id, ip, udp_port, type};
+    by_ip_[ip] = Member{id, ip, udp_port, type, job};
     by_id_[id] = ip;
+    if (changed != nullptr)
+        *changed = true;
     return id;
 }
 
@@ -69,9 +78,15 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
             msg.has_value ? joinValuePort(msg.value) : src_port;
         const MemberType type =
             msg.has_value ? joinValueType(msg.value) : MemberType::kWorker;
-        table_.join(src_ip, port, type);
+        const std::uint8_t job =
+            msg.has_value ? joinValueJob(msg.value) : std::uint8_t{0};
+        // A duplicate Join (retransmitted hello, rejoin race) must not
+        // trigger a membership recompute: the table did not change.
+        // Mirrors the Leave-from-non-member rule below.
+        bool changed = false;
+        table_.join(src_ip, port, type, job, &changed);
         halted_ = false;
-        if (hooks_.membership_changed)
+        if (changed && hooks_.membership_changed)
             hooks_.membership_changed();
         ack(src_ip, src_port, true);
         break;
@@ -79,9 +94,14 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
       case net::Action::kLeave: {
         // A Leave from a non-member must not trigger a membership
         // recompute: the table did not change.
+        const auto leaver = table_.find(src_ip);
         const bool ok = table_.leave(src_ip);
-        if (ok && hooks_.membership_changed)
-            hooks_.membership_changed();
+        if (ok) {
+            if (hooks_.member_left)
+                hooks_.member_left(*leaver);
+            if (hooks_.membership_changed)
+                hooks_.membership_changed();
+        }
         ack(src_ip, src_port, ok);
         break;
       }
@@ -101,8 +121,13 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
         break;
       }
       case net::Action::kFBcast: {
-        if (msg.has_value && hooks_.force_broadcast)
-            hooks_.force_broadcast(msg.value);
+        if (msg.has_value && hooks_.force_broadcast) {
+            // Stamp the requester's job into the Seg word so multi-job
+            // switches flush the right slot (no-op for job 0).
+            const auto m = table_.find(src_ip);
+            hooks_.force_broadcast(
+                packSegWord(msg.value, m ? m->job : std::uint8_t{0}));
+        }
         break;
       }
       case net::Action::kHelp: {
@@ -115,17 +140,18 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
         if (!served && msg.has_value && hooks_.send_control) {
             // The segment never completed: some contribution was lost
             // upstream. Drop the partial sum (it may mix retransmitted
-            // duplicates otherwise) and ask every worker to retransmit
-            // the segment; the workers own recovery, the switch only
-            // relays (paper §3.3).
+            // duplicates otherwise) and ask every worker of the
+            // requester's job to retransmit the segment; the workers
+            // own recovery, the switch only relays (paper §3.3).
             if (hooks_.clear_segment)
-                hooks_.clear_segment(helpSeg(msg.value));
+                hooks_.clear_segment(
+                    packSegWord(helpSeg(msg.value), req.job));
             net::ControlPayload retx;
             retx.action = net::Action::kHelp;
             retx.has_value = true;
             retx.value = msg.value;
             for (const Member &m : table_.members()) {
-                if (m.type == MemberType::kWorker)
+                if (m.type == MemberType::kWorker && m.job == req.job)
                     hooks_.send_control(m, retx);
             }
         }
@@ -143,7 +169,8 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
         break;
       }
       case net::Action::kAck:
-        break; // confirmations terminate here
+      case net::Action::kNack:
+        break; // confirmations/rejections terminate here
     }
 }
 

@@ -27,17 +27,22 @@ struct Member
     net::Ipv4Addr ip;
     std::uint16_t udp_port = 0;
     MemberType type = MemberType::kWorker;
+    std::uint8_t job = 0; ///< training job this member belongs to
 };
 
 /**
  * Pack a Join message's Value field: low 16 bits the member's UDP
- * port, bit 16 the member type.
+ * port, bit 16 the member type, bits 24..31 the member's job id
+ * (zero for the sole job, keeping the value unchanged from the
+ * single-job format).
  */
 constexpr std::uint64_t
-encodeJoinValue(std::uint16_t udp_port, MemberType type)
+encodeJoinValue(std::uint16_t udp_port, MemberType type,
+                std::uint8_t job = 0)
 {
     return std::uint64_t{udp_port} |
-           (std::uint64_t{type == MemberType::kSwitch} << 16);
+           (std::uint64_t{type == MemberType::kSwitch} << 16) |
+           (std::uint64_t{job} << 24);
 }
 
 /** Unpack the UDP port from a Join Value. */
@@ -52,6 +57,13 @@ constexpr MemberType
 joinValueType(std::uint64_t v)
 {
     return (v >> 16) & 1 ? MemberType::kSwitch : MemberType::kWorker;
+}
+
+/** Unpack the job id from a Join Value. */
+constexpr std::uint8_t
+joinValueJob(std::uint64_t v)
+{
+    return static_cast<std::uint8_t>((v >> 24) & 0xFF);
 }
 
 /** Pack a Help request Value: completion sequence number + segment. */
@@ -82,9 +94,15 @@ helpSeq(std::uint64_t v)
 class MembershipTable
 {
   public:
-    /** Add or refresh a member; returns its id. Idempotent per IP. */
+    /**
+     * Add or refresh a member; returns its id. Idempotent per IP.
+     * @p changed (optional) is set true only when the table actually
+     * changed — a new row, or an existing row's port/type/job updated —
+     * so a duplicate Join does not look like a membership event.
+     */
     std::uint32_t join(net::Ipv4Addr ip, std::uint16_t udp_port,
-                       MemberType type);
+                       MemberType type, std::uint8_t job = 0,
+                       bool *changed = nullptr);
 
     /** Remove a member; returns true if it existed. */
     bool leave(net::Ipv4Addr ip);
@@ -120,8 +138,12 @@ class ControlPlane
         std::function<void()> reset_accel;
         /** Set aggregation threshold H (SetH). */
         std::function<void(std::uint32_t)> set_threshold;
-        /** Force-broadcast a partially aggregated segment (FBcast). */
-        std::function<void(std::uint64_t seg)> force_broadcast;
+        /**
+         * Force-broadcast a partially aggregated segment (FBcast).
+         * @p key is the packed Seg word: the control plane stamps the
+         * requester's job id into the high bits (bare seg for job 0).
+         */
+        std::function<void(std::uint64_t key)> force_broadcast;
         /**
          * Serve a Help request. The request value packs the wanted
          * completion sequence number in the high 32 bits and the
@@ -132,10 +154,18 @@ class ControlPlane
          */
         std::function<bool(std::uint64_t request, const Member &requester)>
             resend_cached;
-        /** Drop a segment's partial aggregation state (Help retry). */
-        std::function<void(std::uint64_t seg)> clear_segment;
+        /** Drop a segment's partial aggregation state (Help retry).
+         *  @p key is the packed Seg word (requester's job stamped in). */
+        std::function<void(std::uint64_t key)> clear_segment;
         /** Membership changed (auto-H recomputation lives here). */
         std::function<void()> membership_changed;
+        /**
+         * A member actually left (fires after the table row is gone).
+         * The switch reclaims the leaver's in-flight aggregator slots
+         * here so a crashed worker's partials don't pin buffers until
+         * round end.
+         */
+        std::function<void(const Member &)> member_left;
     };
 
     explicit ControlPlane(Hooks hooks) : hooks_(std::move(hooks)) {}

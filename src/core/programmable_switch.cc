@@ -27,38 +27,55 @@ ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
                   accel_.setThreshold(h);
               },
           .force_broadcast =
-              [this](std::uint64_t seg) { accel_.forceEmit(seg); },
+              [this](std::uint64_t key) { accel_.forceEmit(key); },
           .resend_cached =
               [this](std::uint64_t request, const Member &req) {
-                  const std::uint64_t seg = helpSeg(request);
+                  const std::uint64_t key =
+                      packSegWord(helpSeg(request), req.job);
                   const std::uint64_t want = helpSeq(request);
-                  auto it = result_cache_.find(seg);
+                  auto it = result_cache_.find(key);
                   if (it == result_cache_.end() ||
                       (want != 0 && it->second.seq != want)) {
                       return false; // wanted completion hasn't happened
                   }
-                  sendResultTo(req, seg, it->second);
+                  sendResultTo(req, key, it->second);
                   return true;
               },
           .clear_segment =
-              [this](std::uint64_t seg) {
-                  if (accel_.pool().has(seg))
-                      (void)accel_.harvestPartial(seg);
+              [this](std::uint64_t key) {
+                  if (accel_.pool().has(key))
+                      (void)accel_.harvestPartial(key);
               },
           .membership_changed = [this] { refreshThreshold(); },
+          .member_left =
+              [this](const Member &m) {
+                  // Reclaim the leaver's in-flight partials so a
+                  // crashed worker can't pin aggregator slots (and
+                  // inflate peak occupancy) until round end.
+                  const std::size_t n = accel_.reclaimFrom(m.ip.bits());
+                  if (n != 0) {
+                      sim_.stats()
+                          .counter("iswitch." + this->name() + ".reclaimed")
+                          .inc(n);
+                  }
+              },
       }),
       mac_(net::MacAddr(0x02EE'0000'0000ULL | cfg.ip.bits()))
 {
-    accel_.setEmit([this](std::uint64_t seg, SegState sum) {
-        onEmit(seg, std::move(sum));
+    accel_.setEmit([this](std::uint64_t key, SegState sum) {
+        onEmit(key, std::move(sum));
     });
+    accel_.setNack(
+        [this](std::uint8_t job, std::uint64_t seg, std::uint32_t src) {
+            sendNack(job, seg, src);
+        });
 }
 
 void
 ProgrammableSwitch::adminJoin(net::Ipv4Addr ip, std::uint16_t udp_port,
-                              MemberType type)
+                              MemberType type, std::uint8_t job)
 {
-    ctrl_.table().join(ip, udp_port, type);
+    ctrl_.table().join(ip, udp_port, type, job);
     refreshThreshold();
 }
 
@@ -74,8 +91,17 @@ ProgrammableSwitch::refreshThreshold()
 {
     if (manual_threshold_)
         return;
-    const auto n = static_cast<std::uint32_t>(ctrl_.table().size());
-    accel_.setThreshold(n == 0 ? 1 : n);
+    // Auto-H per job: each job's threshold tracks its own member count
+    // (with one job this is exactly the original H = table size).
+    std::unordered_map<std::uint8_t, std::uint32_t> per_job;
+    for (const Member &m : ctrl_.table().members())
+        ++per_job[m.job];
+    auto it0 = per_job.find(0);
+    accel_.setThreshold(it0 == per_job.end() ? 1 : it0->second);
+    for (const auto &[job, n] : per_job) {
+        if (job != 0)
+            accel_.setJobThreshold(job, n);
+    }
 }
 
 bool
@@ -126,32 +152,42 @@ ProgrammableSwitch::onResult(const net::PacketPtr &pkt)
 {
     // A result from our parent: cache and fan out to our members.
     if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
+        const std::uint64_t key = packSegWord(chunk->seg, chunk->job);
         CachedResult res{chunk->values, chunk->wire_floats, 0,
-                         ++seg_completions_[chunk->seg]};
-        broadcastResult(chunk->seg, res);
-        result_cache_[chunk->seg] = std::move(res);
-        pruneCache(chunk->seg);
+                         ++seg_completions_[key]};
+        broadcastResult(key, res);
+        result_cache_[key] = std::move(res);
+        pruneCache(key);
     }
 }
 
 void
-ProgrammableSwitch::pruneCache(std::uint64_t latest_seg)
+ProgrammableSwitch::pruneCache(std::uint64_t latest_key)
 {
-    max_seg_seen_ = std::max(max_seg_seen_, latest_seg);
+    const std::uint8_t job = segWordJob(latest_key);
+    std::uint64_t &job_max = max_seg_seen_[job];
+    job_max = std::max(job_max, segWordIndex(latest_key));
     // Amortized: sweep only once the cache doubles past its window, so
     // the scan cost spreads over `cache_window` insertions.
-    if (max_seg_seen_ < cfg_.cache_window ||
+    if (job_max < cfg_.cache_window ||
         result_cache_.size() < 2 * cfg_.cache_window)
         return;
-    const std::uint64_t floor = max_seg_seen_ - cfg_.cache_window;
+    // Evict per job: one job's fast progress must not flush another's
+    // still-needed results.
+    const auto stale = [this](std::uint64_t key) {
+        const auto it = max_seg_seen_.find(segWordJob(key));
+        if (it == max_seg_seen_.end() || it->second < cfg_.cache_window)
+            return false;
+        return segWordIndex(key) < it->second - cfg_.cache_window;
+    };
     std::erase_if(result_cache_,
-                  [floor](const auto &kv) { return kv.first < floor; });
+                  [&stale](const auto &kv) { return stale(kv.first); });
     std::erase_if(seg_completions_,
-                  [floor](const auto &kv) { return kv.first < floor; });
+                  [&stale](const auto &kv) { return stale(kv.first); });
 }
 
 void
-ProgrammableSwitch::onEmit(std::uint64_t seg, SegState sum)
+ProgrammableSwitch::onEmit(std::uint64_t key, SegState sum)
 {
     sim_.stats().counter("iswitch." + name() + ".segs_done").inc();
     if (!isRoot()) {
@@ -164,7 +200,8 @@ ProgrammableSwitch::onEmit(std::uint64_t seg, SegState sum)
         pkt.udp.src_port = cfg_.udp_port;
         pkt.udp.dst_port = cfg_.parent_port;
         net::ChunkPayload chunk;
-        chunk.seg = seg;
+        chunk.seg = segWordIndex(key);
+        chunk.job = segWordJob(key);
         chunk.wire_floats = sum.wire_floats;
         chunk.values = std::move(sum.acc);
         pkt.payload = std::move(chunk);
@@ -172,22 +209,27 @@ ProgrammableSwitch::onEmit(std::uint64_t seg, SegState sum)
         return;
     }
     CachedResult res{std::move(sum.acc), sum.wire_floats, sum.count,
-                     ++seg_completions_[seg]};
-    broadcastResult(seg, res);
-    result_cache_[seg] = std::move(res);
-    pruneCache(seg);
+                     ++seg_completions_[key]};
+    broadcastResult(key, res);
+    result_cache_[key] = std::move(res);
+    pruneCache(key);
 }
 
 void
-ProgrammableSwitch::broadcastResult(std::uint64_t seg,
+ProgrammableSwitch::broadcastResult(std::uint64_t key,
                                     const CachedResult &res)
 {
-    for (const Member &m : ctrl_.table().members())
-        sendResultTo(m, seg, res);
+    // Results fan out only to the owning job's members; downstream
+    // switches (kSwitch rows) always receive them for further fan-out.
+    const std::uint8_t job = segWordJob(key);
+    for (const Member &m : ctrl_.table().members()) {
+        if (m.job == job || m.type == MemberType::kSwitch)
+            sendResultTo(m, key, res);
+    }
 }
 
 void
-ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t seg,
+ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t key,
                                  const CachedResult &res)
 {
     net::Packet pkt;
@@ -198,12 +240,28 @@ ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t seg,
     pkt.udp.src_port = cfg_.udp_port;
     pkt.udp.dst_port = m.udp_port;
     net::ChunkPayload chunk;
-    chunk.seg = seg;
+    chunk.seg = segWordIndex(key);
+    chunk.job = segWordJob(key);
     chunk.wire_floats = res.wire_floats;
     chunk.values = net::PacketPool::local().acquireFloats(res.values.size());
     chunk.values.assign(res.values.begin(), res.values.end());
     pkt.payload = std::move(chunk);
     forward(net::makePacket(std::move(pkt)));
+}
+
+void
+ProgrammableSwitch::sendNack(std::uint8_t job, std::uint64_t seg,
+                             std::uint32_t src)
+{
+    const auto m = ctrl_.table().find(net::Ipv4Addr(src));
+    if (!m)
+        return; // unknown contributor: nothing to tell
+    net::ControlPayload msg;
+    msg.action = net::Action::kNack;
+    msg.has_value = true;
+    msg.value = packSegWord(seg, job);
+    sim_.stats().counter("iswitch." + name() + ".nacks").inc();
+    sendControlTo(*m, msg);
 }
 
 void

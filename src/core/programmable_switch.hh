@@ -56,8 +56,10 @@ class ProgrammableSwitch : public net::EthSwitch
     /**
      * Register a member without the Join handshake (used by tests and
      * by harness builders that wire clusters programmatically).
+     * @p job tags the member's training job for multi-job sharing.
      */
-    void adminJoin(net::Ipv4Addr ip, std::uint16_t udp_port, MemberType type);
+    void adminJoin(net::Ipv4Addr ip, std::uint16_t udp_port, MemberType type,
+                   std::uint8_t job = 0);
 
     /**
      * Pin the aggregation threshold H. Without this call H tracks the
@@ -82,33 +84,40 @@ class ProgrammableSwitch : public net::EthSwitch
         std::uint64_t seq = 0; ///< how many completions this seg has had
     };
 
-    void onEmit(std::uint64_t seg, SegState sum);
+    void onEmit(std::uint64_t key, SegState sum);
     void onControl(const net::PacketPtr &pkt);
     void onResult(const net::PacketPtr &pkt);
 
-    /** Fan a completed segment out to every member (result plane). */
-    void broadcastResult(std::uint64_t seg, const CachedResult &res);
+    /** Fan a completed segment out to its job's members (result plane).
+     *  @p key is the packed Seg word. */
+    void broadcastResult(std::uint64_t key, const CachedResult &res);
 
     /** Send one result packet to a member. */
-    void sendResultTo(const Member &m, std::uint64_t seg,
+    void sendResultTo(const Member &m, std::uint64_t key,
                       const CachedResult &res);
 
     void sendControlTo(const Member &m, net::ControlPayload msg);
 
-    /** Recompute auto threshold from membership. */
+    /** Nack a contribution that bounced off a busy aggregator slot. */
+    void sendNack(std::uint8_t job, std::uint64_t seg, std::uint32_t src);
+
+    /** Recompute auto thresholds from membership (per job). */
     void refreshThreshold();
 
     /** Evict cache entries that fell out of the retention window. */
-    void pruneCache(std::uint64_t latest_seg);
+    void pruneCache(std::uint64_t latest_key);
 
     ProgrammableSwitchConfig cfg_;
     Accelerator accel_;
     ControlPlane ctrl_;
     bool manual_threshold_ = false;
     net::MacAddr mac_;
+    /** Caches are keyed by packed Seg word (bare seg for job 0). */
     std::unordered_map<std::uint64_t, CachedResult> result_cache_;
     std::unordered_map<std::uint64_t, std::uint64_t> seg_completions_;
-    std::uint64_t max_seg_seen_ = 0;
+    /** Highest segment index seen, per job (cache eviction floors must
+     *  not let one job's progress evict another job's entries). */
+    std::unordered_map<std::uint8_t, std::uint64_t> max_seg_seen_;
 };
 
 } // namespace isw::core

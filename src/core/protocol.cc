@@ -42,7 +42,7 @@ decodeControl(const std::vector<std::uint8_t> &bytes)
         return std::nullopt;
     const auto raw = bytes[0];
     if (raw < static_cast<std::uint8_t>(net::Action::kJoin) ||
-        raw > static_cast<std::uint8_t>(net::Action::kAck)) {
+        raw > static_cast<std::uint8_t>(net::Action::kNack)) {
         return std::nullopt;
     }
     net::ControlPayload c;
@@ -59,7 +59,7 @@ encodeData(const net::ChunkPayload &d)
 {
     std::vector<std::uint8_t> out;
     out.reserve(8 + std::size_t{d.wire_floats} * 4);
-    putU64(out, d.seg);
+    putU64(out, packSegWord(d.seg, d.job, d.ver));
     for (std::uint32_t i = 0; i < d.wire_floats; ++i) {
         float f = i < d.values.size() ? d.values[i] : 0.0f;
         std::uint32_t bits;
@@ -76,7 +76,10 @@ decodeData(const std::vector<std::uint8_t> &bytes)
     if (bytes.size() < 8 || (bytes.size() - 8) % 4 != 0)
         return std::nullopt;
     net::ChunkPayload d;
-    d.seg = getU64(bytes.data());
+    const std::uint64_t word = getU64(bytes.data());
+    d.seg = segWordIndex(word);
+    d.job = segWordJob(word);
+    d.ver = segWordVer(word);
     d.wire_floats = static_cast<std::uint32_t>((bytes.size() - 8) / 4);
     d.values.resize(d.wire_floats);
     const std::uint8_t *p = bytes.data() + 8;

@@ -26,6 +26,52 @@ namespace isw::core {
 /** Floats carried by a full iSwitch data packet (1500-byte MTU). */
 constexpr std::size_t kFloatsPerSeg = net::maxChunkFloats(true);
 
+/**
+ * Multi-job Seg-word layout (DESIGN.md §11). The 8-byte Seg field of a
+ * data packet packs, from the low end:
+ *
+ *   bits [47..0]  segment index
+ *   bits [55..48] job id
+ *   bit  [56]     slot-reuse version bit
+ *   bits [63..57] reserved (zero)
+ *
+ * A (job=0, ver=0) word equals the bare segment index, so the packed
+ * format is byte-identical to the original single-job wire format.
+ */
+constexpr std::uint64_t kSegWordIndexMask = (1ULL << 48) - 1;
+constexpr unsigned kSegWordJobShift = 48;
+constexpr unsigned kSegWordVerShift = 56;
+
+/** Pack (seg, job, ver) into one Seg word. */
+constexpr std::uint64_t
+packSegWord(std::uint64_t seg, std::uint8_t job = 0, std::uint8_t ver = 0)
+{
+    return (seg & kSegWordIndexMask) |
+           (std::uint64_t{job} << kSegWordJobShift) |
+           ((std::uint64_t{ver} & 1) << kSegWordVerShift);
+}
+
+/** Segment index of a Seg word. */
+constexpr std::uint64_t
+segWordIndex(std::uint64_t w)
+{
+    return w & kSegWordIndexMask;
+}
+
+/** Job id of a Seg word. */
+constexpr std::uint8_t
+segWordJob(std::uint64_t w)
+{
+    return static_cast<std::uint8_t>((w >> kSegWordJobShift) & 0xFF);
+}
+
+/** Version bit of a Seg word. */
+constexpr std::uint8_t
+segWordVer(std::uint64_t w)
+{
+    return static_cast<std::uint8_t>((w >> kSegWordVerShift) & 1);
+}
+
 /** Number of segments needed to carry @p wire_bytes of gradient. */
 constexpr std::uint64_t
 segCount(std::uint64_t wire_bytes)

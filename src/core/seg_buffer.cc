@@ -89,13 +89,87 @@ SegBufferPool::grow()
     }
 }
 
-bool
-SegBufferPool::accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
-                          std::uint32_t src, bool dedupe)
+void
+SegBufferPool::setCapacity(std::size_t slots)
 {
-    SegState &st = slab_[findOrInsert(chunk.seg)];
+    clear();
+    capacity_ = slots;
+    slots_.assign(capacity_, Slot{});
+    partitions_.clear();
+    partitioned_ = false;
+}
+
+void
+SegBufferPool::setJobPartition(std::uint8_t job, std::uint32_t base,
+                               std::uint32_t quota)
+{
+    if (!bounded())
+        throw std::logic_error(
+            "SegBufferPool::setJobPartition: pool is unbounded");
+    if (quota == 0 || std::size_t{base} + quota > capacity_)
+        throw std::invalid_argument(
+            "SegBufferPool::setJobPartition: partition exceeds capacity");
+    if (partitions_.size() <= job)
+        partitions_.resize(std::size_t{job} + 1);
+    partitions_[job] = Partition{base, quota, true};
+    partitioned_ = true;
+}
+
+std::uint32_t
+SegBufferPool::quotaFor(std::uint8_t job) const
+{
+    if (!partitioned_)
+        return static_cast<std::uint32_t>(capacity_);
+    if (job < partitions_.size() && partitions_[job].set)
+        return partitions_[job].quota;
+    return 0;
+}
+
+SlotPoolStats &
+SegBufferPool::statsFor(std::uint8_t job)
+{
+    if (stats_.size() <= job)
+        stats_.resize(std::size_t{job} + 1);
+    return stats_[job];
+}
+
+SlotPoolStats
+SegBufferPool::jobStats(std::uint8_t job) const
+{
+    return job < stats_.size() ? stats_[job] : SlotPoolStats{};
+}
+
+std::uint64_t
+SegBufferPool::contentionEvents() const
+{
+    std::uint64_t n = 0;
+    for (const SlotPoolStats &s : stats_)
+        n += s.stale_drops + s.busy_drops + s.unadmitted + s.reclaimed;
+    return n;
+}
+
+SlotPoolStats
+SegBufferPool::totals() const
+{
+    SlotPoolStats t;
+    for (const SlotPoolStats &s : stats_) {
+        t.accepted += s.accepted;
+        t.completed += s.completed;
+        t.duplicates += s.duplicates;
+        t.stale_drops += s.stale_drops;
+        t.busy_drops += s.busy_drops;
+        t.unadmitted += s.unadmitted;
+        t.reclaimed += s.reclaimed;
+    }
+    return t;
+}
+
+SlotOutcome
+SegBufferPool::foldInto(SegState &st, const net::ChunkPayload &chunk,
+                        std::uint32_t h, std::uint32_t src, bool dedupe)
+{
     if (dedupe && !st.contributors.insert(src).second)
-        return false; // duplicate retransmission: already folded in
+        return SlotOutcome::kDuplicate; // retransmission: already folded in
     st.wire_floats = std::max(st.wire_floats, chunk.wire_floats);
     const std::size_t n = chunk.values.size();
     if (st.acc.size() < n) {
@@ -108,20 +182,134 @@ SegBufferPool::accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
     for (std::size_t i = 0; i < n; ++i)
         a[i] += v[i];
     ++st.count;
-    return st.count >= h;
+    return st.count >= h ? SlotOutcome::kCompleted : SlotOutcome::kAccepted;
+}
+
+SlotOutcome
+SegBufferPool::offer(const net::ChunkPayload &chunk, std::uint32_t h,
+                     std::uint32_t src, bool dedupe)
+{
+    const SlotOutcome out = bounded()
+                                ? offerBounded(chunk, h, src, dedupe)
+                                : offerUnbounded(chunk, h, src, dedupe);
+    SlotPoolStats &s = statsFor(chunk.job);
+    switch (out) {
+      case SlotOutcome::kAccepted: ++s.accepted; break;
+      case SlotOutcome::kCompleted: ++s.accepted; ++s.completed; break;
+      case SlotOutcome::kDuplicate: ++s.duplicates; break;
+      case SlotOutcome::kStale: ++s.stale_drops; break;
+      case SlotOutcome::kBusy: ++s.busy_drops; break;
+      case SlotOutcome::kUnadmitted: ++s.unadmitted; break;
+    }
+    return out;
+}
+
+SlotOutcome
+SegBufferPool::offerUnbounded(const net::ChunkPayload &chunk, std::uint32_t h,
+                              std::uint32_t src, bool dedupe)
+{
+    const std::uint64_t key = packSegWord(chunk.seg, chunk.job);
+    return foldInto(slab_[findOrInsert(key)], chunk, h, src, dedupe);
 }
 
 std::uint32_t
-SegBufferPool::count(std::uint64_t seg) const
+SegBufferPool::boundedSlot(std::uint8_t job, std::uint64_t seg) const
 {
-    const std::uint32_t slot = findSlot(seg);
+    if (!partitioned_)
+        return static_cast<std::uint32_t>(seg % capacity_);
+    if (job >= partitions_.size() || !partitions_[job].set)
+        return kNoSlot;
+    const Partition &p = partitions_[job];
+    return p.base + static_cast<std::uint32_t>(seg % p.quota);
+}
+
+SlotOutcome
+SegBufferPool::offerBounded(const net::ChunkPayload &chunk, std::uint32_t h,
+                            std::uint32_t src, bool dedupe)
+{
+    const std::uint32_t idx = boundedSlot(chunk.job, chunk.seg);
+    if (idx == kNoSlot)
+        return SlotOutcome::kUnadmitted;
+    Slot &sl = slots_[idx];
+    if (!sl.used) {
+        // Stale floor: a duplicate of an already-completed segment must
+        // not re-claim the slot — it would accumulate forever (its
+        // other contributors are gone) and deadlock the stream.
+        if (dedupe && chunk.seg < sl.floor)
+            return SlotOutcome::kStale;
+        sl.used = true;
+        sl.ordered = dedupe;
+        sl.job = chunk.job;
+        sl.ver = chunk.ver & 1;
+        sl.seg = chunk.seg;
+        ++active_;
+        peak_ = std::max(peak_, active_);
+        const SlotOutcome out = foldInto(sl.st, chunk, h, src, dedupe);
+        return out; // fresh claim cannot be a duplicate
+    }
+    if (sl.job == chunk.job && sl.seg == chunk.seg) {
+        if (sl.ver != (chunk.ver & 1))
+            return SlotOutcome::kStale; // other reuse cycle of same seg
+        return foldInto(sl.st, chunk, h, src, dedupe);
+    }
+    // Slot conflict. Ordered traffic: an older seg is stale (its round
+    // already finished — drop); a newer seg means the occupant is still
+    // aggregating — Nack so the sender retries once the slot frees.
+    if (dedupe && chunk.seg < sl.seg)
+        return SlotOutcome::kStale;
+    return SlotOutcome::kBusy;
+}
+
+std::uint32_t
+SegBufferPool::count(std::uint64_t key) const
+{
+    if (bounded()) {
+        const std::uint32_t idx = boundedSlot(segWordJob(key),
+                                              segWordIndex(key));
+        if (idx == kNoSlot)
+            return 0;
+        const Slot &sl = slots_[idx];
+        return (sl.used && sl.job == segWordJob(key) &&
+                sl.seg == segWordIndex(key))
+                   ? sl.st.count
+                   : 0;
+    }
+    const std::uint32_t slot = findSlot(key);
     return slot == kNoSlot ? 0 : slab_[slot].count;
 }
 
-SegState
-SegBufferPool::harvest(std::uint64_t seg)
+bool
+SegBufferPool::has(std::uint64_t key) const
 {
-    const std::uint32_t slot = findSlot(seg);
+    return count(key) != 0;
+}
+
+SegState
+SegBufferPool::harvest(std::uint64_t key, bool completed)
+{
+    if (bounded()) {
+        const std::uint32_t idx = boundedSlot(segWordJob(key),
+                                              segWordIndex(key));
+        if (idx == kNoSlot)
+            throw std::out_of_range(
+                "SegBufferPool::harvest: no such segment");
+        Slot &sl = slots_[idx];
+        if (!sl.used || sl.job != segWordJob(key) ||
+            sl.seg != segWordIndex(key))
+            throw std::out_of_range(
+                "SegBufferPool::harvest: no such segment");
+        SegState out = std::move(sl.st);
+        sl.st = SegState{};
+        sl.used = false;
+        // A completed segment moves the stale floor past itself so late
+        // duplicates are dropped; a recovery drop leaves the floor so
+        // the retransmitted segment is still admissible.
+        if (completed && sl.ordered)
+            sl.floor = std::max(sl.floor, sl.seg + 1);
+        --active_;
+        return out;
+    }
+    const std::uint32_t slot = findSlot(key);
     if (slot == kNoSlot)
         throw std::out_of_range("SegBufferPool::harvest: no such segment");
     SegState out = std::move(slab_[slot]);
@@ -131,10 +319,40 @@ SegBufferPool::harvest(std::uint64_t seg)
     st.count = 0;
     st.wire_floats = 0;
     st.contributors.clear();
-    eraseIndex(seg);
+    eraseIndex(key);
     free_.push_back(slot);
     --active_;
     return out;
+}
+
+std::size_t
+SegBufferPool::reclaimFrom(std::uint32_t src)
+{
+    std::size_t n = 0;
+    if (bounded()) {
+        for (Slot &sl : slots_) {
+            if (!sl.used || sl.st.contributors.count(src) == 0)
+                continue;
+            sl.st = SegState{};
+            sl.used = false; // floor untouched: survivors may resend
+            --active_;
+            ++statsFor(sl.job).reclaimed;
+            ++n;
+        }
+        return n;
+    }
+    std::vector<std::uint64_t> keys;
+    for (const Bucket &b : buckets_) {
+        if (b.slot_plus1 != 0 &&
+            slab_[b.slot_plus1 - 1].contributors.count(src) != 0)
+            keys.push_back(b.seg);
+    }
+    for (std::uint64_t key : keys) {
+        harvest(key, /*completed=*/false);
+        ++statsFor(segWordJob(key)).reclaimed;
+        ++n;
+    }
+    return n;
 }
 
 void
@@ -145,6 +363,7 @@ SegBufferPool::clear()
     slab_.clear();
     free_.clear();
     active_ = 0;
+    slots_.assign(capacity_, Slot{});
 }
 
 } // namespace isw::core

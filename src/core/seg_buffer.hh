@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/protocol.hh"
 #include "net/packet.hh"
 
 namespace isw::core {
@@ -25,15 +26,52 @@ struct SegState
     std::unordered_set<std::uint32_t> contributors;
 };
 
+/** What the slot pool did with one offered contribution. */
+enum class SlotOutcome : std::uint8_t {
+    kAccepted,   ///< folded in, segment still below threshold
+    kCompleted,  ///< folded in and the segment reached H
+    kDuplicate,  ///< same source already contributed (dedupe)
+    kStale,      ///< stale packet (old version / already-completed seg)
+    kBusy,       ///< slot still aggregating an older segment (Nack)
+    kUnadmitted, ///< job has no slot partition on this switch
+};
+
+/** Per-job slot-pool counters (fairness / contention observability). */
+struct SlotPoolStats
+{
+    std::uint64_t accepted = 0;    ///< contributions folded in
+    std::uint64_t completed = 0;   ///< segments that reached H
+    std::uint64_t duplicates = 0;  ///< dedupe rejections
+    std::uint64_t stale_drops = 0; ///< stale-version packets dropped
+    std::uint64_t busy_drops = 0;  ///< busy-slot rejections (Nacked)
+    std::uint64_t unadmitted = 0;  ///< packets from unadmitted jobs
+    std::uint64_t reclaimed = 0;   ///< partials dropped on member Leave
+};
+
 /**
- * Pool of segment buffers keyed by Seg number.
+ * Pool of segment buffers keyed by Seg word (packSegWord(seg, job)).
  *
- * The hardware holds a fixed BRAM region indexed by segment; we model
- * the same semantics with a flat slab of recycled SegState slots plus
- * an open-addressing seg → slot index (linear probing, fibonacci
- * hashing, backward-shift deletion), so the steady state allocates
- * nothing and the accumulate loop runs over contiguous restrict-
- * qualified floats the compiler can vectorize (DESIGN.md §9).
+ * Two operating modes (DESIGN.md §11):
+ *
+ *  - Unbounded (capacity 0, the default): the paper's dedicated-switch
+ *    model. A flat slab of recycled SegState slots plus an
+ *    open-addressing key → slot index (linear probing, fibonacci
+ *    hashing, backward-shift deletion): the steady state allocates
+ *    nothing and the accumulate loop runs over contiguous restrict-
+ *    qualified floats the compiler can vectorize (DESIGN.md §9).
+ *
+ *  - Bounded (capacity N > 0): a SwitchML-style fixed pool of N
+ *    aggregator slots, optionally partitioned per job. A segment maps
+ *    direct-mapped to slot `base + seg % quota`; tensors larger than
+ *    the pool recirculate through slot reuse, paced by the sender's
+ *    streaming window. Conflicts resolve deterministically:
+ *      - same (job, seg, ver): accumulate (dedupe as configured);
+ *      - same (job, seg), other ver, or seg below the slot's completed
+ *        floor: stale — dropped and counted;
+ *      - an older in-flight segment still holds the slot: busy — the
+ *        contribution is dropped, counted, and (via the accelerator)
+ *        Nacked so the sender backs off and retries.
+ *
  * Element-wise adds vectorize bit-identically, so results are
  * unchanged from the scalar unordered_map version.
  *
@@ -45,37 +83,93 @@ class SegBufferPool
 {
   public:
     /**
-     * Fold one contribution into segment @p seg.
+     * Bound the pool to @p slots aggregator slots (0 = unbounded).
+     * Drops all state; call before traffic flows.
+     */
+    void setCapacity(std::size_t slots);
+
+    /** Configured slot count (0 = unbounded legacy mode). */
+    std::size_t capacity() const { return capacity_; }
+    bool bounded() const { return capacity_ > 0; }
+
+    /**
+     * Reserve slots [base, base + quota) for @p job. Once any
+     * partition exists the pool runs admission control: traffic from a
+     * job without a partition is dropped and counted. Bounded mode
+     * only.
+     */
+    void setJobPartition(std::uint8_t job, std::uint32_t base,
+                         std::uint32_t quota);
+
+    /** Has admission control been turned on via setJobPartition? */
+    bool partitioned() const { return partitioned_; }
+
+    /** Slot quota for @p job (capacity when unpartitioned). */
+    std::uint32_t quotaFor(std::uint8_t job) const;
+
+    /**
+     * Fold one contribution into its segment buffer / aggregator slot.
      *
      * @param src Contributor identity (IPv4 bits). When @p dedupe is
      *        true, a second contribution from the same source to the
      *        same in-progress segment is ignored — this makes the
      *        sync-mode loss-recovery retransmissions idempotent.
-     * @return true if this contribution made the segment reach @p h.
+     *        Dedupe also marks the job's traffic as *ordered*
+     *        (monotonically increasing seg indices), which is what
+     *        arms the bounded mode's stale floor.
      */
+    SlotOutcome offer(const net::ChunkPayload &chunk, std::uint32_t h,
+                      std::uint32_t src = 0, bool dedupe = false);
+
+    /** Legacy wrapper: true iff the contribution reached H. */
     bool accumulate(const net::ChunkPayload &chunk, std::uint32_t h,
-                    std::uint32_t src = 0, bool dedupe = false);
+                    std::uint32_t src = 0, bool dedupe = false)
+    {
+        return offer(chunk, h, src, dedupe) == SlotOutcome::kCompleted;
+    }
 
     /** Number of segments currently holding partial sums. */
     std::size_t activeSegments() const { return active_; }
 
-    /** True if segment @p seg holds any contributions. */
-    bool has(std::uint64_t seg) const { return findSlot(seg) != kNoSlot; }
+    /** True if Seg word @p key holds any contributions. */
+    bool has(std::uint64_t key) const;
 
-    /** Contribution count for @p seg (0 if absent). */
-    std::uint32_t count(std::uint64_t seg) const;
+    /** Contribution count for Seg word @p key (0 if absent). */
+    std::uint32_t count(std::uint64_t key) const;
 
     /**
-     * Remove and return the state of @p seg (complete or partial).
+     * Remove and return the state of Seg word @p key (complete or
+     * partial). @p completed distinguishes a finished segment (the
+     * slot's stale floor advances past it) from a recovery drop whose
+     * segment will be retransmitted and must stay admissible.
      * Throws std::out_of_range if the segment is absent.
      */
-    SegState harvest(std::uint64_t seg);
+    SegState harvest(std::uint64_t key, bool completed = true);
 
     /** Drop all partial state (control-plane Reset). */
     void clear();
 
+    /**
+     * Drop every in-flight partial containing a contribution from
+     * @p src (membership Leave: a crashed worker's contributions would
+     * otherwise pin their slots until round end, inflating the peak-
+     * occupancy counter). Only meaningful for deduped (sync) traffic —
+     * unordered jobs record no contributor identity. Returns the
+     * number of slots reclaimed.
+     */
+    std::size_t reclaimFrom(std::uint32_t src);
+
     /** Peak number of simultaneously active segments (BRAM pressure). */
     std::size_t peakActiveSegments() const { return peak_; }
+
+    /** Per-job counters (job ids not seen yet read as zeros). */
+    SlotPoolStats jobStats(std::uint8_t job) const;
+
+    /** Sum of stale + busy + unadmitted + reclaimed over all jobs. */
+    std::uint64_t contentionEvents() const;
+
+    /** Aggregate counters over all jobs. */
+    SlotPoolStats totals() const;
 
   private:
     static constexpr std::uint32_t kNoSlot = UINT32_MAX;
@@ -86,12 +180,47 @@ class SegBufferPool
         std::uint32_t slot_plus1 = 0; ///< 0 = empty
     };
 
+    /** One aggregator slot of the bounded pool. */
+    struct Slot
+    {
+        bool used = false;
+        bool ordered = false; ///< claimed by deduped (ordered) traffic
+        std::uint8_t job = 0;
+        std::uint8_t ver = 0;
+        std::uint64_t seg = 0;   ///< occupant's segment index
+        std::uint64_t floor = 0; ///< smallest admissible seg (ordered)
+        SegState st;
+    };
+
+    struct Partition
+    {
+        std::uint32_t base = 0;
+        std::uint32_t quota = 0;
+        bool set = false;
+    };
+
     static std::size_t
     hashSeg(std::uint64_t seg)
     {
         return static_cast<std::size_t>(
             (seg + 1) * 0x9E3779B97F4A7C15ULL >> 32);
     }
+
+    /** Fold @p chunk into @p st; Accepted/Completed/Duplicate. */
+    static SlotOutcome foldInto(SegState &st, const net::ChunkPayload &chunk,
+                                std::uint32_t h, std::uint32_t src,
+                                bool dedupe);
+
+    SlotOutcome offerUnbounded(const net::ChunkPayload &chunk,
+                               std::uint32_t h, std::uint32_t src,
+                               bool dedupe);
+    SlotOutcome offerBounded(const net::ChunkPayload &chunk, std::uint32_t h,
+                             std::uint32_t src, bool dedupe);
+
+    /** Bounded-mode slot index for (job, seg), or kNoSlot. */
+    std::uint32_t boundedSlot(std::uint8_t job, std::uint64_t seg) const;
+
+    SlotPoolStats &statsFor(std::uint8_t job);
 
     /** Slab slot for @p seg, or kNoSlot. */
     std::uint32_t findSlot(std::uint64_t seg) const;
@@ -107,6 +236,12 @@ class SegBufferPool
     std::vector<std::uint32_t> free_;
     std::size_t active_ = 0;
     std::size_t peak_ = 0;
+
+    std::size_t capacity_ = 0;  ///< 0 = unbounded
+    std::vector<Slot> slots_;   ///< bounded-mode aggregator slots
+    std::vector<Partition> partitions_;
+    bool partitioned_ = false;
+    std::vector<SlotPoolStats> stats_; ///< indexed by job id
 };
 
 } // namespace isw::core

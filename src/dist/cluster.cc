@@ -15,6 +15,10 @@ Cluster::leafOf(std::size_t i) const
 Cluster
 buildStarCluster(sim::Simulation &s, const ClusterConfig &cfg)
 {
+    if (!cfg.worker_jobs.empty() &&
+        cfg.worker_jobs.size() != cfg.num_workers)
+        throw std::invalid_argument(
+            "buildStarCluster: worker_jobs size mismatch");
     Cluster c;
     c.topo = std::make_unique<net::Topology>(s);
     const std::size_t shards = cfg.with_ps ? std::max<std::size_t>(
@@ -38,7 +42,9 @@ buildStarCluster(sim::Simulation &s, const ClusterConfig &cfg)
                                                 static_cast<std::uint8_t>(
                                                     2 + i)));
         c.topo->connectHost(h, sw, i, cfg.edge_link);
-        sw->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker);
+        sw->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker,
+                      cfg.worker_jobs.empty() ? std::uint8_t{0}
+                                              : cfg.worker_jobs[i]);
         c.workers.push_back(h);
     }
     for (std::size_t k = 0; k < shards; ++k) {

@@ -39,6 +39,13 @@ struct ClusterConfig
     std::size_t per_rack = 3;          ///< workers per rack (tree only)
     core::AcceleratorConfig accel{};   ///< accelerator parameters
     net::SwitchConfig switch_cfg{};    ///< base data-plane parameters
+    /**
+     * Per-worker job tags for multi-job switch sharing (star only).
+     * Empty = every worker belongs to job 0 (the single-job layout,
+     * bit-identical to the pre-sharing builder). When set, size must
+     * equal num_workers; worker i adminJoins with job worker_jobs[i].
+     */
+    std::vector<std::uint8_t> worker_jobs;
 };
 
 /** A built cluster: topology plus the handles strategies need. */

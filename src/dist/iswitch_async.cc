@@ -1,8 +1,23 @@
 #include "dist/iswitch_async.hh"
 
+#include <stdexcept>
+
 namespace isw::dist {
 
 AsyncIswitchJob::AsyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    init();
+}
+
+AsyncIswitchJob::AsyncIswitchJob(const JobConfig &cfg,
+                                 const SharedWorld &world)
+    : JobBase(cfg, world)
+{
+    init();
+}
+
+void
+AsyncIswitchJob::init()
 {
     fmt_ = gradientWire(/*iswitch_plane=*/true);
     rx_.resize(workers_.size());
@@ -17,12 +32,27 @@ AsyncIswitchJob::AsyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
     h_ = cfg_.agg_threshold == 0
              ? static_cast<std::uint32_t>(workers_.size())
              : cfg_.agg_threshold;
+    // Async mode reuses segment indices 0..P-1 every iteration with
+    // contributor dedupe off (cross-iteration mixing is by design), so
+    // the per-slot floor/version machinery of a bounded pool cannot
+    // distinguish a legitimate late contribution from a stale one. A
+    // finite slot quota therefore must cover the whole tensor.
+    if (slotQuota() != 0 && slotQuota() < fmt_.segments())
+        throw std::invalid_argument(
+            "AsyncIswitchJob: slot quota smaller than the tensor's "
+            "segment count (async iSwitch cannot stream a bounded "
+            "pool; grant at least segments() slots)");
     if (cfg_.agg_threshold != 0) {
-        // The control plane's SetH: pin H below the membership count.
-        for (auto *leaf : cluster_.leaves)
-            leaf->setManualThreshold(h_);
-        if (cluster_.root != cluster_.leaves.front())
-            cluster_.root->setManualThreshold(h_);
+        if (jobId() == 0) {
+            // The control plane's SetH: pin H below the membership count.
+            for (auto *leaf : cluster_.leaves)
+                leaf->setManualThreshold(h_);
+            if (cluster_.root != cluster_.leaves.front())
+                cluster_.root->setManualThreshold(h_);
+        } else {
+            // Shared fabric: pin only our own job's threshold.
+            cluster_.root->accelerator().setJobThreshold(jobId(), h_);
+        }
     }
 }
 
@@ -67,7 +97,8 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
             auto *leaf = cluster_.leafOf(w.index);
             sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad, leaf] {
                 sendVector(*wp->host, leaf->ip(), kSwitchPort, kWorkerPort,
-                           net::kTosData, /*transfer_id=*/0, grad, fmt_);
+                           net::kTosData, /*transfer_id=*/0, grad, fmt_,
+                           /*seg_base=*/0, jobId());
                 if (recoveryEnabled()) {
                     last_sent_[wp->index] = grad;
                     rearmWatch(*wp);
@@ -89,6 +120,8 @@ AsyncIswitchJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
     if (chunk == nullptr)
         return;
+    if (chunk->job != jobId())
+        return; // another job's broadcast (shared fabric)
     rx_[w.index].offer(*chunk);
     drainLwu(w);
 }
@@ -160,7 +193,7 @@ AsyncIswitchJob::nudge(WorkerCtx &w)
             sendVectorSegment(*w.host, leaf->ip(), kSwitchPort,
                               kWorkerPort, net::kTosData,
                               /*transfer_id=*/0, last_sent_[w.index],
-                              fmt_, seg);
+                              fmt_, seg, /*seg_base=*/0, jobId());
             ++recovery_.retransmits;
         }
     }

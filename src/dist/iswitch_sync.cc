@@ -1,8 +1,23 @@
 #include "dist/iswitch_sync.hh"
 
+#include <algorithm>
+
 namespace isw::dist {
 
 SyncIswitchJob::SyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
+{
+    init();
+}
+
+SyncIswitchJob::SyncIswitchJob(const JobConfig &cfg,
+                               const SharedWorld &world)
+    : JobBase(cfg, world)
+{
+    init();
+}
+
+void
+SyncIswitchJob::init()
 {
     fmt_ = gradientWire(/*iswitch_plane=*/true);
     for (auto &w : workers_)
@@ -10,10 +25,17 @@ SyncIswitchJob::SyncIswitchJob(const JobConfig &cfg) : JobBase(cfg)
     help_.resize(workers_.size());
     for (auto &t : help_)
         configureTimer(t);
-    // Retransmissions must be idempotent in synchronous mode.
-    for (auto *leaf : cluster_.leaves)
-        leaf->accelerator().setDedupeContributors(true);
-    cluster_.root->accelerator().setDedupeContributors(true);
+    next_unsent_.assign(workers_.size(), 0);
+    nack_streak_.assign(workers_.size(), 0);
+    // Retransmissions must be idempotent in synchronous mode. On a
+    // shared fabric only our own job's traffic may be touched.
+    if (jobId() == 0) {
+        for (auto *leaf : cluster_.leaves)
+            leaf->accelerator().setDedupeContributors(true);
+        cluster_.root->accelerator().setDedupeContributors(true);
+    } else {
+        cluster_.root->accelerator().setJobDedupe(jobId(), true);
+    }
 }
 
 std::uint64_t
@@ -25,6 +47,17 @@ SyncIswitchJob::segBase(const WorkerCtx &w) const
     // Help cache lookup is exact. Memory stays bounded through the
     // switch's cache retention window.
     return w.round * fmt_.segments();
+}
+
+std::uint64_t
+SyncIswitchJob::windowSegments() const
+{
+    // A window equal to the slot quota keeps every in-flight segment
+    // in a distinct aggregator slot (direct-mapped seg % quota): no
+    // busy drops in lossless runs. An ample quota degenerates to the
+    // legacy whole-round burst.
+    const std::uint64_t q = slotQuota();
+    return (q == 0 || q >= fmt_.segments()) ? 0 : q;
 }
 
 void
@@ -55,14 +88,52 @@ void
 SyncIswitchJob::sendGradient(WorkerCtx &w)
 {
     auto *leaf = cluster_.leafOf(w.index);
-    sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort, net::kTosData,
-               /*transfer_id=*/0, w.pending_grad, fmt_, segBase(w));
+    const std::uint64_t window = windowSegments();
+    if (window == 0) {
+        sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
+                   net::kTosData, /*transfer_id=*/0, w.pending_grad, fmt_,
+                   segBase(w), jobId(), slotQuota());
+        next_unsent_[w.index] = fmt_.segments();
+    } else {
+        // Stream the first window; results self-clock the rest.
+        next_unsent_[w.index] = 0;
+        for (std::uint64_t seg = 0; seg < window; ++seg)
+            sendOneSegment(w, seg);
+        next_unsent_[w.index] = window;
+    }
     WorkerCtx *wp = &w;
     help_[w.index].arm([this, wp]() -> std::size_t {
         if (stopped())
             return 0;
         return requestHelp(*wp);
     });
+}
+
+void
+SyncIswitchJob::sendOneSegment(WorkerCtx &w, std::uint64_t seg)
+{
+    auto *leaf = cluster_.leafOf(w.index);
+    sendVectorSegment(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
+                      net::kTosData, /*transfer_id=*/0, w.pending_grad,
+                      fmt_, seg, segBase(w), jobId(), slotQuota());
+}
+
+void
+SyncIswitchJob::advanceWindow(WorkerCtx &w)
+{
+    const std::uint64_t window = windowSegments();
+    if (window == 0)
+        return;
+    // Segment s+W is released only once result s arrived, so the
+    // in-flight set stays within [firstMissing, firstMissing + W) and
+    // every in-flight segment owns a distinct slot.
+    std::uint64_t &next = next_unsent_[w.index];
+    const std::uint64_t limit =
+        std::min(fmt_.segments(), w.rx.firstMissing() + window);
+    while (next < limit) {
+        sendOneSegment(w, next);
+        ++next;
+    }
 }
 
 std::size_t
@@ -73,9 +144,13 @@ SyncIswitchJob::requestHelp(WorkerCtx &w)
     auto *leaf = cluster_.leafOf(w.index);
     // Ask the switch for each missing segment (Table 2: Help). Each
     // striped index identifies exactly one (round, offset), so a
-    // cached completion can be served unambiguously.
+    // cached completion can be served unambiguously. In streaming mode
+    // only segments already released are eligible — the rest are not
+    // lost, merely unsent.
     std::size_t n = 0;
     for (std::uint64_t seg : w.rx.missingSegments()) {
+        if (seg >= next_unsent_[w.index])
+            continue;
         net::ControlPayload help;
         help.action = net::Action::kHelp;
         help.has_value = true;
@@ -94,11 +169,37 @@ SyncIswitchJob::resendSegment(WorkerCtx &w, std::uint64_t seg_prime)
     const std::uint64_t base = segBase(w);
     if (seg_prime < base || seg_prime >= base + fmt_.segments())
         return; // not our current round: ignore
-    auto *leaf = cluster_.leafOf(w.index);
-    sendVectorSegment(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
-                      net::kTosData, /*transfer_id=*/0, w.pending_grad,
-                      fmt_, seg_prime - base, base);
+    sendOneSegment(w, seg_prime - base);
     ++recovery_.retransmits;
+}
+
+void
+SyncIswitchJob::onNack(WorkerCtx &w, std::uint64_t value)
+{
+    if (core::segWordJob(value) != jobId())
+        return;
+    const std::uint64_t seg_prime = core::segWordIndex(value);
+    const std::uint64_t base = segBase(w);
+    if (seg_prime < base || seg_prime >= base + fmt_.segments())
+        return; // stale Nack from a previous round
+    // The aggregator slot was still busy with an older segment. Back
+    // off with an escalating delay (the occupant completes via normal
+    // aggregation or Help recovery, freeing the slot) and retry.
+    const std::uint32_t streak =
+        std::min<std::uint32_t>(++nack_streak_[w.index], 10);
+    const sim::TimeNs delay = std::min<sim::TimeNs>(
+        (50 * sim::kUsec) << streak, 100 * sim::kMsec);
+    WorkerCtx *wp = &w;
+    sim_->after(delay, [this, wp, seg_prime] {
+        if (stopped())
+            return;
+        const std::uint64_t b = segBase(*wp);
+        if (seg_prime < b || seg_prime >= b + fmt_.segments())
+            return; // round moved on while we backed off
+        if (wp->rx.hasSegment(seg_prime - b))
+            return; // result arrived meanwhile
+        sendOneSegment(*wp, seg_prime - b);
+    });
 }
 
 void
@@ -107,7 +208,12 @@ SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
     if (pkt->ip.tos == net::kTosResult) {
         if (const auto *chunk =
                 std::get_if<net::ChunkPayload>(&pkt->payload)) {
-            if (w.rx.offer(*chunk, segBase(w)))
+            if (chunk->job != jobId())
+                return; // another job's result (shared fabric)
+            nack_streak_[w.index] = 0;
+            const bool done = w.rx.offer(*chunk, segBase(w));
+            advanceWindow(w);
+            if (done)
                 onResultComplete(w);
         }
     } else if (pkt->ip.tos == net::kTosControl) {
@@ -117,6 +223,8 @@ SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
                 // segment never completed: resend our contribution if
                 // the request targets our current round.
                 resendSegment(w, core::helpSeg(c->value));
+            } else if (c->action == net::Action::kNack && c->has_value) {
+                onNack(w, c->value);
             }
         }
     }

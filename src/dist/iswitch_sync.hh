@@ -11,6 +11,15 @@
  * or relays a retransmission request to all workers. The timer rides
  * the shared RetxTimer layer, so Help requests follow the same
  * exponential-backoff discipline as the unicast strategies.
+ *
+ * Bounded slot pools (DESIGN.md §11): when the switch grants this job
+ * a finite aggregator-slot quota Q smaller than the tensor's segment
+ * count, the worker streams the round through a sliding window of Q
+ * unacknowledged segments anchored at its first missing result. The
+ * window is self-clocking — segment s+Q is released only once result
+ * s arrived — so at most Q distinct segments are ever in flight and a
+ * lossless run never bounces off a busy slot. Busy-slot Nacks (loss
+ * reordering) re-send after an escalating delay.
  */
 
 #ifndef ISW_DIST_ISWITCH_SYNC_HH
@@ -28,16 +37,29 @@ class SyncIswitchJob : public JobBase
   public:
     explicit SyncIswitchJob(const JobConfig &cfg);
 
+    /** Shared-fabric variant (multi-job switch sharing). */
+    SyncIswitchJob(const JobConfig &cfg, const SharedWorld &world);
+
   protected:
     void start() override;
 
   private:
+    void init();
+
     /** First striped Seg index of @p w's current round. */
     std::uint64_t segBase(const WorkerCtx &w) const;
 
+    /** Sliding sender window (0 = whole round at once). */
+    std::uint64_t windowSegments() const;
+
     void beginRound(WorkerCtx &w);
     void sendGradient(WorkerCtx &w);
+    /** Send one segment (streaming window / Nack retry path). */
+    void sendOneSegment(WorkerCtx &w, std::uint64_t seg);
+    /** Release window segments up to firstMissing() + W. */
+    void advanceWindow(WorkerCtx &w);
     void resendSegment(WorkerCtx &w, std::uint64_t seg_prime);
+    void onNack(WorkerCtx &w, std::uint64_t value);
     /** Send Help(seg) for every missing result segment; returns how
      *  many were requested (the RetxTimer resend hook). */
     std::size_t requestHelp(WorkerCtx &w);
@@ -47,6 +69,10 @@ class SyncIswitchJob : public JobBase
     WireFormat fmt_;
     /** Per-worker Help timers (deque: RetxTimer is address-pinned). */
     std::deque<RetxTimer> help_;
+    /** Per-worker next unsent segment offset (streaming mode only). */
+    std::vector<std::uint64_t> next_unsent_;
+    /** Per-worker consecutive-Nack streak (retry backoff escalation). */
+    std::vector<std::uint32_t> nack_streak_;
 };
 
 } // namespace isw::dist

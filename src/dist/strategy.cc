@@ -52,7 +52,14 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.num_workers == 0)
         throw std::invalid_argument("JobBase: zero workers");
-    sim_ = std::make_unique<sim::Simulation>(cfg_.seed);
+    if (cfg_.cluster.accel.num_slots > 0 && cfg_.use_tree)
+        throw std::invalid_argument(
+            "JobBase: bounded slot pools are star-cluster only (the "
+            "hierarchical path has no slot-aware upward flow yet)");
+    owned_sim_ = std::make_unique<sim::Simulation>(cfg_.seed);
+    sim_ = owned_sim_.get();
+    slot_quota_ =
+        static_cast<std::uint32_t>(cfg_.cluster.accel.num_slots);
 
     ClusterConfig ccfg = cfg_.cluster;
     ccfg.num_workers = cfg_.num_workers;
@@ -65,6 +72,49 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
     cluster_ = cfg_.use_tree ? buildTreeCluster(*sim_, ccfg)
                              : buildStarCluster(*sim_, ccfg);
 
+    initWorkers();
+    installFaults();
+    resolveRetx();
+}
+
+JobBase::JobBase(const JobConfig &cfg, const SharedWorld &world) : cfg_(cfg)
+{
+    if (cfg_.num_workers == 0)
+        throw std::invalid_argument("JobBase: zero workers");
+    if (world.sim == nullptr || world.fabric == nullptr)
+        throw std::invalid_argument("JobBase: incomplete SharedWorld");
+    if (!cfg_.faults.empty())
+        throw std::invalid_argument(
+            "JobBase: fault plans are owned-world only");
+    if (cfg_.use_tree)
+        throw std::invalid_argument(
+            "JobBase: shared fabrics are star clusters");
+    if (world.worker_offset + cfg_.num_workers >
+        world.fabric->workers.size())
+        throw std::invalid_argument(
+            "JobBase: worker slice exceeds the shared fabric");
+    sim_ = world.sim;
+    job_id_ = world.job_id;
+    slot_quota_ = world.slot_quota;
+
+    // View of the shared fabric: our worker slice, everyone's switches.
+    cluster_.workers.assign(
+        world.fabric->workers.begin() +
+            static_cast<std::ptrdiff_t>(world.worker_offset),
+        world.fabric->workers.begin() +
+            static_cast<std::ptrdiff_t>(world.worker_offset +
+                                        cfg_.num_workers));
+    cluster_.leaves = world.fabric->leaves;
+    cluster_.root = world.fabric->root;
+    cluster_.workersPerRack = 0; // star: every worker hangs off root
+
+    initWorkers();
+    resolveRetx();
+}
+
+void
+JobBase::initWorkers()
+{
     workers_.resize(cfg_.num_workers);
     for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
         WorkerCtx &w = workers_[i];
@@ -77,9 +127,11 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
                                 /*env_seed=*/cfg_.seed * 104729 + 31 + i);
         w.rng = sim_->forkRng();
     }
+}
 
-    installFaults();
-
+void
+JobBase::resolveRetx()
+{
     retx_ = cfg_.retx;
     if (retx_.timeout == 0) {
         // Auto timeout: the PS return path unicasts one full vector
@@ -251,16 +303,27 @@ JobBase::checkStop()
     }
 }
 
+void
+JobBase::beginRun()
+{
+    // The job runs wholly on the calling thread, so the thread-local
+    // PacketPool's counter deltas are exactly this job's traffic (for
+    // shared fabrics: the fabric's traffic since this job began).
+    const net::PacketPool::Stats pool0 = net::PacketPool::local().stats();
+    run_pool_sealed0_ = pool0.sealed;
+    run_pool_pallocs0_ = pool0.packet_allocs;
+    run_pool_fallocs0_ = pool0.float_allocs;
+    run_pool_preuse0_ = pool0.packet_reuses;
+    run_pool_freuse0_ = pool0.float_reuses;
+    run_events0_ = sim_->events().executed();
+    run_t0_ = std::chrono::steady_clock::now();
+    start();
+}
+
 RunResult
 JobBase::run()
 {
-    // The job runs wholly on the calling thread, so the thread-local
-    // PacketPool's counter deltas are exactly this job's traffic.
-    const net::PacketPool::Stats pool0 = net::PacketPool::local().stats();
-    const std::uint64_t events0 = sim_->events().executed();
-    const auto t0 = std::chrono::steady_clock::now();
-
-    start();
+    beginRun();
     // Generous runaway guard: every iteration costs a bounded number
     // of events (packets dominate), with extra headroom for loss
     // recovery retransmissions.
@@ -286,14 +349,21 @@ JobBase::run()
                 std::to_string(global_iters_) + "/" +
                 std::to_string(cfg_.stop.max_iterations) +
                 " iterations (lost traffic never recovered?)";
+    return finishRun(std::move(error));
+}
 
+RunResult
+JobBase::finishRun(std::string error)
+{
     const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_t0_)
             .count();
     const net::PacketPool::Stats pool1 = net::PacketPool::local().stats();
     const auto events = static_cast<double>(sim_->events().executed() -
-                                            events0);
-    const auto sealed = static_cast<double>(pool1.sealed - pool0.sealed);
+                                            run_events0_);
+    const auto sealed =
+        static_cast<double>(pool1.sealed - run_pool_sealed0_);
 
     RunResult res;
     res.error = std::move(error);
@@ -314,12 +384,12 @@ JobBase::run()
         res.perf["packets_per_sec"] = sealed / wall_s;
     }
     const auto fresh_allocs =
-        static_cast<double>((pool1.packet_allocs - pool0.packet_allocs) +
-                            (pool1.float_allocs - pool0.float_allocs));
+        static_cast<double>((pool1.packet_allocs - run_pool_pallocs0_) +
+                            (pool1.float_allocs - run_pool_fallocs0_));
     res.perf["pool_allocs"] = fresh_allocs;
     res.perf["pool_reuses"] =
-        static_cast<double>((pool1.packet_reuses - pool0.packet_reuses) +
-                            (pool1.float_reuses - pool0.float_reuses));
+        static_cast<double>((pool1.packet_reuses - run_pool_preuse0_) +
+                            (pool1.float_reuses - run_pool_freuse0_));
     if (global_iters_ > 0)
         res.perf["allocs_per_iteration"] =
             fresh_allocs / static_cast<double>(global_iters_);
@@ -336,6 +406,32 @@ JobBase::collectExtras(RunResult &res) const
             static_cast<double>(pool.peakActiveSegments());
         res.extras["cached_results"] =
             static_cast<double>(cluster_.root->cachedResults());
+        // Slot-pool observability. Gated on the pool actually being
+        // shared or contended so a single-job bounded run with an
+        // ample pool reports the exact legacy key set (byte-identity
+        // of lossless reports).
+        if (pool.bounded() &&
+            (pool.partitioned() || pool.contentionEvents() > 0)) {
+            res.extras["slot_capacity"] =
+                static_cast<double>(pool.capacity());
+            res.extras["slot_quota"] =
+                static_cast<double>(pool.quotaFor(job_id_));
+            const core::SlotPoolStats js = pool.jobStats(job_id_);
+            res.extras["slot_accepted"] =
+                static_cast<double>(js.accepted);
+            res.extras["slot_completed"] =
+                static_cast<double>(js.completed);
+            res.extras["slot_stale_drops"] =
+                static_cast<double>(js.stale_drops);
+            res.extras["slot_busy_drops"] =
+                static_cast<double>(js.busy_drops);
+            res.extras["slot_unadmitted"] =
+                static_cast<double>(js.unadmitted);
+            res.extras["slot_reclaimed"] =
+                static_cast<double>(js.reclaimed);
+            res.extras["slot_contention_events"] =
+                static_cast<double>(pool.contentionEvents());
+        }
     }
     // Recovery/fault observability. Gated so lossless runs emit the
     // exact pre-existing key set (BENCH_*.json byte-identity).
@@ -387,6 +483,21 @@ makeJob(const JobConfig &cfg)
         return std::make_unique<SyncShardedPsJob>(cfg);
     }
     throw std::logic_error("makeJob: unknown strategy");
+}
+
+std::unique_ptr<JobBase>
+makeSharedJob(const JobConfig &cfg, const SharedWorld &world)
+{
+    switch (cfg.strategy) {
+      case StrategyKind::kSyncIswitch:
+        return std::make_unique<SyncIswitchJob>(cfg, world);
+      case StrategyKind::kAsyncIswitch:
+        return std::make_unique<AsyncIswitchJob>(cfg, world);
+      default:
+        throw std::invalid_argument(
+            "makeSharedJob: only the iSwitch strategies can share a "
+            "switch (PS/AllReduce never touch the aggregation plane)");
+    }
 }
 
 RunResult

@@ -13,6 +13,7 @@
 #ifndef ISW_DIST_STRATEGY_HH
 #define ISW_DIST_STRATEGY_HH
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -128,11 +129,31 @@ struct JobConfig
                                   std::size_t num_workers = 4);
 };
 
+/**
+ * A slice of a shared switch fabric handed to a job that coexists with
+ * other jobs on one Simulation (multi-job switch sharing, DESIGN.md
+ * §11). The job uses the fabric's switches and a contiguous range of
+ * its worker hosts instead of building its own cluster.
+ */
+struct SharedWorld
+{
+    sim::Simulation *sim = nullptr;
+    Cluster *fabric = nullptr;      ///< shared topology (owned elsewhere)
+    std::size_t worker_offset = 0;  ///< first worker host of this job
+    std::uint8_t job_id = 0;        ///< tag on every packet/member row
+    std::uint32_t slot_quota = 0;   ///< aggregator slots partitioned to us
+};
+
 /** Base class implementing the shared run machinery. */
 class JobBase
 {
   public:
     JobBase(const JobConfig &cfg);
+
+    /** Construct against a shared fabric instead of an owned world.
+     *  Fault plans and tree clusters are owned-mode only. */
+    JobBase(const JobConfig &cfg, const SharedWorld &world);
+
     virtual ~JobBase() = default;
 
     JobBase(const JobBase &) = delete;
@@ -141,8 +162,21 @@ class JobBase
     /** Execute the job to completion and collect results. */
     RunResult run();
 
+    /**
+     * Split-phase execution for shared-fabric scheduling: beginRun()
+     * snapshots counters and schedules the initial events; the caller
+     * drives the shared simulation; finishRun() assembles the result.
+     * run() is exactly beginRun + drive + finishRun for owned jobs.
+     */
+    void beginRun();
+    RunResult finishRun(std::string error);
+
+    /** Has this job met one of its stop conditions? */
+    bool finished() const { return stopped_; }
+
     sim::Simulation &simulation() { return *sim_; }
     const Cluster &cluster() const { return cluster_; }
+    const JobConfig &config() const { return cfg_; }
 
     /** Worker @p i's agent (inspection by tests and examples). */
     rl::Agent &workerAgent(std::size_t i);
@@ -226,8 +260,16 @@ class JobBase
     /** The attached fault injector, or nullptr. */
     net::FaultInjector *faultInjector() const { return injector_.get(); }
 
+    /** Job id stamped on this job's packets (0 for owned worlds). */
+    std::uint8_t jobId() const { return job_id_; }
+
+    /** Aggregator slots available to this job on the root switch
+     *  (0 = unbounded pool: no streaming window needed). */
+    std::uint32_t slotQuota() const { return slot_quota_; }
+
     JobConfig cfg_;
-    std::unique_ptr<sim::Simulation> sim_;
+    std::unique_ptr<sim::Simulation> owned_sim_; ///< owned-world storage
+    sim::Simulation *sim_ = nullptr; ///< the world (owned or shared)
     Cluster cluster_;
     std::vector<WorkerCtx> workers_;
 
@@ -240,16 +282,37 @@ class JobBase
     RecoveryStats recovery_;
 
   private:
+    void initWorkers();
+    void resolveRetx();
     void checkStop();
     void installFaults();
 
     std::unique_ptr<net::FaultInjector> injector_;
     RetransmitPolicy retx_; ///< resolved policy (timeout never 0)
     bool recovery_on_ = false;
+    std::uint8_t job_id_ = 0;
+    std::uint32_t slot_quota_ = 0;
+
+    /** beginRun() snapshots, consumed by finishRun(). */
+    std::uint64_t run_pool_sealed0_ = 0;
+    std::uint64_t run_pool_pallocs0_ = 0;
+    std::uint64_t run_pool_fallocs0_ = 0;
+    std::uint64_t run_pool_preuse0_ = 0;
+    std::uint64_t run_pool_freuse0_ = 0;
+    std::uint64_t run_events0_ = 0;
+    std::chrono::steady_clock::time_point run_t0_;
 };
 
 /** Construct the right Job subclass for @p cfg. */
 std::unique_ptr<JobBase> makeJob(const JobConfig &cfg);
+
+/**
+ * Construct a job against a shared switch fabric (multi-job switch
+ * sharing). Only the iSwitch strategies can share a switch; anything
+ * else throws std::invalid_argument.
+ */
+std::unique_ptr<JobBase> makeSharedJob(const JobConfig &cfg,
+                                       const SharedWorld &world);
 
 /** Convenience: build, run, destroy. */
 RunResult runJob(const JobConfig &cfg);

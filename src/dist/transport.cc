@@ -10,7 +10,8 @@ void
 sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
            std::uint16_t src_port, std::uint8_t tos,
            std::uint64_t transfer_id, std::span<const float> logical,
-           const WireFormat &fmt, std::uint64_t seg_base)
+           const WireFormat &fmt, std::uint64_t seg_base, std::uint8_t job,
+           std::uint32_t ver_quota)
 {
     auto &pool = net::PacketPool::local();
     const std::uint64_t segs = fmt.segments();
@@ -18,6 +19,10 @@ sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
         net::ChunkPayload chunk;
         chunk.transfer_id = transfer_id;
         chunk.seg = seg_base + seg;
+        chunk.job = job;
+        if (ver_quota != 0)
+            chunk.ver = static_cast<std::uint8_t>(
+                (chunk.seg / ver_quota) & 1);
         chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
         const std::uint64_t begin = seg * core::kFloatsPerSeg;
         if (begin < logical.size()) {
@@ -37,11 +42,16 @@ sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
                   std::uint16_t dst_port, std::uint16_t src_port,
                   std::uint8_t tos, std::uint64_t transfer_id,
                   std::span<const float> logical, const WireFormat &fmt,
-                  std::uint64_t seg, std::uint64_t seg_base)
+                  std::uint64_t seg, std::uint64_t seg_base,
+                  std::uint8_t job, std::uint32_t ver_quota)
 {
     net::ChunkPayload chunk;
     chunk.transfer_id = transfer_id;
     chunk.seg = seg_base + seg;
+    chunk.job = job;
+    if (ver_quota != 0)
+        chunk.ver =
+            static_cast<std::uint8_t>((chunk.seg / ver_quota) & 1);
     chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
     const std::uint64_t begin = seg * core::kFloatsPerSeg;
     if (begin < logical.size()) {
@@ -153,8 +163,13 @@ RetxTimer::fire()
         resend_ = nullptr;
         return;
     }
-    cur_timeout_ = static_cast<sim::TimeNs>(
-        static_cast<double>(cur_timeout_) * policy_->backoff);
+    // Clamp before the cast: timeout * backoff^n overflows TimeNs long
+    // before the retry cap for aggressive backoff factors, and the
+    // wrapped value would schedule the retry nonsensically.
+    const double next =
+        static_cast<double>(cur_timeout_) * policy_->backoff;
+    const double cap = static_cast<double>(policy_->max_timeout);
+    cur_timeout_ = static_cast<sim::TimeNs>(next < cap ? next : cap);
     schedule();
 }
 
@@ -164,6 +179,7 @@ VectorAssembler::reset(WireFormat fmt)
     fmt_ = fmt;
     data_.assign(fmt_.logical_floats, 0.0f);
     seen_.clear();
+    first_missing_ = 0;
 }
 
 void
@@ -171,6 +187,7 @@ VectorAssembler::reset()
 {
     data_.assign(fmt_.logical_floats, 0.0f);
     seen_.clear();
+    first_missing_ = 0;
 }
 
 bool
@@ -181,6 +198,8 @@ VectorAssembler::offer(const net::ChunkPayload &chunk, std::uint64_t seg_base)
         return false; // not ours / malformed
     if (!seen_.insert(seg).second)
         return false; // duplicate
+    while (seen_.count(first_missing_) != 0)
+        ++first_missing_; // advance the contiguous-prefix watermark
     const std::uint64_t begin = seg * core::kFloatsPerSeg;
     for (std::size_t i = 0;
          i < chunk.values.size() && begin + i < data_.size(); ++i) {

@@ -66,23 +66,30 @@ struct WireFormat
  * All segments are posted back-to-back; link serialization paces them.
  * @param seg_base Added to each segment index (AllReduce uses it to
  *        address chunk ranges of the full vector).
+ * @param job Job id stamped into each chunk (multi-job switch sharing).
+ * @param ver_quota When nonzero, each chunk carries the slot-reuse
+ *        version bit ((seg_base+seg)/ver_quota)&1 so a bounded switch
+ *        pool can tell apart successive occupants of one slot.
  */
 void sendVector(net::Host &host, net::Ipv4Addr dst_ip,
                 std::uint16_t dst_port, std::uint16_t src_port,
                 std::uint8_t tos, std::uint64_t transfer_id,
                 std::span<const float> logical, const WireFormat &fmt,
-                std::uint64_t seg_base = 0);
+                std::uint64_t seg_base = 0, std::uint8_t job = 0,
+                std::uint32_t ver_quota = 0);
 
 /**
  * Enqueue a single segment of a vector (loss-recovery resends).
  * @p seg is the segment offset within @p fmt; the packet carries
- * seg_base + seg like sendVector would.
+ * seg_base + seg like sendVector would. @p job / @p ver_quota as in
+ * sendVector.
  */
 void sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
                        std::uint16_t dst_port, std::uint16_t src_port,
                        std::uint8_t tos, std::uint64_t transfer_id,
                        std::span<const float> logical, const WireFormat &fmt,
-                       std::uint64_t seg, std::uint64_t seg_base = 0);
+                       std::uint64_t seg, std::uint64_t seg_base = 0,
+                       std::uint8_t job = 0, std::uint32_t ver_quota = 0);
 
 /**
  * Knobs of the universal retransmission layer (DESIGN.md §10): a
@@ -96,6 +103,14 @@ struct RetransmitPolicy
     double backoff = 2.0;
     /** Retry cap; 0 disables recovery entirely. */
     std::uint32_t max_retries = 12;
+    /**
+     * Ceiling on the backed-off timeout. Without it, timeout *
+     * backoff^retries overflows sim::TimeNs for large retry caps
+     * (e.g. 2.0^63 already wraps a 20 ms base) and the wrapped value
+     * schedules the "retry" in the past or absurdly far out. 5 sim
+     * minutes is beyond any legitimate round time.
+     */
+    sim::TimeNs max_timeout = 300 * sim::kSec;
 };
 
 /** Deterministic recovery counters, exported via RunResult::extras. */
@@ -207,10 +222,18 @@ class VectorAssembler
     /** Segments not yet received (loss recovery). */
     std::vector<std::uint64_t> missingSegments() const;
 
+    /**
+     * Smallest segment index not yet received (== segments() once
+     * complete). The sliding sender window of the bounded-slot
+     * streaming mode is anchored here (DESIGN.md §11).
+     */
+    std::uint64_t firstMissing() const { return first_missing_; }
+
   private:
     WireFormat fmt_;
     std::vector<float> data_;
     std::unordered_set<std::uint64_t> seen_;
+    std::uint64_t first_missing_ = 0;
 };
 
 /**

@@ -110,7 +110,11 @@ SpecKey::of(const dist::JobConfig &cfg)
     kb.d(c.accel.clock_hz);
     kb.u(c.accel.burst_bytes);
     kb.u(c.accel.fixed_latency);
+    kb.u(c.accel.num_slots);
     kb.u(c.switch_cfg.forwarding_latency);
+    kb.u(c.worker_jobs.size());
+    for (const std::uint8_t j : c.worker_jobs)
+        kb.u(j);
 
     kb.u(cfg.use_tree ? 1 : 0);
     kb.u(cfg.seed);
@@ -126,6 +130,7 @@ SpecKey::of(const dist::JobConfig &cfg)
     kb.u(cfg.retx.timeout);
     kb.d(cfg.retx.backoff);
     kb.u(cfg.retx.max_retries);
+    kb.u(cfg.retx.max_timeout);
 
     const net::FaultPlan &f = cfg.faults;
     kb.d(f.ge.p_good_to_bad);
@@ -459,6 +464,11 @@ configToJson(const dist::JobConfig &cfg)
     v["agg_threshold"] = static_cast<std::uint64_t>(cfg.agg_threshold);
     v["curve_every"] = static_cast<std::uint64_t>(cfg.curve_every);
     v["edge_bandwidth_bps"] = cfg.cluster.edge_link.bandwidth_bps;
+    // Conditional: absent on unbounded-pool configs so pre-slot-pool
+    // reports stay byte-identical.
+    if (cfg.cluster.accel.num_slots > 0)
+        v["num_slots"] =
+            static_cast<std::uint64_t>(cfg.cluster.accel.num_slots);
     json::Value stop = json::Value::object();
     stop["max_iterations"] = cfg.stop.max_iterations;
     if (cfg.stop.hasTarget())

@@ -18,6 +18,7 @@ actionName(Action a)
       case Action::kHelp: return "Help";
       case Action::kHalt: return "Halt";
       case Action::kAck: return "Ack";
+      case Action::kNack: return "Nack";
     }
     return "?";
 }

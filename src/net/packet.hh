@@ -73,7 +73,9 @@ constexpr std::uint8_t kTosControl = 0xC0;
 constexpr std::uint8_t kTosData = 0xC4;
 constexpr std::uint8_t kTosResult = 0xC8;
 
-/** iSwitch control actions (paper Table 2). */
+/** iSwitch control actions (paper Table 2, plus the slot-pool Nack
+ *  extension: the switch rejects a contribution whose aggregator slot
+ *  is still busy with an older segment — DESIGN.md §11). */
 enum class Action : std::uint8_t {
     kJoin = 1,
     kLeave,
@@ -83,6 +85,7 @@ enum class Action : std::uint8_t {
     kHelp,
     kHalt,
     kAck,
+    kNack,
 };
 
 /** Printable name of a control action. */
@@ -109,6 +112,15 @@ struct ChunkPayload
     std::uint64_t transfer_id = 0; ///< vector/round id (0 on iSwitch plane)
     std::uint64_t seg = 0;         ///< spatial offset index (Figure 5b)
     std::uint32_t wire_floats = 0; ///< float slots charged on the wire
+    /**
+     * Multi-job extension (DESIGN.md §11): job id and slot-reuse
+     * version bit. Both ride the upper bits of the 8-byte Seg word on
+     * the wire (core::packSegWord), so the packet layout and byte
+     * count are unchanged and a (job=0, ver=0) packet is bit-identical
+     * to the pre-extension format.
+     */
+    std::uint8_t job = 0; ///< owning training job (0 = sole job)
+    std::uint8_t ver = 0; ///< slot-reuse cycle parity (0 when unused)
     std::vector<float> values;     ///< logical data (size <= wire_floats)
 
     /** Bytes of UDP payload this chunk occupies. */

@@ -77,6 +77,7 @@ struct ControlFixture : ::testing::Test
     std::vector<std::uint64_t> cleared;
     bool cache_hit = false;
     int membership_changes = 0;
+    std::vector<Member> left;
 
     ControlPlane plane{ControlPlane::Hooks{
         .send_control =
@@ -95,6 +96,7 @@ struct ControlFixture : ::testing::Test
         .clear_segment =
             [this](std::uint64_t seg) { cleared.push_back(seg); },
         .membership_changed = [this] { ++membership_changes; },
+        .member_left = [this](const Member &m) { left.push_back(m); },
     }};
 
     ControlPayload
@@ -242,6 +244,65 @@ TEST_F(ControlFixture, AckIsTerminal)
 {
     plane.handle(Ipv4Addr(1, 1, 1, 1), 50, msg(Action::kAck, 1));
     EXPECT_TRUE(sent.empty());
+}
+
+TEST_F(ControlFixture, DuplicateJoinIsIdempotent)
+{
+    // A retransmitted Join (same ip/port/type/job) must be Acked but
+    // must NOT fire a spurious membership recompute: mid-round, a
+    // recompute would re-derive the aggregation threshold and could
+    // tear down in-flight per-job partial sums.
+    const auto join = msg(Action::kJoin,
+                          encodeJoinValue(9999, MemberType::kWorker));
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50, join);
+    EXPECT_EQ(membership_changes, 1);
+    ASSERT_EQ(sent.size(), 1u);
+
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50, join);
+    EXPECT_EQ(plane.table().size(), 1u);
+    EXPECT_EQ(membership_changes, 1); // no spurious recompute
+    ASSERT_EQ(sent.size(), 2u);       // still Acked (sender unblocks)
+    EXPECT_EQ(sent[1].second.action, Action::kAck);
+    EXPECT_EQ(sent[1].second.value, 1u);
+
+    // A Join that actually changes the row (new port) does recompute.
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin,
+                     encodeJoinValue(8888, MemberType::kWorker)));
+    EXPECT_EQ(membership_changes, 2);
+}
+
+TEST(JoinValue, PacksJobId)
+{
+    const auto v = encodeJoinValue(9999, MemberType::kWorker, 7);
+    EXPECT_EQ(joinValuePort(v), 9999);
+    EXPECT_EQ(joinValueType(v), MemberType::kWorker);
+    EXPECT_EQ(joinValueJob(v), 7);
+    // Default job is 0 — the legacy encoding is unchanged.
+    EXPECT_EQ(joinValueJob(encodeJoinValue(9999, MemberType::kWorker)), 0);
+}
+
+TEST_F(ControlFixture, JoinCarriesJobTag)
+{
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin,
+                     encodeJoinValue(9999, MemberType::kWorker, 3)));
+    ASSERT_TRUE(plane.table().find(Ipv4Addr(10, 0, 0, 2)).has_value());
+    EXPECT_EQ(plane.table().find(Ipv4Addr(10, 0, 0, 2))->job, 3);
+}
+
+TEST_F(ControlFixture, LeaveReportsTheDepartedMember)
+{
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50,
+                 msg(Action::kJoin,
+                     encodeJoinValue(9999, MemberType::kWorker, 2)));
+    plane.handle(Ipv4Addr(10, 0, 0, 2), 50, msg(Action::kLeave, 0, false));
+    ASSERT_EQ(left.size(), 1u);
+    EXPECT_EQ(left[0].ip, Ipv4Addr(10, 0, 0, 2));
+    EXPECT_EQ(left[0].job, 2);
+    // Unknown-member Leave must not fire the hook.
+    plane.handle(Ipv4Addr(9, 9, 9, 9), 50, msg(Action::kLeave, 0, false));
+    EXPECT_EQ(left.size(), 1u);
 }
 
 } // namespace

@@ -138,5 +138,61 @@ TEST_P(ProtocolRoundTrip, RandomDataPayloads)
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTrip,
                          ::testing::Range(0, 20));
 
+TEST(SegWord, PacksAndUnpacks)
+{
+    const std::uint64_t w = packSegWord(0x123456789ABCULL, 7, 1);
+    EXPECT_EQ(segWordIndex(w), 0x123456789ABCULL);
+    EXPECT_EQ(segWordJob(w), 7);
+    EXPECT_EQ(segWordVer(w), 1);
+    // (job 0, ver 0) packs to the bare segment index: the multi-job
+    // Seg word is byte-identical to the legacy single-job format.
+    EXPECT_EQ(packSegWord(42), 42u);
+    EXPECT_EQ(packSegWord(42, 0, 0), 42u);
+    // The version bit is taken modulo 2.
+    EXPECT_EQ(segWordVer(packSegWord(0, 0, 3)), 1);
+}
+
+TEST(SegWord, FieldsDoNotOverlap)
+{
+    const std::uint64_t w = packSegWord(kSegWordIndexMask, 0xFF, 1);
+    EXPECT_EQ(segWordIndex(w), kSegWordIndexMask);
+    EXPECT_EQ(segWordJob(w), 0xFF);
+    EXPECT_EQ(segWordVer(w), 1);
+    EXPECT_EQ(segWordJob(packSegWord(kSegWordIndexMask, 0, 1)), 0);
+    EXPECT_EQ(segWordVer(packSegWord(kSegWordIndexMask, 0xFF, 0)), 0);
+}
+
+TEST(Protocol, DataRoundTripsJobAndVersion)
+{
+    net::ChunkPayload d;
+    d.seg = 1234;
+    d.job = 5;
+    d.ver = 1;
+    d.wire_floats = 2;
+    d.values = {1.5f, -2.5f};
+    const auto back = decodeData(encodeData(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->seg, 1234u);
+    EXPECT_EQ(back->job, 5);
+    EXPECT_EQ(back->ver, 1);
+    EXPECT_EQ(back->values[0], 1.5f);
+    EXPECT_EQ(back->values[1], -2.5f);
+}
+
+TEST(Protocol, LegacyJobZeroBytesUnchanged)
+{
+    // A (job 0, ver 0) data packet's bytes must equal the pre-sharing
+    // wire format: the first 8 bytes are the bare segment index.
+    net::ChunkPayload d;
+    d.seg = 77;
+    d.wire_floats = 1;
+    d.values = {0.0f};
+    const auto bytes = encodeData(d);
+    ASSERT_GE(bytes.size(), 8u);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(bytes[static_cast<std::size_t>(i)], 0u);
+    EXPECT_EQ(bytes[7], 77u);
+}
+
 } // namespace
 } // namespace isw::core

@@ -182,5 +182,199 @@ TEST(SegBufferPool, ClearThenReuse)
     EXPECT_FLOAT_EQ(pool.harvest(3).acc[0], 4.0f);
 }
 
+// ---------------------------------------------------------------------
+// Bounded (SwitchML-style) slot-pool mode.
+
+net::ChunkPayload
+jobChunk(std::uint64_t seg, std::uint8_t job, std::uint8_t ver,
+         std::vector<float> vals)
+{
+    net::ChunkPayload c = chunk(seg, std::move(vals));
+    c.job = job;
+    c.ver = ver;
+    return c;
+}
+
+TEST(BoundedSlotPool, StreamsTensorLargerThanPool)
+{
+    // 4 slots, 16-segment tensor, 2 workers, in-order delivery: every
+    // segment completes through direct-mapped slot reuse and active
+    // occupancy never exceeds the configured capacity.
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    EXPECT_TRUE(pool.bounded());
+    for (std::uint64_t seg = 0; seg < 16; ++seg) {
+        const auto ver = static_cast<std::uint8_t>((seg / 4) & 1);
+        EXPECT_EQ(pool.offer(jobChunk(seg, 0, ver, {1}), 2, 1, true),
+                  SlotOutcome::kAccepted);
+        EXPECT_EQ(pool.offer(jobChunk(seg, 0, ver, {1}), 2, 2, true),
+                  SlotOutcome::kCompleted);
+        EXPECT_FLOAT_EQ(pool.harvest(packSegWord(seg)).acc[0], 2.0f);
+    }
+    EXPECT_LE(pool.peakActiveSegments(), 4u);
+    EXPECT_EQ(pool.jobStats(0).completed, 16u);
+    EXPECT_EQ(pool.contentionEvents(), 0u);
+}
+
+TEST(BoundedSlotPool, GhostDuplicateOfCompletedSegIsStale)
+{
+    // A duplicate of an already-harvested segment must not re-claim
+    // the slot (it would wait forever for contributors that already
+    // finished and deadlock the stream).
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 2, true);
+    pool.harvest(packSegWord(0));
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true),
+              SlotOutcome::kStale);
+    EXPECT_EQ(pool.activeSegments(), 0u);
+    EXPECT_EQ(pool.jobStats(0).stale_drops, 1u);
+}
+
+TEST(BoundedSlotPool, VersionBitSeparatesSlotReuseCycles)
+{
+    // seg 0 and seg 4 share slot 0 of a 4-slot pool but carry opposite
+    // version bits; a straggling seg-0 packet arriving while seg 4
+    // owns the slot must not pollute seg 4's sum.
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 2, true);
+    pool.harvest(packSegWord(0));
+    pool.offer(jobChunk(4, 0, 1, {10}), 2, 1, true);
+    // Ghost of seg 0 (older seg, same slot): stale, occupant unharmed.
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {99}), 2, 2, true),
+              SlotOutcome::kStale);
+    // Same segment index but the opposite reuse-cycle version bit:
+    // a different occupancy generation — must not mix in.
+    EXPECT_EQ(pool.offer(jobChunk(4, 0, 0, {99}), 2, 2, true),
+              SlotOutcome::kStale);
+    EXPECT_EQ(pool.offer(jobChunk(4, 0, 1, {10}), 2, 2, true),
+              SlotOutcome::kCompleted);
+    EXPECT_FLOAT_EQ(pool.harvest(packSegWord(4)).acc[0], 20.0f);
+    EXPECT_EQ(pool.jobStats(0).stale_drops, 2u);
+}
+
+TEST(BoundedSlotPool, NewerSegmentBouncesOffBusySlot)
+{
+    // Worker skew: seg 4 arrives while seg 0 (same slot) is still
+    // aggregating. The newer segment is Nacked (busy), the occupant
+    // unharmed.
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true);
+    EXPECT_EQ(pool.offer(jobChunk(4, 0, 1, {5}), 2, 2, true),
+              SlotOutcome::kBusy);
+    EXPECT_EQ(pool.count(packSegWord(0)), 1u);
+    EXPECT_EQ(pool.jobStats(0).busy_drops, 1u);
+    // The occupant still completes normally.
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {1}), 2, 2, true),
+              SlotOutcome::kCompleted);
+}
+
+TEST(BoundedSlotPool, DuplicateWhileInFlightIsDeduped)
+{
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.offer(jobChunk(3, 0, 0, {1}), 3, 1, true);
+    EXPECT_EQ(pool.offer(jobChunk(3, 0, 0, {1}), 3, 1, true),
+              SlotOutcome::kDuplicate);
+    EXPECT_EQ(pool.count(packSegWord(3)), 1u);
+    EXPECT_EQ(pool.jobStats(0).duplicates, 1u);
+}
+
+TEST(BoundedSlotPool, PartitionsIsolateJobsAndRunAdmission)
+{
+    // Two jobs, 2 slots each. Same segment indices never collide
+    // across jobs; a job without a partition is dropped and counted.
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.setJobPartition(1, 0, 2);
+    pool.setJobPartition(2, 2, 2);
+    EXPECT_TRUE(pool.partitioned());
+    EXPECT_EQ(pool.quotaFor(1), 2u);
+    EXPECT_EQ(pool.quotaFor(3), 0u);
+
+    EXPECT_EQ(pool.offer(jobChunk(0, 1, 0, {1}), 1, 1, true),
+              SlotOutcome::kCompleted);
+    EXPECT_EQ(pool.offer(jobChunk(0, 2, 0, {7}), 1, 1, true),
+              SlotOutcome::kCompleted);
+    EXPECT_FLOAT_EQ(pool.harvest(packSegWord(0, 1)).acc[0], 1.0f);
+    EXPECT_FLOAT_EQ(pool.harvest(packSegWord(0, 2)).acc[0], 7.0f);
+
+    EXPECT_EQ(pool.offer(jobChunk(0, 3, 0, {1}), 1, 1, true),
+              SlotOutcome::kUnadmitted);
+    EXPECT_EQ(pool.jobStats(3).unadmitted, 1u);
+    EXPECT_GE(pool.contentionEvents(), 1u);
+}
+
+TEST(BoundedSlotPool, PartitionValidation)
+{
+    SegBufferPool unbounded;
+    EXPECT_THROW(unbounded.setJobPartition(1, 0, 2), std::logic_error);
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    EXPECT_THROW(pool.setJobPartition(1, 2, 3), std::invalid_argument);
+    EXPECT_THROW(pool.setJobPartition(1, 0, 0), std::invalid_argument);
+}
+
+TEST(BoundedSlotPool, ReclaimFromDropsCrashedWorkersPartials)
+{
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    pool.offer(jobChunk(0, 0, 0, {1}), 3, /*src=*/11, true);
+    pool.offer(jobChunk(1, 0, 0, {1}), 3, /*src=*/11, true);
+    pool.offer(jobChunk(2, 0, 0, {1}), 3, /*src=*/22, true);
+    EXPECT_EQ(pool.reclaimFrom(11), 2u);
+    EXPECT_EQ(pool.activeSegments(), 1u);
+    EXPECT_EQ(pool.jobStats(0).reclaimed, 2u);
+    // The reclaimed segments stay admissible (floor untouched): the
+    // surviving workers' resends can still complete them.
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {2}), 1, /*src=*/22, true),
+              SlotOutcome::kCompleted);
+    EXPECT_FLOAT_EQ(pool.harvest(packSegWord(0)).acc[0], 2.0f);
+}
+
+TEST(SegBufferPool, ReclaimFromUnboundedPool)
+{
+    SegBufferPool pool;
+    pool.offer(chunk(5, {1}), 3, /*src=*/7, true);
+    pool.offer(chunk(9, {1}), 3, /*src=*/8, true);
+    EXPECT_EQ(pool.reclaimFrom(7), 1u);
+    EXPECT_FALSE(pool.has(5));
+    EXPECT_TRUE(pool.has(9));
+    EXPECT_EQ(pool.jobStats(0).reclaimed, 1u);
+}
+
+TEST(BoundedSlotPool, HarvestPartialLeavesSegmentAdmissible)
+{
+    // Recovery drop (clear_segment / harvestPartial): the floor must
+    // NOT advance, so the retransmitted segment can be rebuilt.
+    SegBufferPool pool;
+    pool.setCapacity(2);
+    pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true);
+    pool.harvest(packSegWord(0), /*completed=*/false);
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {1}), 2, 1, true),
+              SlotOutcome::kAccepted);
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {1}), 2, 2, true),
+              SlotOutcome::kCompleted);
+}
+
+TEST(BoundedSlotPool, UnorderedTrafficSkipsFloor)
+{
+    // Async traffic (dedupe off) legitimately reuses segment indices
+    // across iterations: completing seg 0 must not blacklist the next
+    // iteration's seg 0.
+    SegBufferPool pool;
+    pool.setCapacity(4);
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {1}), 1), //
+              SlotOutcome::kCompleted);
+    pool.harvest(packSegWord(0));
+    EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {2}), 1),
+              SlotOutcome::kCompleted);
+    EXPECT_FLOAT_EQ(pool.harvest(packSegWord(0)).acc[0], 2.0f);
+}
+
 } // namespace
 } // namespace isw::core

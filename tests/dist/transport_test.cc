@@ -216,5 +216,79 @@ TEST(SendVector, WirePaddingTransmitsFullSize)
     EXPECT_GT(l.bytesCarried(), 3 * 1400u);
 }
 
+TEST(VectorAssembler, FirstMissingTracksContiguousPrefix)
+{
+    const WireFormat fmt = WireFormat::forVector(0, 5 * 366 * 4, true);
+    std::vector<float> data;
+    VectorAssembler rx(fmt);
+    EXPECT_EQ(rx.firstMissing(), 0u);
+    rx.offer(chunkOf(fmt, data, 0));
+    EXPECT_EQ(rx.firstMissing(), 1u);
+    rx.offer(chunkOf(fmt, data, 2)); // gap at 1
+    EXPECT_EQ(rx.firstMissing(), 1u);
+    rx.offer(chunkOf(fmt, data, 1)); // gap closes: skips past 2
+    EXPECT_EQ(rx.firstMissing(), 3u);
+    rx.offer(chunkOf(fmt, data, 3));
+    rx.offer(chunkOf(fmt, data, 4));
+    EXPECT_EQ(rx.firstMissing(), fmt.segments());
+    rx.reset();
+    EXPECT_EQ(rx.firstMissing(), 0u);
+}
+
+TEST(RetxTimer, BackoffClampsAtMaxTimeout)
+{
+    // Regression: timeout * backoff^n used to overflow TimeNs and
+    // schedule the "retry" in the past. The backed-off interval must
+    // saturate at max_timeout, exactly from the cap boundary on.
+    sim::Simulation sim(1);
+    RetransmitPolicy p;
+    p.timeout = 10 * sim::kMsec;
+    p.backoff = 1000.0;
+    p.max_retries = 4;
+    p.max_timeout = 50 * sim::kMsec;
+    RecoveryStats stats;
+    RetxTimer t;
+    t.configure(sim, p, stats);
+    std::vector<sim::TimeNs> fires;
+    t.arm([&]() -> std::size_t {
+        fires.push_back(sim.now());
+        return 1; // work always remains: drive to the retry cap
+    });
+    sim.run();
+    ASSERT_EQ(fires.size(), 4u);
+    EXPECT_EQ(fires[0], 10 * sim::kMsec);
+    // 10ms * 1000 would be 10s; every later interval is the cap.
+    EXPECT_EQ(fires[1] - fires[0], 50 * sim::kMsec);
+    EXPECT_EQ(fires[2] - fires[1], 50 * sim::kMsec);
+    EXPECT_EQ(fires[3] - fires[2], 50 * sim::kMsec);
+    EXPECT_EQ(stats.gave_up, 1u);
+}
+
+TEST(RetxTimer, ExtremeRetryCapStaysMonotonic)
+{
+    // With the default 300 s cap, 2^n growth over a large retry budget
+    // stays finite and strictly monotonic (pre-clamp this wrapped).
+    sim::Simulation sim(1);
+    RetransmitPolicy p;
+    p.timeout = 20 * sim::kMsec;
+    p.backoff = 2.0;
+    p.max_retries = 80;
+    RecoveryStats stats;
+    RetxTimer t;
+    t.configure(sim, p, stats);
+    std::vector<sim::TimeNs> fires;
+    t.arm([&]() -> std::size_t {
+        fires.push_back(sim.now());
+        return 1;
+    });
+    sim.run();
+    ASSERT_EQ(fires.size(), 80u);
+    for (std::size_t i = 1; i < fires.size(); ++i) {
+        EXPECT_GT(fires[i], fires[i - 1]);
+        EXPECT_LE(fires[i] - fires[i - 1], p.max_timeout);
+    }
+    EXPECT_EQ(stats.gave_up, 1u);
+}
+
 } // namespace
 } // namespace isw::dist
