@@ -53,14 +53,18 @@ ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
                   // crashed worker can't pin aggregator slots (and
                   // inflate peak occupancy) until round end.
                   const std::size_t n = accel_.reclaimFrom(m.ip.bits());
-                  if (n != 0) {
-                      sim_.stats()
-                          .counter("iswitch." + this->name() + ".reclaimed")
-                          .inc(n);
-                  }
+                  if (n != 0)
+                      counters_.reclaimed.inc(n);
               },
       }),
-      mac_(net::MacAddr(0x02EE'0000'0000ULL | cfg.ip.bits()))
+      mac_(net::MacAddr(0x02EE'0000'0000ULL | cfg.ip.bits())),
+      counters_{
+          s.stats().counter("iswitch." + this->name() + ".data_in"),
+          s.stats().counter("iswitch." + this->name() + ".ctrl_in"),
+          s.stats().counter("iswitch." + this->name() + ".segs_done"),
+          s.stats().counter("iswitch." + this->name() + ".nacks"),
+          s.stats().counter("iswitch." + this->name() + ".reclaimed"),
+      }
 {
     accel_.setEmit([this](std::uint64_t key, SegState sum) {
         onEmit(key, std::move(sum));
@@ -115,7 +119,7 @@ ProgrammableSwitch::interceptIngress(const net::PacketPtr &pkt,
         // every iSwitch hop on the path folds tagged gradients in.
         if (std::holds_alternative<net::ChunkPayload>(pkt->payload)) {
             accel_.ingest(pkt);
-            sim_.stats().counter("iswitch." + name() + ".data_in").inc();
+            counters_.data_in.inc();
         }
         return true;
       }
@@ -142,7 +146,7 @@ void
 ProgrammableSwitch::onControl(const net::PacketPtr &pkt)
 {
     if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
-        sim_.stats().counter("iswitch." + name() + ".ctrl_in").inc();
+        counters_.ctrl_in.inc();
         ctrl_.handle(pkt->ip.src, pkt->udp.src_port, *c);
     }
 }
@@ -189,7 +193,7 @@ ProgrammableSwitch::pruneCache(std::uint64_t latest_key)
 void
 ProgrammableSwitch::onEmit(std::uint64_t key, SegState sum)
 {
-    sim_.stats().counter("iswitch." + name() + ".segs_done").inc();
+    counters_.segs_done.inc();
     if (!isRoot()) {
         // Forward the partial aggregate upward as a new contribution.
         net::Packet pkt;
@@ -260,7 +264,7 @@ ProgrammableSwitch::sendNack(std::uint8_t job, std::uint64_t seg,
     msg.action = net::Action::kNack;
     msg.has_value = true;
     msg.value = packSegWord(seg, job);
-    sim_.stats().counter("iswitch." + name() + ".nacks").inc();
+    counters_.nacks.inc();
     sendControlTo(*m, msg);
 }
 

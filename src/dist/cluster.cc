@@ -1,5 +1,6 @@
 #include "dist/cluster.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace isw::dist {
@@ -93,6 +94,8 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
             "tor" + std::to_string(r), cfg.per_rack + 2, tor_cfg);
         c.leaves.push_back(tor);
 
+        tor->setDomain(static_cast<sim::DomainId>(r + 1));
+
         std::size_t used = 0;
         for (; used < cfg.per_rack && next_worker < cfg.num_workers;
              ++used, ++next_worker) {
@@ -100,6 +103,7 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
                 "worker" + std::to_string(next_worker),
                 net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(r),
                               static_cast<std::uint8_t>(2 + used)));
+            h->setDomain(static_cast<sim::DomainId>(r + 1));
             c.topo->connectHost(h, tor, used, cfg.edge_link);
             tor->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker);
             c.workers.push_back(h);
@@ -117,10 +121,130 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
             throw std::invalid_argument(
                 "buildTreeCluster: sharded PS is star-only");
         c.ps = c.topo->addHost("ps", net::Ipv4Addr(10, 0, 254, 2));
+        c.ps->setDomain(1); // rack 0's domain, where it attaches
         c.topo->connectHost(c.ps, c.leaves[0], cfg.per_rack + 1,
                             cfg.edge_link);
         c.ps_shards.push_back(c.ps);
     }
+
+    // Shard plan: one domain per rack + domain 0 for the core. The
+    // only links crossing domains are the ToR uplinks.
+    c.sim_domains = racks + 1;
+    c.domain_lookahead = cfg.uplink.propagation;
+    return c;
+}
+
+Cluster
+buildFatTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
+{
+    if (cfg.per_rack == 0)
+        throw std::invalid_argument("buildFatTreeCluster: per_rack == 0");
+    if (cfg.per_rack > 250)
+        throw std::invalid_argument(
+            "buildFatTreeCluster: per_rack exceeds the 10.0.rack.x "
+            "address plan");
+    if (cfg.racks_per_pod == 0)
+        throw std::invalid_argument(
+            "buildFatTreeCluster: racks_per_pod == 0");
+    Cluster c;
+    c.topo = std::make_unique<net::Topology>(s);
+    c.workersPerRack = cfg.per_rack;
+    const std::size_t racks =
+        (cfg.num_workers + cfg.per_rack - 1) / cfg.per_rack;
+    if (racks > 250)
+        throw std::invalid_argument(
+            "buildFatTreeCluster: too many racks for the 10.0.rack.x "
+            "address plan");
+    const std::size_t pods =
+        (racks + cfg.racks_per_pod - 1) / cfg.racks_per_pod;
+
+    core::ProgrammableSwitchConfig core_cfg;
+    core_cfg.base = cfg.switch_cfg;
+    core_cfg.accel = cfg.accel;
+    core_cfg.ip = net::Ipv4Addr(10, 1, 255, 1);
+    core_cfg.udp_port = kSwitchPort;
+    auto *root = c.topo->addSwitch<core::ProgrammableSwitch>("core", pods,
+                                                             core_cfg);
+    c.root = root;
+
+    // AGG layer first: each pod's AGG joins the core as a kSwitch
+    // member, so the core's auto-threshold H = number of pods. Wiring
+    // the AGG uplinks before any ToR/host lets the subtree-route
+    // propagation in connectHost/connectSwitches reach the core.
+    for (std::size_t p = 0; p < pods; ++p) {
+        const std::size_t pod_racks =
+            std::min(cfg.racks_per_pod, racks - p * cfg.racks_per_pod);
+        core::ProgrammableSwitchConfig agg_cfg;
+        agg_cfg.base = cfg.switch_cfg;
+        agg_cfg.accel = cfg.accel;
+        agg_cfg.ip = net::Ipv4Addr(10, 1, static_cast<std::uint8_t>(p), 1);
+        agg_cfg.udp_port = kSwitchPort;
+        agg_cfg.parent = core_cfg.ip;
+        agg_cfg.parent_port = kSwitchPort;
+        auto *agg = c.topo->addSwitch<core::ProgrammableSwitch>(
+            "agg" + std::to_string(p), pod_racks + 1, agg_cfg);
+        c.topo->connectSwitches(agg, pod_racks, root, p, cfg.core_link);
+        root->addRoute(agg->ip(), p);
+        root->adminJoin(agg->ip(), kSwitchPort, core::MemberType::kSwitch);
+        c.aggs.push_back(agg);
+    }
+
+    std::size_t next_worker = 0;
+    for (std::size_t r = 0; r < racks; ++r) {
+        const std::size_t pod = r / cfg.racks_per_pod;
+        const std::size_t slot = r % cfg.racks_per_pod;
+        core::ProgrammableSwitch *agg = c.aggs[pod];
+
+        core::ProgrammableSwitchConfig tor_cfg;
+        tor_cfg.base = cfg.switch_cfg;
+        tor_cfg.accel = cfg.accel;
+        tor_cfg.ip = net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(r), 1);
+        tor_cfg.udp_port = kSwitchPort;
+        tor_cfg.parent = agg->ip();
+        tor_cfg.parent_port = kSwitchPort;
+        // Ports: per_rack workers + uplink + optional PS on rack 0.
+        auto *tor = c.topo->addSwitch<core::ProgrammableSwitch>(
+            "tor" + std::to_string(r), cfg.per_rack + 2, tor_cfg);
+        tor->setDomain(static_cast<sim::DomainId>(r + 1));
+        c.leaves.push_back(tor);
+
+        std::size_t used = 0;
+        for (; used < cfg.per_rack && next_worker < cfg.num_workers;
+             ++used, ++next_worker) {
+            auto *h = c.topo->addHost(
+                "worker" + std::to_string(next_worker),
+                net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(r),
+                              static_cast<std::uint8_t>(2 + used)));
+            h->setDomain(static_cast<sim::DomainId>(r + 1));
+            c.topo->connectHost(h, tor, used, cfg.edge_link);
+            tor->adminJoin(h->ip(), kWorkerPort, core::MemberType::kWorker);
+            c.workers.push_back(h);
+        }
+        c.topo->connectSwitches(tor, cfg.per_rack, agg, slot, cfg.uplink);
+        // Parents must be able to address the ToR itself (results &
+        // control), not just the hosts behind it.
+        agg->addRoute(tor->ip(), slot);
+        root->addRoute(tor->ip(), pod);
+        agg->adminJoin(tor->ip(), kSwitchPort, core::MemberType::kSwitch);
+    }
+
+    if (cfg.with_ps) {
+        if (cfg.ps_shards > 1)
+            throw std::invalid_argument(
+                "buildFatTreeCluster: sharded PS is star-only");
+        c.ps = c.topo->addHost("ps", net::Ipv4Addr(10, 0, 254, 2));
+        c.ps->setDomain(1); // rack 0's domain, where it attaches
+        c.topo->connectHost(c.ps, c.leaves[0], cfg.per_rack + 1,
+                            cfg.edge_link);
+        c.ps_shards.push_back(c.ps);
+    }
+
+    // Shard plan: one domain per rack, domain 0 for the AGG + core
+    // fabric. Only the ToR uplinks cross domains (AGG <-> core links
+    // are internal to domain 0), so the lookahead is the ToR uplink
+    // propagation delay.
+    c.sim_domains = racks + 1;
+    c.domain_lookahead = cfg.uplink.propagation;
     return c;
 }
 

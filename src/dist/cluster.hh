@@ -7,6 +7,15 @@
  *  - Tree (scalability setup, §5.3 / Figure 10): racks of `per_rack`
  *    workers under ToR switches, ToRs under one core switch over a
  *    faster uplink, with hierarchical aggregation membership wired.
+ *  - Fat-tree (datacenter scale, ROADMAP item 2): racks under ToRs,
+ *    ToRs grouped into pods under AGG switches, AGGs under one core —
+ *    three levels of hierarchical aggregation (ToR -> AGG -> Core),
+ *    the regime SwitchML/NetReduce evaluate.
+ *
+ * The tree/fat-tree builders also assign shard domains (sim/shard.hh):
+ * each rack (ToR + its hosts) is one domain, the AGG/core layer is
+ * domain 0, and the conservative lookahead is the minimum propagation
+ * delay among rack-boundary (ToR <-> parent) links.
  */
 
 #ifndef ISW_DIST_CLUSTER_HH
@@ -35,8 +44,10 @@ struct ClusterConfig
     /** Parameter-server shard count (>1 = sharded PS, star only). */
     std::size_t ps_shards = 1;
     net::LinkConfig edge_link{};       ///< host <-> switch (10 GbE)
-    net::LinkConfig uplink{40e9, 200, 0.0}; ///< ToR <-> core (tree only)
-    std::size_t per_rack = 3;          ///< workers per rack (tree only)
+    net::LinkConfig uplink{40e9, 200, 0.0}; ///< ToR <-> parent (tree/fat)
+    std::size_t per_rack = 3;          ///< workers per rack (tree/fat)
+    std::size_t racks_per_pod = 4;     ///< ToRs per AGG (fat-tree only)
+    net::LinkConfig core_link{100e9, 300, 0.0}; ///< AGG <-> core (fat)
     core::AcceleratorConfig accel{};   ///< accelerator parameters
     net::SwitchConfig switch_cfg{};    ///< base data-plane parameters
     /**
@@ -58,6 +69,8 @@ struct Cluster
     std::vector<net::Host *> ps_shards;
     /** Leaf switches in rack order (the single switch for a star). */
     std::vector<core::ProgrammableSwitch *> leaves;
+    /** Pod aggregation switches in pod order (fat-tree only). */
+    std::vector<core::ProgrammableSwitch *> aggs;
     /** Aggregation root (== leaves[0] for a star). */
     core::ProgrammableSwitch *root = nullptr;
 
@@ -65,6 +78,15 @@ struct Cluster
     core::ProgrammableSwitch *leafOf(std::size_t i) const;
 
     std::size_t workersPerRack = 0; ///< 0 for star clusters
+
+    /**
+     * Shard-domain plan baked by the builder: rack r is domain r+1,
+     * the switch fabric above the ToRs is domain 0. 1 means "nothing
+     * to parallelize" (star). See sim/shard.hh.
+     */
+    std::size_t sim_domains = 1;
+    /** Lookahead = min propagation among domain-boundary links. */
+    sim::TimeNs domain_lookahead = 0;
 };
 
 /** Build the single-switch main cluster. */
@@ -72,6 +94,15 @@ Cluster buildStarCluster(sim::Simulation &s, const ClusterConfig &cfg);
 
 /** Build the two-layer rack-scale cluster with hierarchical joins. */
 Cluster buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg);
+
+/**
+ * Build the three-layer ToR-AGG-Core fat-tree: ceil(num_workers /
+ * per_rack) racks, grouped racks_per_pod to a pod, one AGG switch per
+ * pod, one core. Aggregation is hierarchical at every level (ToR
+ * threshold = rack occupancy, AGG threshold = ToRs in the pod, core
+ * threshold = pods).
+ */
+Cluster buildFatTreeCluster(sim::Simulation &s, const ClusterConfig &cfg);
 
 } // namespace isw::dist
 

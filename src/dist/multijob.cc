@@ -52,21 +52,60 @@ runSharedJobs(const MultiJobConfig &cfg)
     }
     Cluster fabric = buildStarCluster(sim, fabric_cfg);
 
-    // Partition the bounded slot pool evenly: job i+1 owns slots
-    // [i*quota, (i+1)*quota). An unbounded pool needs no partition
-    // (quota 0 = "no streaming window required").
+    // Partition the bounded slot pool proportionally to each job's
+    // tensor segment count: a job streaming a 100 MB model through the
+    // same window as a 1 MB job starves under an even split. Every job
+    // keeps at least one slot; the spare slots are apportioned by
+    // largest remainder (ties: higher fraction, then lower index), so
+    // the layout is deterministic and sums to exactly `slots`. An
+    // unbounded pool needs no partition (quota 0 = "no streaming
+    // window required").
     const std::size_t slots = fabric_cfg.accel.num_slots;
-    std::uint32_t quota = 0;
+    std::vector<std::uint32_t> quotas(k, 0);
     if (slots > 0) {
         if (slots < k)
             throw std::invalid_argument(
                 "runSharedJobs: fewer aggregator slots than jobs");
-        quota = static_cast<std::uint32_t>(slots / k);
-        auto &pool = fabric.root->accelerator().pool();
+        std::vector<std::uint64_t> segs(k);
+        std::uint64_t total_segs = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            // wire_model_bytes == 0 means "actual model size", unknown
+            // until the job is built; assume 1 MiB (same convention as
+            // the event guard below).
+            const std::uint64_t wire = cfg.jobs[i].wire_model_bytes == 0
+                                           ? (std::uint64_t{1} << 20)
+                                           : cfg.jobs[i].wire_model_bytes;
+            segs[i] = core::segCount(wire);
+            total_segs += segs[i];
+        }
+        const auto spare = static_cast<std::uint64_t>(slots - k);
+        std::vector<double> frac(k);
+        std::uint64_t assigned = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const double exact = static_cast<double>(spare) *
+                                 static_cast<double>(segs[i]) /
+                                 static_cast<double>(total_segs);
+            const auto base = static_cast<std::uint64_t>(exact);
+            quotas[i] = static_cast<std::uint32_t>(1 + base);
+            frac[i] = exact - static_cast<double>(base);
+            assigned += base;
+        }
+        std::vector<std::size_t> order(k);
         for (std::size_t i = 0; i < k; ++i)
-            pool.setJobPartition(static_cast<std::uint8_t>(i + 1),
-                                 static_cast<std::size_t>(i) * quota,
-                                 quota);
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&frac](std::size_t a, std::size_t b) {
+                             return frac[a] > frac[b];
+                         });
+        for (std::uint64_t r = 0; r < spare - assigned; ++r)
+            ++quotas[order[r % k]];
+        auto &pool = fabric.root->accelerator().pool();
+        std::size_t first = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            pool.setJobPartition(static_cast<std::uint8_t>(i + 1), first,
+                                 quotas[i]);
+            first += quotas[i];
+        }
     }
 
     // Construct every job against its fabric slice. The job's own
@@ -86,7 +125,7 @@ runSharedJobs(const MultiJobConfig &cfg)
         world.fabric = &fabric;
         world.worker_offset = offset;
         world.job_id = static_cast<std::uint8_t>(i + 1);
-        world.slot_quota = quota;
+        world.slot_quota = quotas[i];
         jobs.push_back(makeSharedJob(jc, world));
         offset += jc.num_workers;
     }

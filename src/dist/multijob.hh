@@ -7,9 +7,10 @@
  *
  * Each job gets a contiguous slice of the fabric's worker hosts, a
  * nonzero job id (1..K — id 0 stays the legacy/owned-world tag), and
- * an even share of the switch's aggregator slots. The scheduler
- * reports per-job RunResults plus fabric-level fairness, contention,
- * and aggregate-throughput counters.
+ * a share of the switch's aggregator slots proportional to its tensor
+ * segment count (min one slot per job). The scheduler reports per-job
+ * RunResults plus fabric-level fairness, contention, and
+ * aggregate-throughput counters.
  */
 
 #ifndef ISW_DIST_MULTIJOB_HH
@@ -37,8 +38,9 @@ struct MultiJobConfig
      * Shared-fabric knobs (links + switch + accelerator). num_workers,
      * worker_jobs, and with_ps are derived from `jobs` and ignored.
      * accel.num_slots > 0 bounds the aggregator pool; it is split
-     * evenly between the jobs (num_slots / K slots each, remainder
-     * unused), so it must be at least K.
+     * between the jobs proportionally to their tensor segment counts
+     * (largest-remainder apportionment, at least one slot each, every
+     * slot assigned), so it must be at least K.
      */
     ClusterConfig fabric;
     std::uint64_t seed = 1;

@@ -52,7 +52,8 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.num_workers == 0)
         throw std::invalid_argument("JobBase: zero workers");
-    if (cfg_.cluster.accel.num_slots > 0 && cfg_.use_tree)
+    if (cfg_.cluster.accel.num_slots > 0 &&
+        (cfg_.use_tree || cfg_.use_fat_tree))
         throw std::invalid_argument(
             "JobBase: bounded slot pools are star-cluster only (the "
             "hierarchical path has no slot-aware upward flow yet)");
@@ -69,8 +70,11 @@ JobBase::JobBase(const JobConfig &cfg) : cfg_(cfg)
     ccfg.ps_shards = cfg_.strategy == StrategyKind::kSyncShardedPs
                          ? std::max<std::size_t>(cfg_.ps_shards, 1)
                          : 1;
-    cluster_ = cfg_.use_tree ? buildTreeCluster(*sim_, ccfg)
-                             : buildStarCluster(*sim_, ccfg);
+    cluster_ = cfg_.use_fat_tree ? buildFatTreeCluster(*sim_, ccfg)
+               : cfg_.use_tree   ? buildTreeCluster(*sim_, ccfg)
+                                 : buildStarCluster(*sim_, ccfg);
+    if (cfg_.shard)
+        enableSharding();
 
     initWorkers();
     installFaults();
@@ -86,9 +90,13 @@ JobBase::JobBase(const JobConfig &cfg, const SharedWorld &world) : cfg_(cfg)
     if (!cfg_.faults.empty())
         throw std::invalid_argument(
             "JobBase: fault plans are owned-world only");
-    if (cfg_.use_tree)
+    if (cfg_.use_tree || cfg_.use_fat_tree)
         throw std::invalid_argument(
             "JobBase: shared fabrics are star clusters");
+    if (cfg_.shard)
+        throw std::invalid_argument(
+            "JobBase: sharded execution is owned-world only (shared "
+            "fabrics are single-switch stars with nothing to shard)");
     if (world.worker_offset + cfg_.num_workers >
         world.fabric->workers.size())
         throw std::invalid_argument(
@@ -116,6 +124,7 @@ void
 JobBase::initWorkers()
 {
     workers_.resize(cfg_.num_workers);
+    published_.resize(cfg_.num_workers);
     for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
         WorkerCtx &w = workers_[i];
         w.index = i;
@@ -126,7 +135,62 @@ JobBase::initWorkers()
                                 /*weight_seed=*/cfg_.seed * 7919 + 17,
                                 /*env_seed=*/cfg_.seed * 104729 + 31 + i);
         w.rng = sim_->forkRng();
+        publishWorker(w);
     }
+}
+
+void
+JobBase::enableSharding()
+{
+    if (isAsyncStrategy(cfg_.strategy))
+        throw std::invalid_argument(
+            "JobBase: sharded execution requires a synchronous strategy "
+            "(async jobs mutate global weight state from every domain)");
+    if (lossyEnv())
+        throw std::invalid_argument(
+            "JobBase: sharded execution requires a lossless environment "
+            "(loss RNGs and retx timers are cross-domain state)");
+    if (cluster_.sim_domains < 2)
+        throw std::invalid_argument(
+            "JobBase: sharding needs a multi-rack tree/fat-tree cluster "
+            "(set use_tree or use_fat_tree with num_workers > per_rack)");
+    sim::ShardPlan plan;
+    plan.domains = cluster_.sim_domains;
+    plan.lookahead = std::max<sim::TimeNs>(cluster_.domain_lookahead, 1);
+    plan.threads = cfg_.shard_threads;
+    sim_->shard(plan);
+    // One PacketPool per domain: every seal/recycle inside a window
+    // touches only the executing domain's free lists.
+    domain_pools_.resize(plan.domains);
+    sim_->engine()->setDomainHooks(
+        [this](sim::DomainId d) {
+            net::PacketPool::setLocalOverride(&domain_pools_[d]);
+        },
+        [](sim::DomainId) { net::PacketPool::setLocalOverride(nullptr); });
+}
+
+void
+JobBase::publishWorker(const WorkerCtx &w)
+{
+    PublishedWorker &p = published_[w.index];
+    p.reward.store(w.agent->avgEpisodeReward(10), std::memory_order_relaxed);
+    p.episodes.store(w.agent->episodesCompleted(),
+                     std::memory_order_relaxed);
+}
+
+net::PacketPool::Stats
+JobBase::pooledPacketStats() const
+{
+    net::PacketPool::Stats s = net::PacketPool::local().stats();
+    for (const net::PacketPool &p : domain_pools_) {
+        const net::PacketPool::Stats d = p.stats();
+        s.sealed += d.sealed;
+        s.packet_allocs += d.packet_allocs;
+        s.packet_reuses += d.packet_reuses;
+        s.float_allocs += d.float_allocs;
+        s.float_reuses += d.float_reuses;
+    }
+    return s;
 }
 
 void
@@ -217,6 +281,7 @@ JobBase::scheduleLgc(WorkerCtx &w, std::function<void()> done)
     // simulated duration elapses.
     const ml::Vec &g = w.agent->computeGradient();
     w.pending_grad.assign(g.begin(), g.end());
+    publishWorker(w); // episode state may have advanced during compute
 
     // Straggler injection: a slowed worker's compute stretches
     // uniformly (and the stretched time is what its metrics record).
@@ -244,10 +309,16 @@ JobBase::scheduleLgc(WorkerCtx &w, std::function<void()> done)
     total += oth;
 
     WorkerCtx *wp = &w;
-    sim_->after(total, [wp, done = std::move(done)] {
-        wp->lgc_end = wp->host->simulation().now();
-        done();
-    });
+    // Anchor the completion in the worker's rack domain: round 0 is
+    // scheduled from the setup thread (no domain context), and this
+    // pins each worker's whole event chain to its own domain under
+    // sharding. Serial engines ignore the domain, so timing and order
+    // are exactly the old after(total, ...).
+    sim_->atInDomain(wp->host->domain(), sim_->now() + total,
+                     [wp, done = std::move(done)] {
+                         wp->lgc_end = wp->host->simulation().now();
+                         done();
+                     });
 }
 
 sim::TimeNs
@@ -262,18 +333,21 @@ JobBase::chargeWeightUpdate(WorkerCtx &w)
 double
 JobBase::clusterAvgReward() const
 {
+    // Published snapshots, not live agents: equal at every event
+    // boundary (workers republish whenever episode state changes) and
+    // safe to read from another domain's thread in sharded runs.
     double sum = 0.0;
-    for (const auto &w : workers_)
-        sum += w.agent->avgEpisodeReward(10);
-    return sum / static_cast<double>(workers_.size());
+    for (const PublishedWorker &p : published_)
+        sum += p.reward.load(std::memory_order_relaxed);
+    return sum / static_cast<double>(published_.size());
 }
 
 std::uint64_t
 JobBase::totalEpisodes() const
 {
     std::uint64_t n = 0;
-    for (const auto &w : workers_)
-        n += w.agent->episodesCompleted();
+    for (const PublishedWorker &p : published_)
+        n += p.episodes.load(std::memory_order_relaxed);
     return n;
 }
 
@@ -306,16 +380,17 @@ JobBase::checkStop()
 void
 JobBase::beginRun()
 {
-    // The job runs wholly on the calling thread, so the thread-local
-    // PacketPool's counter deltas are exactly this job's traffic (for
-    // shared fabrics: the fabric's traffic since this job began).
-    const net::PacketPool::Stats pool0 = net::PacketPool::local().stats();
+    // Serial jobs run wholly on the calling thread; sharded jobs spread
+    // over per-domain pools. Either way the summed counter deltas are
+    // exactly this job's traffic (for shared fabrics: the fabric's
+    // traffic since this job began).
+    const net::PacketPool::Stats pool0 = pooledPacketStats();
     run_pool_sealed0_ = pool0.sealed;
     run_pool_pallocs0_ = pool0.packet_allocs;
     run_pool_fallocs0_ = pool0.float_allocs;
     run_pool_preuse0_ = pool0.packet_reuses;
     run_pool_freuse0_ = pool0.float_reuses;
-    run_events0_ = sim_->events().executed();
+    run_events0_ = sim_->eventsExecuted();
     run_t0_ = std::chrono::steady_clock::now();
     start();
 }
@@ -333,14 +408,14 @@ JobBase::run()
     std::string error;
     if (cfg_.stop.max_sim_time > 0) {
         sim_->runUntil(cfg_.stop.max_sim_time);
-        if (!stopped_ && !sim_->events().empty())
+        if (!stopped_ && !sim_->queueEmpty())
             error = "watchdog: no stop condition met by max_sim_time (" +
                     std::to_string(global_iters_) + "/" +
                     std::to_string(cfg_.stop.max_iterations) +
                     " iterations)";
     } else {
         sim_->run(guard);
-        if (!sim_->events().empty())
+        if (!sim_->queueEmpty())
             error = "event guard exhausted: runaway event loop after " +
                     std::to_string(global_iters_) + " iterations";
     }
@@ -359,9 +434,9 @@ JobBase::finishRun(std::string error)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_t0_)
             .count();
-    const net::PacketPool::Stats pool1 = net::PacketPool::local().stats();
-    const auto events = static_cast<double>(sim_->events().executed() -
-                                            run_events0_);
+    const net::PacketPool::Stats pool1 = pooledPacketStats();
+    const auto events =
+        static_cast<double>(sim_->eventsExecuted() - run_events0_);
     const auto sealed =
         static_cast<double>(pool1.sealed - run_pool_sealed0_);
 

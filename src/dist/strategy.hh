@@ -13,8 +13,10 @@
 #ifndef ISW_DIST_STRATEGY_HH
 #define ISW_DIST_STRATEGY_HH
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <memory>
 
@@ -23,6 +25,7 @@
 #include "dist/timing.hh"
 #include "dist/transport.hh"
 #include "net/fault.hh"
+#include "net/packet_pool.hh"
 #include "rl/agent.hh"
 #include "rl/model_zoo.hh"
 
@@ -96,6 +99,25 @@ struct JobConfig
     double ps_sum_bytes_per_sec = 8e9;
     ClusterConfig cluster;
     bool use_tree = false; ///< star (main cluster) vs rack-scale tree
+    /**
+     * Three-layer ToR-AGG-Core fat-tree (takes precedence over
+     * use_tree; see buildFatTreeCluster). cluster.per_rack,
+     * cluster.racks_per_pod, and cluster.core_link shape the fabric.
+     */
+    bool use_fat_tree = false;
+    /**
+     * Execute on the domain-sharded parallel engine (sim/shard.hh):
+     * one domain per rack, windows bounded by the uplink propagation
+     * delay. Requires a multi-rack tree/fat-tree cluster, a
+     * synchronous strategy, and a lossless environment (throws
+     * otherwise). Reports are byte-identical to the serial engine up
+     * to sub-lookahead event ties, which the millisecond-scale compute
+     * jitter makes vanishingly unlikely; the determinism regression
+     * test pins this.
+     */
+    bool shard = false;
+    /** Worker threads for the sharded engine (0 = one per core). */
+    unsigned shard_threads = 0;
     std::uint64_t seed = 1;
     /** Algorithm 1's staleness bound S (async strategies). */
     std::uint32_t staleness_bound = 3;
@@ -275,7 +297,14 @@ class JobBase
 
     std::uint64_t global_iters_ = 0;
     sim::TimeNs last_update_time_ = 0;
-    bool stopped_ = false;
+    /**
+     * Atomic because sharded runs read the stop flag from every
+     * worker's domain thread while worker 0's domain writes it.
+     * Within one conservative window the read is racy by design —
+     * identical to serial order except for sub-lookahead event ties
+     * (see JobConfig::shard).
+     */
+    std::atomic<bool> stopped_{false};
     bool reached_target_ = false;
     sim::TimeSeries curve_;
     /** Shared recovery counters (all strategies' timers feed here). */
@@ -287,7 +316,39 @@ class JobBase
     void checkStop();
     void installFaults();
 
+    /**
+     * Switch sim_ to the domain-sharded engine per the cluster's shard
+     * plan and give every domain a private PacketPool. Owned-world
+     * only; throws unless the run is sync, lossless, and multi-rack.
+     */
+    void enableSharding();
+
+    /**
+     * Worker state mirrored for cross-domain readers. Sharded runs
+     * sample reward curves and stop conditions from worker 0's domain
+     * while other workers' agents are stepping on their own threads;
+     * reading the agents directly would race. Each worker republishes
+     * after every gradient computation (the only point its episode
+     * state changes), so the snapshot equals the live value at every
+     * event boundary — serial runs read it too and are byte-identical.
+     */
+    struct PublishedWorker
+    {
+        std::atomic<double> reward{0.0};
+        std::atomic<std::uint64_t> episodes{0};
+    };
+
+    /** Refresh @p w's published snapshot from its agent. */
+    void publishWorker(const WorkerCtx &w);
+
+    /** Pool counters summed across the main thread and all domains. */
+    net::PacketPool::Stats pooledPacketStats() const;
+
     std::unique_ptr<net::FaultInjector> injector_;
+    /** deque: atomics are neither movable nor copyable. */
+    std::deque<PublishedWorker> published_;
+    /** Per-domain packet pools for sharded runs (index = domain id). */
+    std::deque<net::PacketPool> domain_pools_;
     RetransmitPolicy retx_; ///< resolved policy (timeout never 0)
     bool recovery_on_ = false;
     std::uint8_t job_id_ = 0;

@@ -83,7 +83,7 @@ RecoveryStats::recordRecovery(sim::TimeNs latency)
 RetxTimer::~RetxTimer()
 {
     if (sim_ != nullptr)
-        sim_->events().cancel(pending_);
+        sim_->cancelEvent(pending_);
 }
 
 void
@@ -128,7 +128,7 @@ RetxTimer::finish(bool record)
         return;
     if (record && first_timeout_at_ != 0)
         stats_->recordRecovery(sim_->now() - first_timeout_at_);
-    sim_->events().cancel(pending_);
+    sim_->cancelEvent(pending_);
     pending_ = sim::kInvalidEventId;
     first_timeout_at_ = 0;
     resend_ = nullptr;

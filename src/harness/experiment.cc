@@ -105,6 +105,32 @@ timingSpec(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
 }
 
 ExperimentSpec
+timingSpec(rl::Algo algo, dist::StrategyKind k, std::size_t workers,
+           const FabricSpec &fabric)
+{
+    ExperimentSpec spec = timingSpec(algo, k, workers, fabric.tree);
+    if (fabric.per_rack > 0)
+        spec.config.cluster.per_rack = fabric.per_rack;
+    if (fabric.racks_per_pod > 0)
+        spec.config.cluster.racks_per_pod = fabric.racks_per_pod;
+    if (fabric.fat_tree) {
+        spec.config.use_tree = false;
+        spec.config.use_fat_tree = true;
+        spec.name += "/fat";
+        if (fabric.per_rack > 0)
+            spec.name += "-r" + std::to_string(fabric.per_rack);
+        if (fabric.racks_per_pod > 0)
+            spec.name += "-p" + std::to_string(fabric.racks_per_pod);
+    }
+    if (fabric.shard) {
+        spec.config.shard = true;
+        spec.config.shard_threads = fabric.shard_threads;
+        spec.name += "/sharded";
+    }
+    return spec;
+}
+
+ExperimentSpec
 learningSpec(rl::Algo algo, dist::StrategyKind k, std::size_t workers)
 {
     ExperimentSpec spec;

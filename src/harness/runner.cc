@@ -107,6 +107,8 @@ SpecKey::of(const dist::JobConfig &cfg)
     appendLink(kb, c.edge_link);
     appendLink(kb, c.uplink);
     kb.u(c.per_rack);
+    kb.u(c.racks_per_pod);
+    appendLink(kb, c.core_link);
     kb.d(c.accel.clock_hz);
     kb.u(c.accel.burst_bytes);
     kb.u(c.accel.fixed_latency);
@@ -117,6 +119,9 @@ SpecKey::of(const dist::JobConfig &cfg)
         kb.u(j);
 
     kb.u(cfg.use_tree ? 1 : 0);
+    kb.u(cfg.use_fat_tree ? 1 : 0);
+    kb.u(cfg.shard ? 1 : 0);
+    kb.u(cfg.shard_threads);
     kb.u(cfg.seed);
     kb.u(cfg.staleness_bound);
     kb.u(cfg.ps_shards);
@@ -457,6 +462,12 @@ configToJson(const dist::JobConfig &cfg)
     v["num_workers"] = static_cast<std::uint64_t>(cfg.num_workers);
     v["wire_model_bytes"] = cfg.wire_model_bytes;
     v["use_tree"] = cfg.use_tree;
+    // Conditional: absent on two-layer configs so pre-fat-tree reports
+    // stay byte-identical.
+    if (cfg.use_fat_tree)
+        v["use_fat_tree"] = true;
+    if (cfg.shard)
+        v["shard"] = true;
     v["seed"] = cfg.seed;
     v["staleness_bound"] =
         static_cast<std::uint64_t>(cfg.staleness_bound);

@@ -82,11 +82,23 @@ struct PacketRecycler
     }
 };
 
+namespace {
+
+thread_local PacketPool *tls_pool_override = nullptr;
+
+} // namespace
+
 PacketPool &
 PacketPool::local()
 {
     thread_local PacketPool pool;
-    return pool;
+    return tls_pool_override != nullptr ? *tls_pool_override : pool;
+}
+
+void
+PacketPool::setLocalOverride(PacketPool *pool)
+{
+    tls_pool_override = pool;
 }
 
 PacketPool::~PacketPool()

@@ -6,7 +6,9 @@ namespace isw::net {
 
 EthSwitch::EthSwitch(sim::Simulation &s, std::string name,
                      std::size_t num_ports, SwitchConfig cfg)
-    : Node(s, std::move(name), num_ports), cfg_(cfg)
+    : Node(s, std::move(name), num_ports), cfg_(cfg),
+      no_route_counter_(
+          s.stats().counter("switch." + this->name() + ".no_route"))
 {
 }
 
@@ -41,7 +43,7 @@ EthSwitch::forward(PacketPtr pkt)
     auto port = routeFor(pkt->ip.dst);
     if (!port) {
         ++no_route_;
-        sim_.stats().counter("switch." + name() + ".no_route").inc();
+        no_route_counter_.inc();
         return;
     }
     ++forwarded_;

@@ -4,22 +4,6 @@
 
 namespace isw::net {
 
-namespace {
-
-/** Port of @p from whose link peers with @p to; throws if unwired. */
-std::size_t
-portToward(const EthSwitch *from, const Node *to)
-{
-    for (std::size_t p = 0; p < from->numPorts(); ++p) {
-        const Link *l = from->link(p);
-        if (l != nullptr && l->peerOf(from) == to)
-            return p;
-    }
-    throw std::logic_error(from->name() + ": no port toward " + to->name());
-}
-
-} // namespace
-
 Host *
 Topology::addHost(const std::string &name, Ipv4Addr ip)
 {
@@ -45,13 +29,14 @@ Topology::connectHost(Host *host, EthSwitch *sw, std::size_t sw_port,
     Link *l = makeLink(host->name() + "<->" + sw->name(), cfg);
     l->connect(host, 0, sw, sw_port);
     sw->addRoute(host->ip(), sw_port);
-    // Propagate the new host up the existing ancestor chain.
+    // Propagate the new host up the existing ancestor chain, using
+    // the parent-side ports recorded when the uplinks were wired.
     EthSwitch *cur = sw;
     subtree_hosts_[cur].push_back(host);
     auto it = parent_of_.find(cur);
     while (it != parent_of_.end()) {
-        EthSwitch *parent = it->second;
-        parent->addRoute(host->ip(), portToward(parent, cur));
+        EthSwitch *parent = it->second.parent;
+        parent->addRoute(host->ip(), it->second.parent_port);
         subtree_hosts_[parent].push_back(host);
         cur = parent;
         it = parent_of_.find(cur);
@@ -69,7 +54,7 @@ Topology::connectSwitches(EthSwitch *child, std::size_t child_port,
     Link *l = makeLink(child->name() + "<->" + parent->name(), cfg);
     l->connect(child, child_port, parent, parent_port);
     child->setDefaultPort(child_port);
-    parent_of_[child] = parent;
+    parent_of_[child] = Uplink{parent, parent_port};
 
     // Install routes for the child's whole subtree on every ancestor.
     const auto &hosts = subtree_hosts_[child];
@@ -84,10 +69,10 @@ Topology::connectSwitches(EthSwitch *child, std::size_t child_port,
         auto it = parent_of_.find(cur);
         if (it == parent_of_.end())
             break;
-        // Grandparents reach these hosts through their port toward
-        // `cur`, wired when `cur` itself was connected.
-        via_port = portToward(it->second, cur);
-        cur = it->second;
+        // Grandparents reach these hosts through the parent-side port
+        // recorded when `cur` itself was connected.
+        via_port = it->second.parent_port;
+        cur = it->second.parent;
     }
     return l;
 }

@@ -77,8 +77,21 @@ class Topology
     sim::Simulation &sim_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<Link>> links_;
+    /**
+     * A switch's uplink: the parent switch plus the parent-side port
+     * of the uplink, recorded when connectSwitches() wires it. The
+     * port makes route propagation O(1) per ancestor — re-deriving it
+     * by scanning the parent's ports (the old `portToward`) made
+     * building an N-host fabric O(hosts x ports x depth).
+     */
+    struct Uplink
+    {
+        EthSwitch *parent;
+        std::size_t parent_port;
+    };
+
     std::unordered_map<EthSwitch *, std::vector<Host *>> subtree_hosts_;
-    std::unordered_map<EthSwitch *, EthSwitch *> parent_of_;
+    std::unordered_map<EthSwitch *, Uplink> parent_of_;
     std::uint64_t next_mac_ = 0x0200'0000'0001ULL;
 };
 

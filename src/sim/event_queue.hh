@@ -76,6 +76,16 @@ class EventQueue
     /** Events executed over this queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Sentinel returned by nextTime() when the queue is drained. */
+    static constexpr TimeNs kNoEvent = ~TimeNs{0};
+
+    /**
+     * Timestamp of the earliest pending event, or kNoEvent when the
+     * queue is drained. Non-const because stale (cancelled) fronts are
+     * pruned on the way.
+     */
+    TimeNs nextTime();
+
     /**
      * Schedule @p cb to run at absolute time @p when.
      *
@@ -118,6 +128,17 @@ class EventQueue
      * @return number of events executed.
      */
     std::size_t runAll(std::size_t max_events = SIZE_MAX);
+
+    /**
+     * Run events strictly before @p end_exclusive. Unlike runUntil(),
+     * the clock never force-advances to the window edge: now() is left
+     * at the last executed event, so a later window (or an event merged
+     * in from another domain at >= end_exclusive) observes exactly the
+     * serial-queue clock semantics. This is the conservative-window
+     * primitive of the domain-sharded engine (sim/shard.hh).
+     * @return number of events executed.
+     */
+    std::size_t runWindow(TimeNs end_exclusive);
 
   private:
     /** Slot index bits inside a packed key (max 16M pending events). */

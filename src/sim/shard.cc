@@ -1,0 +1,251 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace isw::sim {
+
+thread_local ShardedEngine *ShardedEngine::tls_engine_ = nullptr;
+thread_local DomainId ShardedEngine::tls_domain_ = kNoDomain;
+
+ShardedEngine::ShardedEngine(const ShardPlan &plan)
+    : lookahead_(plan.lookahead)
+{
+    if (plan.domains == 0)
+        throw std::invalid_argument("ShardedEngine: need at least 1 domain");
+    if (plan.domains > std::size_t{kNoDomain})
+        throw std::invalid_argument("ShardedEngine: too many domains");
+    if (plan.lookahead == 0)
+        throw std::invalid_argument("ShardedEngine: lookahead must be > 0");
+    domains_.resize(plan.domains);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const unsigned want = plan.threads != 0 ? plan.threads : hw;
+    nthreads_ = static_cast<unsigned>(
+        std::min<std::size_t>(want, plan.domains));
+    if (nthreads_ == 0)
+        nthreads_ = 1;
+    pool_.reserve(nthreads_ - 1);
+    for (unsigned i = 1; i < nthreads_; ++i)
+        pool_.emplace_back(&ShardedEngine::workerMain, this, i);
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    quit_.store(true, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    for (auto &t : pool_)
+        t.join();
+}
+
+EventId
+ShardedEngine::schedule(DomainId d, TimeNs when, EventQueue::Callback cb)
+{
+    if (d >= domains_.size())
+        throw std::out_of_range("ShardedEngine: no such domain");
+    Domain &dst = domains_[d];
+    if (tls_engine_ == this && tls_domain_ != kNoDomain) {
+        if (d == tls_domain_)
+            return dst.q.schedule(when, std::move(cb));
+        // Cross-domain handoff. The conservative-window contract says
+        // nothing scheduled during [T, end) may land in another domain
+        // before `end`; a violation means the domain partition cut a
+        // dependency shorter than the lookahead — a setup bug.
+        if (when < window_end_.load(std::memory_order_relaxed))
+            throw std::logic_error(
+                "ShardedEngine: cross-domain event violates lookahead");
+        Domain &src = domains_[tls_domain_];
+        const std::uint64_t seq = src.send_seq++;
+        cross_events_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> g(dst.inbox_mu);
+        dst.inbox.push_back(CrossEvent{when, tls_domain_, seq,
+                                       std::move(cb)});
+        return kInvalidEventId; // mailbox events have no queue key yet
+    }
+    // Setup / between windows: only the owning thread runs here.
+    return dst.q.schedule(when, std::move(cb));
+}
+
+bool
+ShardedEngine::cancelHere(EventId id)
+{
+    if (id == kInvalidEventId)
+        return false;
+    const DomainId d =
+        tls_engine_ == this && tls_domain_ != kNoDomain ? tls_domain_ : 0;
+    return domains_[d].q.cancel(id);
+}
+
+TimeNs
+ShardedEngine::now() const
+{
+    if (tls_engine_ == this && tls_domain_ != kNoDomain)
+        return domains_[tls_domain_].q.now();
+    return committed_;
+}
+
+bool
+ShardedEngine::empty() const
+{
+    return pending() == 0;
+}
+
+std::size_t
+ShardedEngine::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &d : domains_) {
+        n += d.q.pending();
+        std::lock_guard<std::mutex> g(d.inbox_mu);
+        n += d.inbox.size();
+    }
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::executed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d.q.executed();
+    return n;
+}
+
+void
+ShardedEngine::drainInboxes()
+{
+    for (auto &dst : domains_) {
+        // No window is running: inboxes are quiescent, but take the
+        // lock anyway so TSan sees the ordering.
+        std::vector<CrossEvent> batch;
+        {
+            std::lock_guard<std::mutex> g(dst.inbox_mu);
+            batch.swap(dst.inbox);
+        }
+        if (batch.empty())
+            continue;
+        // Deterministic merge order: time, then source domain, then
+        // the source's send sequence. Queue FIFO tie-breaking then
+        // reproduces this order for equal timestamps, independent of
+        // thread interleaving.
+        std::sort(batch.begin(), batch.end(),
+                  [](const CrossEvent &a, const CrossEvent &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        for (auto &ce : batch)
+            dst.q.schedule(ce.when, std::move(ce.cb));
+    }
+}
+
+void
+ShardedEngine::runOwnedDomains(unsigned worker, TimeNs end_exclusive)
+{
+    // Clear the thread's domain context even if a callback throws (a
+    // lookahead violation must not leave stale context behind).
+    struct ContextGuard
+    {
+        ~ContextGuard() { tls_domain_ = kNoDomain; }
+    };
+    tls_engine_ = this;
+    ContextGuard guard;
+    for (std::size_t d = worker; d < domains_.size(); d += nthreads_) {
+        Domain &dom = domains_[d];
+        if (dom.q.nextTime() >= end_exclusive)
+            continue;
+        tls_domain_ = static_cast<DomainId>(d);
+        if (enter_)
+            enter_(tls_domain_);
+        dom.q.runWindow(end_exclusive);
+        if (leave_)
+            leave_(tls_domain_);
+    }
+}
+
+void
+ShardedEngine::workerMain(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        gen_.wait(seen, std::memory_order_acquire);
+        seen = gen_.load(std::memory_order_acquire);
+        if (quit_.load(std::memory_order_acquire))
+            return;
+        runOwnedDomains(worker, window_end_.load(std::memory_order_relaxed));
+        done_.fetch_add(1, std::memory_order_release);
+        done_.notify_one();
+    }
+}
+
+std::size_t
+ShardedEngine::runWindowParallel(TimeNs end_exclusive)
+{
+    const std::uint64_t before = executed();
+    // schedule()'s lookahead check reads window_end_ on every thread
+    // count, so it must be published even on the serial path.
+    window_end_.store(end_exclusive, std::memory_order_relaxed);
+    if (nthreads_ == 1) {
+        runOwnedDomains(0, end_exclusive);
+    } else {
+        done_.store(0, std::memory_order_relaxed);
+        gen_.fetch_add(1, std::memory_order_release);
+        gen_.notify_all();
+        runOwnedDomains(0, end_exclusive);
+        unsigned finished;
+        while ((finished = done_.load(std::memory_order_acquire)) !=
+               nthreads_ - 1)
+            done_.wait(finished, std::memory_order_acquire);
+    }
+    ++windows_;
+    return static_cast<std::size_t>(executed() - before);
+}
+
+std::size_t
+ShardedEngine::runLoop(TimeNs deadline, std::size_t max_events)
+{
+    std::size_t total = 0;
+    for (;;) {
+        drainInboxes();
+        TimeNs t = EventQueue::kNoEvent;
+        for (auto &d : domains_)
+            t = std::min(t, d.q.nextTime());
+        if (t == EventQueue::kNoEvent || t > deadline)
+            break;
+        TimeNs end = t + lookahead_;
+        if (end < t)
+            end = EventQueue::kNoEvent; // overflow clamp
+        if (deadline != EventQueue::kNoEvent && end > deadline)
+            end = deadline + 1; // deadline-inclusive, like runUntil()
+        total += runWindowParallel(end);
+        if (total >= max_events)
+            break;
+    }
+    for (const auto &d : domains_)
+        committed_ = std::max(committed_, d.q.now());
+    return total;
+}
+
+std::size_t
+ShardedEngine::runAll(std::size_t max_events)
+{
+    return runLoop(EventQueue::kNoEvent, max_events);
+}
+
+std::size_t
+ShardedEngine::runUntil(TimeNs deadline)
+{
+    const std::size_t n = runLoop(deadline, SIZE_MAX);
+    // The serial queue parks the clock at the deadline when it drains
+    // early; mirror that so now() agrees.
+    if (empty() && committed_ < deadline)
+        committed_ = deadline;
+    return n;
+}
+
+} // namespace isw::sim

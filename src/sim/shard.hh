@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Domain-sharded conservative parallel event engine (DESIGN.md §13).
+ *
+ * A large Simulation is split into D *domains*, each owning a private
+ * serial EventQueue (so intra-domain ordering, FIFO tie-breaking, and
+ * the generation-tagged cancellation of sim/event_queue.hh are all
+ * preserved verbatim). Domains advance together through conservative
+ * time windows:
+ *
+ *   T = min over domains of nextTime()
+ *   window = [T, T + lookahead)
+ *
+ * where `lookahead` is the minimum propagation delay of any
+ * domain-boundary link. Because a cross-domain interaction must cross
+ * such a link — delivery time = serialization-done + propagation >=
+ * now + lookahead — no event executed inside the window can schedule
+ * work in *another* domain earlier than the window's end. Each domain
+ * can therefore run its slice of the window on a separate thread with
+ * no event-level synchronization at all.
+ *
+ * Cross-domain handoffs produced during a window land in the target
+ * domain's *inbox* (a mutex-guarded mailbox). Between windows the
+ * caller's thread merges every inbox into its queue in (time,
+ * source-domain, source-sequence) order, which makes the merged
+ * schedule — and hence the whole run — deterministic and independent
+ * of thread count and OS scheduling.
+ *
+ * With a single domain the engine degenerates to "run the one queue
+ * on the caller's thread with no windows", which is byte-identical to
+ * the serial Simulation.
+ */
+
+#ifndef ISW_SIM_SHARD_HH
+#define ISW_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/time.hh"
+
+namespace isw::sim {
+
+/** Index of one shard domain. */
+using DomainId = std::uint32_t;
+
+/** "Not inside any domain" (setup code, the window scheduler). */
+constexpr DomainId kNoDomain = ~DomainId{0};
+
+/** How to shard a Simulation (see Simulation::shard()). */
+struct ShardPlan
+{
+    /** Number of domains (1 = serial-equivalent). */
+    std::size_t domains = 1;
+    /**
+     * Conservative window width: the minimum propagation delay of any
+     * link whose endpoints live in different domains. Must be > 0.
+     */
+    TimeNs lookahead = 1;
+    /**
+     * Worker threads (including the calling thread). 0 picks
+     * hardware_concurrency, capped at the domain count.
+     */
+    unsigned threads = 0;
+};
+
+/**
+ * The sharded engine: D serial EventQueues + inboxes + a worker pool.
+ *
+ * Threading contract: schedule()/cancelHere() may be called either
+ * from *inside* a domain (a callback executing during a window — the
+ * common runtime case) or from the owning thread while no window is
+ * running (setup). runAll()/runUntil() must be called from the owning
+ * thread only.
+ */
+class ShardedEngine
+{
+  public:
+    explicit ShardedEngine(const ShardPlan &plan);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    std::size_t domains() const { return domains_.size(); }
+    TimeNs lookahead() const { return lookahead_; }
+    unsigned threads() const { return nthreads_; }
+
+    /**
+     * Schedule @p cb at absolute @p when in domain @p d.
+     *
+     * From inside domain d itself this is a plain serial schedule.
+     * From inside a *different* domain the event is a cross-domain
+     * handoff: @p when must honor the lookahead contract (>= the end
+     * of the current window) or std::logic_error is thrown, and the
+     * returned id is kInvalidEventId (mailbox events are not
+     * cancellable — they belong to no queue yet).
+     */
+    EventId schedule(DomainId d, TimeNs when, EventQueue::Callback cb);
+
+    /** Domain of the callback currently executing on this thread. */
+    static DomainId currentDomain() { return tls_domain_; }
+
+    /**
+     * Domain to charge work initiated on this thread to: the executing
+     * domain during a window, domain 0 otherwise (setup).
+     */
+    DomainId hereOr0() const
+    {
+        return tls_engine_ == this && tls_domain_ != kNoDomain ? tls_domain_
+                                                               : 0;
+    }
+
+    /**
+     * Cancel an event scheduled in the current thread's domain.
+     * Outside any domain context, ids from domain 0 are assumed (the
+     * setup-thread convention); cancelling a foreign domain's id is a
+     * checked error because keys are only unique per queue.
+     */
+    bool cancelHere(EventId id);
+
+    /** Clock visible to the current thread (domain clock inside a
+     *  window, last committed global time outside). */
+    TimeNs now() const;
+
+    /** Run windows until every queue drains or @p max_events ran. */
+    std::size_t runAll(std::size_t max_events = SIZE_MAX);
+
+    /** Run windows until simulated @p deadline (inclusive, like
+     *  EventQueue::runUntil) or the queues drain. */
+    std::size_t runUntil(TimeNs deadline);
+
+    bool empty() const;
+    std::size_t pending() const;
+    std::uint64_t executed() const;
+
+    /**
+     * Per-domain enter/leave hooks, invoked on the worker thread
+     * immediately before/after a domain executes its window slice.
+     * Used to swap in per-domain resources (e.g. the thread-local
+     * PacketPool override). Set before the first run.
+     */
+    using DomainHook = std::function<void(DomainId)>;
+    void setDomainHooks(DomainHook enter, DomainHook leave)
+    {
+        enter_ = std::move(enter);
+        leave_ = std::move(leave);
+    }
+
+    /** Conservative windows executed so far. */
+    std::uint64_t windows() const { return windows_; }
+    /** Cross-domain mailbox handoffs so far. */
+    std::uint64_t crossEvents() const
+    {
+        return cross_events_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One cross-domain handoff, stamped for deterministic merging. */
+    struct CrossEvent
+    {
+        TimeNs when;
+        DomainId src;
+        std::uint64_t seq; ///< per-source send counter
+        EventQueue::Callback cb;
+    };
+
+    /**
+     * One domain. alignas keeps hot per-domain state (the queue, the
+     * send counter) on private cache lines across worker threads.
+     */
+    struct alignas(64) Domain
+    {
+        EventQueue q;
+        std::uint64_t send_seq = 0; ///< stamps outgoing cross events
+        std::size_t ran = 0;        ///< events executed this run call
+        mutable std::mutex inbox_mu;
+        std::vector<CrossEvent> inbox;
+    };
+
+    std::size_t runLoop(TimeNs deadline, std::size_t max_events);
+    /** Execute one window on all threads; returns events executed. */
+    std::size_t runWindowParallel(TimeNs end_exclusive);
+    /** Run the window slice owned by worker @p worker. */
+    void runOwnedDomains(unsigned worker, TimeNs end_exclusive);
+    void workerMain(unsigned worker);
+    /** Merge all inboxes into their queues (serial, deterministic). */
+    void drainInboxes();
+
+    std::deque<Domain> domains_; ///< deque: stable addrs, no moves
+    TimeNs lookahead_;
+    TimeNs committed_ = 0; ///< global clock between/after runs
+
+    DomainHook enter_;
+    DomainHook leave_;
+
+    // Worker pool: pool_[i] drives domains {d : d % nthreads_ == i+1};
+    // the calling thread doubles as worker 0. Wakeups use C++20
+    // atomic wait (futex): gen_ bumps to start a window, done_ counts
+    // finished workers.
+    std::vector<std::thread> pool_;
+    unsigned nthreads_ = 1;
+    std::atomic<std::uint64_t> gen_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<TimeNs> window_end_{0};
+    std::atomic<bool> quit_{false};
+
+    std::uint64_t windows_ = 0;
+    std::atomic<std::uint64_t> cross_events_{0};
+
+    static thread_local ShardedEngine *tls_engine_;
+    static thread_local DomainId tls_domain_;
+};
+
+} // namespace isw::sim
+
+#endif // ISW_SIM_SHARD_HH

@@ -1,0 +1,118 @@
+/** @file Sharded-execution regression tests: multi-rack runs on the
+ *  parallel engine must be byte-identical to the serial engine, and
+ *  the gates that keep sharding sound must hold. */
+
+#include <gtest/gtest.h>
+
+#include "dist/strategy.hh"
+#include "harness/runner.hh"
+
+namespace isw::dist {
+namespace {
+
+JobConfig
+treeConfig(StrategyKind k, std::size_t workers, std::uint64_t iters)
+{
+    JobConfig cfg = JobConfig::forBenchmark(rl::Algo::kPpo, k, workers);
+    cfg.wire_model_bytes = 0; // actual model size: fast tests
+    cfg.use_tree = true;
+    cfg.cluster.per_rack = 3;
+    cfg.stop.max_iterations = iters;
+    cfg.curve_every = 3;
+    cfg.seed = 11;
+    return cfg;
+}
+
+std::string
+reportOf(const JobConfig &cfg)
+{
+    // resultToJson covers every deterministic result field (iterations,
+    // simulated timing, rewards, breakdown, extras, curve) and excludes
+    // the wall-clock perf block, so string equality is byte-level
+    // result parity.
+    return harness::resultToJson(runJob(cfg)).dump(2);
+}
+
+TEST(ShardedRun, TreeRunByteIdenticalToSerial)
+{
+    JobConfig serial = treeConfig(StrategyKind::kSyncIswitch, 6, 8);
+    JobConfig sharded = serial;
+    sharded.shard = true;
+    sharded.shard_threads = 2;
+    EXPECT_EQ(reportOf(serial), reportOf(sharded));
+}
+
+TEST(ShardedRun, FatTreeRunByteIdenticalToSerial)
+{
+    JobConfig serial = treeConfig(StrategyKind::kSyncIswitch, 8, 6);
+    serial.use_tree = false;
+    serial.use_fat_tree = true;
+    serial.cluster.per_rack = 2;
+    serial.cluster.racks_per_pod = 2; // 4 racks, 2 pods
+    JobConfig sharded = serial;
+    sharded.shard = true;
+    EXPECT_EQ(reportOf(serial), reportOf(sharded));
+}
+
+TEST(ShardedRun, SyncPsRunByteIdenticalToSerial)
+{
+    // The PS host lives in rack 0's domain; its unicast fan-in/fan-out
+    // crosses every rack boundary each round.
+    JobConfig serial = treeConfig(StrategyKind::kSyncPs, 4, 4);
+    JobConfig sharded = serial;
+    sharded.shard = true;
+    EXPECT_EQ(reportOf(serial), reportOf(sharded));
+}
+
+TEST(ShardedRun, ThreadCountDoesNotChangeResults)
+{
+    JobConfig one = treeConfig(StrategyKind::kSyncIswitch, 6, 6);
+    one.shard = true;
+    one.shard_threads = 1;
+    JobConfig many = one;
+    many.shard_threads = 3;
+    JobConfig hw = one;
+    hw.shard_threads = 0; // hardware concurrency
+    const std::string base = reportOf(one);
+    EXPECT_EQ(base, reportOf(many));
+    EXPECT_EQ(base, reportOf(hw));
+}
+
+TEST(ShardedRun, ShardedRunReportsProgress)
+{
+    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 8);
+    cfg.shard = true;
+    RunResult res = runJob(cfg);
+    EXPECT_TRUE(res.error.empty()) << res.error;
+    EXPECT_GE(res.iterations, 8u);
+    EXPECT_GT(res.total_time, 0u);
+    EXPECT_GT(res.extras.at("events_executed"), 0.0);
+    EXPECT_GT(res.extras.at("packets_sealed"), 0.0);
+}
+
+TEST(ShardedRun, RejectsAsyncStrategies)
+{
+    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 4);
+    cfg.strategy = StrategyKind::kAsyncIswitch;
+    cfg.shard = true;
+    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+}
+
+TEST(ShardedRun, RejectsLossyEnvironments)
+{
+    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 4);
+    cfg.shard = true;
+    cfg.cluster.edge_link.loss_prob = 0.01;
+    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+}
+
+TEST(ShardedRun, RejectsSingleDomainClusters)
+{
+    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 4, 4);
+    cfg.use_tree = false; // star: nothing to shard
+    cfg.shard = true;
+    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace isw::dist

@@ -216,6 +216,24 @@ TEST(SwitchSharing, TwoJobsConvergeOnOneSwitch)
     EXPECT_EQ(res.fabric.at("slot_capacity"), 8.0);
 }
 
+TEST(SwitchSharing, SlotsPartitionProportionallyToModelSize)
+{
+    // Job A: 8 segments, job B: 24 segments, 8 slots. Largest-remainder
+    // apportionment with a 1-slot floor: spare = 6 split 8:24 ->
+    // 1.5/4.5, floors 1/4, the leftover slot goes to the higher
+    // fraction (tie -> lower index), so quotas are 3 and 5.
+    MultiJobConfig mc = twoJobConfig(/*num_slots=*/8);
+    mc.jobs[1].wire_model_bytes = 24 * core::kFloatsPerSeg * 4;
+    const MultiJobResult res = runSharedJobs(mc);
+    ASSERT_EQ(res.jobs.size(), 2u);
+    ASSERT_TRUE(res.jobs[0].ok()) << res.jobs[0].error;
+    ASSERT_TRUE(res.jobs[1].ok()) << res.jobs[1].error;
+    EXPECT_EQ(res.jobs[0].extras.at("slot_quota"), 3.0);
+    EXPECT_EQ(res.jobs[1].extras.at("slot_quota"), 5.0);
+    // Every slot is assigned: quotas sum to capacity.
+    EXPECT_EQ(res.fabric.at("slot_capacity"), 8.0);
+}
+
 TEST(SwitchSharing, JobsAreIsolatedFromEachOther)
 {
     // A job co-scheduled with a neighbor must train exactly as it
