@@ -4,8 +4,9 @@
  * GradiVeQ): what would half-precision gradient transport buy the
  * three synchronous strategies? Two measurements:
  *
- *  1. Timing: per-iteration time with the wire footprint halved —
- *     the bandwidth side of the trade.
+ *  1. Timing: per-iteration time with the fp16 pipeline stage
+ *     (DESIGN.md §14) halving the wire footprint — the bandwidth
+ *     side of the trade.
  *  2. Fidelity: single-node training with fp16-round-tripped
  *     gradients vs full precision — the accuracy side.
  */
@@ -27,7 +28,7 @@ wireSpec(rl::Algo algo, dist::StrategyKind k, bool fp16)
     spec.name += fp16 ? "/fp16" : "/fp32";
     spec.tags.push_back("fp16-sweep");
     if (fp16)
-        spec.config.wire_model_bytes /= 2;
+        spec.config.precision = net::Precision::kFp16;
     spec.config.stop.max_iterations = 20;
     return spec;
 }

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Quantization ablation (DESIGN.md §14): the three wire precisions of
+ * the pluggable pre/post-processor pipeline — fp32 bypass, packed
+ * fp16, and block-shared-exponent int32 (the encoding an integer-only
+ * switch ALU can aggregate exactly, SwitchML-style) — compared on the
+ * three axes the trade-off actually spans:
+ *
+ *  1. Wire footprint: bytes on the network per iteration.
+ *  2. Timing: per-iteration ms through the full simulated datapath.
+ *  3. Training quality: single-node reward after codec round-trips.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "ml/quantize.hh"
+#include "rl/model_zoo.hh"
+
+using namespace isw;
+
+namespace {
+
+const std::array<net::Precision, 3> kPrecisions{net::Precision::kFp32,
+                                                net::Precision::kFp16,
+                                                net::Precision::kInt32};
+
+harness::ExperimentSpec
+precSpec(rl::Algo algo, dist::StrategyKind k, net::Precision prec)
+{
+    harness::ExperimentSpec spec = harness::timingSpec(algo, k);
+    spec.name += std::string("/") + net::precisionName(prec);
+    spec.tags.push_back("quantize-sweep");
+    spec.config.precision = prec;
+    spec.config.stop.max_iterations = 20;
+    return spec;
+}
+
+/** Gradient bytes one worker puts on the wire per iteration. */
+std::uint64_t
+wireBytes(const harness::ExperimentSpec &spec)
+{
+    const std::uint64_t full = spec.config.wire_model_bytes;
+    return spec.config.precision == net::Precision::kFp16 ? full / 2 : full;
+}
+
+/** One optimizer step with the precision's codec round-trip applied. */
+void
+roundTrip(ml::Vec &g, net::Precision prec)
+{
+    switch (prec) {
+      case net::Precision::kFp16:
+        ml::quantizeInPlace(g);
+        break;
+      case net::Precision::kInt32: {
+        const int e = ml::blockExponent(g.data(), g.size(), 1);
+        ml::Vec wire(g.size());
+        ml::encodeBlockInt32(g.data(), g.size(), e, wire.data());
+        ml::decodeBlockInt32(wire.data(), wire.size(), e, g.data());
+        break;
+      }
+      case net::Precision::kFp32:
+      default:
+        break;
+    }
+}
+
+double
+trainReward(net::Precision prec)
+{
+    auto agent = rl::makeAgent(rl::Algo::kA2c,
+                               rl::specFor(rl::Algo::kA2c).config, 31, 32);
+    for (int i = 0; i < 700; ++i) {
+        ml::Vec g = agent->computeGradient();
+        roundTrip(g, prec);
+        agent->applyAggregatedGradient(g, 1);
+    }
+    return agent->avgEpisodeReward(20);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initBench(argc, argv);
+    bench::printHeader("Ablation — quantized gradient wire (extension)");
+
+    std::vector<harness::ExperimentSpec> specs;
+    for (auto k : bench::kSyncStrategies)
+        for (auto prec : kPrecisions)
+            specs.push_back(precSpec(rl::Algo::kDqn, k, prec));
+    bench::prefetch(specs);
+
+    harness::banner(
+        "Wire + timing: per-iteration ms at each precision (DQN)");
+    {
+        harness::Table t({"Strategy", "Precision", "wire MB/iter",
+                          "per-iter (ms)", "vs fp32"});
+        for (auto k : bench::kSyncStrategies) {
+            const double base =
+                bench::runner()
+                    .run(precSpec(rl::Algo::kDqn, k, net::Precision::kFp32))
+                    .perIterationMs();
+            for (auto prec : kPrecisions) {
+                const harness::ExperimentSpec spec =
+                    precSpec(rl::Algo::kDqn, k, prec);
+                const double ms =
+                    bench::runner().run(spec).perIterationMs();
+                t.row({dist::strategyName(k), net::precisionName(prec),
+                       harness::fmt(static_cast<double>(wireBytes(spec)) /
+                                        (1024.0 * 1024.0),
+                                    2),
+                       harness::fmt(ms, 2), bench::speedupStr(base / ms)});
+            }
+        }
+        t.print();
+    }
+
+    harness::banner(
+        "Switch-side int32 exactness counters (sync iSwitch, DQN)");
+    {
+        const dist::RunResult &res = bench::runner().run(precSpec(
+            rl::Algo::kDqn, dist::StrategyKind::kSyncIswitch,
+            net::Precision::kInt32));
+        harness::Table t({"counter", "value"});
+        for (const char *key :
+             {"pipeline_segments", "quant_value_clamps", "quant_exp_clamps",
+              "switch_overflow_clamps", "switch_exp_rescales"}) {
+            const auto it = res.extras.find(key);
+            t.row({key, harness::fmt(
+                            it == res.extras.end() ? 0.0 : it->second, 0)});
+        }
+        t.print();
+    }
+
+    harness::banner("Training quality: A2C reward after 700 updates");
+    {
+        const double base = trainReward(net::Precision::kFp32);
+        harness::Table t({"Gradient precision", "reward", "delta"});
+        for (auto prec : kPrecisions) {
+            const double r =
+                prec == net::Precision::kFp32 ? base : trainReward(prec);
+            t.row({net::precisionName(prec), harness::fmt(r, 2),
+                   harness::fmt(r - base, 2)});
+        }
+        t.print();
+    }
+
+    std::cout << "\nfp16 halves the wire and buys bandwidth-bound"
+              << "\nstrategies real time; int32 keeps fp32's wire size"
+              << "\nbut makes switch aggregation exact and deterministic"
+              << "\n(integer adds commute), at a quantization error the"
+              << "\nblock-shared exponent keeps below training noise.\n";
+    bench::writeReport("ablation_quantize");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/** @file Microbenchmarks: gradient wire codecs (DESIGN.md §14). */
+
+#include <benchmark/benchmark.h>
+
+#include "ml/quantize.hh"
+#include "sim/random.hh"
+
+namespace {
+
+using namespace isw;
+
+std::vector<float>
+randomGrads(std::size_t n)
+{
+    sim::Rng rng(7);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0)) * 0.1f;
+    return v;
+}
+
+void
+BM_BlockExponent(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ml::blockExponent(v.data(), v.size(), 4));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BlockExponent)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_EncodeBlockInt32(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    const int e = ml::blockExponent(v.data(), v.size(), 4);
+    std::vector<float> wire(n);
+    for (auto _ : state) {
+        ml::encodeBlockInt32(v.data(), v.size(), e, wire.data());
+        benchmark::DoNotOptimize(wire.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EncodeBlockInt32)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_DecodeBlockInt32(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    const int e = ml::blockExponent(v.data(), v.size(), 4);
+    std::vector<float> wire(n), out(n);
+    ml::encodeBlockInt32(v.data(), v.size(), e, wire.data());
+    for (auto _ : state) {
+        ml::decodeBlockInt32(wire.data(), wire.size(), e, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecodeBlockInt32)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_AddBlockInt32(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    const int e = ml::blockExponent(v.data(), v.size(), 4);
+    std::vector<float> wire(n), acc(n, 0.0f);
+    ml::encodeBlockInt32(v.data(), v.size(), e, wire.data());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ml::addBlockInt32(acc.data(), wire.data(), n));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AddBlockInt32)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_PackHalfWords(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    std::vector<float> wire((n + 1) / 2);
+    for (auto _ : state) {
+        ml::packHalfWords(v.data(), v.size(), wire.data());
+        benchmark::DoNotOptimize(wire.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PackHalfWords)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_UnpackHalfWords(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> v = randomGrads(n);
+    std::vector<float> wire((n + 1) / 2), out(n);
+    ml::packHalfWords(v.data(), v.size(), wire.data());
+    for (auto _ : state) {
+        ml::unpackHalfWords(wire.data(), n, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnpackHalfWords)->Arg(1 << 12)->Arg(1 << 16);
+
+} // namespace

@@ -158,7 +158,7 @@ ProgrammableSwitch::onResult(const net::PacketPtr &pkt)
     if (const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload)) {
         const std::uint64_t key = packSegWord(chunk->seg, chunk->job);
         CachedResult res{chunk->values, chunk->wire_floats, 0,
-                         ++seg_completions_[key]};
+                         ++seg_completions_[key], chunk->prec, chunk->qexp};
         broadcastResult(key, res);
         result_cache_[key] = std::move(res);
         pruneCache(key);
@@ -207,13 +207,15 @@ ProgrammableSwitch::onEmit(std::uint64_t key, SegState sum)
         chunk.seg = segWordIndex(key);
         chunk.job = segWordJob(key);
         chunk.wire_floats = sum.wire_floats;
+        chunk.prec = sum.prec;
+        chunk.qexp = sum.qexp;
         chunk.values = std::move(sum.acc);
         pkt.payload = std::move(chunk);
         forward(net::makePacket(std::move(pkt)));
         return;
     }
     CachedResult res{std::move(sum.acc), sum.wire_floats, sum.count,
-                     ++seg_completions_[key]};
+                     ++seg_completions_[key], sum.prec, sum.qexp};
     broadcastResult(key, res);
     result_cache_[key] = std::move(res);
     pruneCache(key);
@@ -247,6 +249,8 @@ ProgrammableSwitch::sendResultTo(const Member &m, std::uint64_t key,
     chunk.seg = segWordIndex(key);
     chunk.job = segWordJob(key);
     chunk.wire_floats = res.wire_floats;
+    chunk.prec = res.prec;
+    chunk.qexp = res.qexp;
     chunk.values = net::PacketPool::local().acquireFloats(res.values.size());
     chunk.values.assign(res.values.begin(), res.values.end());
     pkt.payload = std::move(chunk);

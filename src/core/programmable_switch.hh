@@ -82,6 +82,9 @@ class ProgrammableSwitch : public net::EthSwitch
         std::uint32_t wire_floats = 0;
         std::uint32_t count = 0;
         std::uint64_t seq = 0; ///< how many completions this seg has had
+        /** Wire word format of `values` (quantized datapaths). */
+        net::Precision prec = net::Precision::kFp32;
+        std::int8_t qexp = 0;
     };
 
     void onEmit(std::uint64_t key, SegState sum);

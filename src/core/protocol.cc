@@ -59,7 +59,7 @@ encodeData(const net::ChunkPayload &d)
 {
     std::vector<std::uint8_t> out;
     out.reserve(8 + std::size_t{d.wire_floats} * 4);
-    putU64(out, packSegWord(d.seg, d.job, d.ver));
+    putU64(out, packSegWord(d.seg, d.job, d.ver, d.prec, d.qexp));
     for (std::uint32_t i = 0; i < d.wire_floats; ++i) {
         float f = i < d.values.size() ? d.values[i] : 0.0f;
         std::uint32_t bits;
@@ -77,9 +77,13 @@ decodeData(const std::vector<std::uint8_t> &bytes)
         return std::nullopt;
     net::ChunkPayload d;
     const std::uint64_t word = getU64(bytes.data());
+    if (((word >> kSegWordPrecShift) & 3) == 3)
+        return std::nullopt; // reserved precision tag
     d.seg = segWordIndex(word);
     d.job = segWordJob(word);
     d.ver = segWordVer(word);
+    d.prec = segWordPrec(word);
+    d.qexp = segWordQexp(word);
     d.wire_floats = static_cast<std::uint32_t>((bytes.size() - 8) / 4);
     d.values.resize(d.wire_floats);
     const std::uint8_t *p = bytes.data() + 8;

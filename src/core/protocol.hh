@@ -27,20 +27,27 @@ namespace isw::core {
 constexpr std::size_t kFloatsPerSeg = net::maxChunkFloats(true);
 
 /**
- * Multi-job Seg-word layout (DESIGN.md §11). The 8-byte Seg field of a
- * data packet packs, from the low end:
+ * Multi-job + quantized-wire Seg-word layout (DESIGN.md §11, §14).
+ * The 8-byte Seg field of a data packet packs, from the low end:
  *
  *   bits [47..0]  segment index
  *   bits [55..48] job id
  *   bit  [56]     slot-reuse version bit
- *   bits [63..57] reserved (zero)
+ *   bits [61..57] shared block exponent, biased +16 (int32 wire only)
+ *   bits [63..62] precision tag (net::Precision)
  *
- * A (job=0, ver=0) word equals the bare segment index, so the packed
- * format is byte-identical to the original single-job wire format.
+ * A (job=0, ver=0, fp32) word equals the bare segment index, so the
+ * packed format is byte-identical to the original single-job fp32
+ * wire format; the exponent bits are forced to zero unless the
+ * precision tag is kInt32.
  */
 constexpr std::uint64_t kSegWordIndexMask = (1ULL << 48) - 1;
 constexpr unsigned kSegWordJobShift = 48;
 constexpr unsigned kSegWordVerShift = 56;
+constexpr unsigned kSegWordQexpShift = 57;
+constexpr unsigned kSegWordPrecShift = 62;
+/** Bias applied to the 5-bit shared-exponent field. */
+constexpr int kSegWordQexpBias = 16;
 
 /** Pack (seg, job, ver) into one Seg word. */
 constexpr std::uint64_t
@@ -70,6 +77,37 @@ constexpr std::uint8_t
 segWordVer(std::uint64_t w)
 {
     return static_cast<std::uint8_t>((w >> kSegWordVerShift) & 1);
+}
+
+/** Pack (seg, job, ver, precision, shared exponent) into one Seg word. */
+constexpr std::uint64_t
+packSegWord(std::uint64_t seg, std::uint8_t job, std::uint8_t ver,
+            net::Precision prec, std::int8_t qexp)
+{
+    const std::uint64_t p = static_cast<std::uint64_t>(prec) & 3;
+    const std::uint64_t q =
+        prec == net::Precision::kInt32
+            ? static_cast<std::uint64_t>(qexp + kSegWordQexpBias) & 31
+            : 0;
+    return packSegWord(seg, job, ver) | (q << kSegWordQexpShift) |
+           (p << kSegWordPrecShift);
+}
+
+/** Precision tag of a Seg word. */
+constexpr net::Precision
+segWordPrec(std::uint64_t w)
+{
+    return static_cast<net::Precision>((w >> kSegWordPrecShift) & 3);
+}
+
+/** Shared block exponent of a Seg word (0 unless the tag is kInt32). */
+constexpr std::int8_t
+segWordQexp(std::uint64_t w)
+{
+    if (segWordPrec(w) != net::Precision::kInt32)
+        return 0;
+    return static_cast<std::int8_t>(
+        static_cast<int>((w >> kSegWordQexpShift) & 31) - kSegWordQexpBias);
 }
 
 /** Number of segments needed to carry @p wire_bytes of gradient. */

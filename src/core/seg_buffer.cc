@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ml/quantize.hh"
 #include "net/packet_pool.hh"
 
 namespace isw::core {
@@ -160,6 +161,8 @@ SegBufferPool::totals() const
         t.busy_drops += s.busy_drops;
         t.unadmitted += s.unadmitted;
         t.reclaimed += s.reclaimed;
+        t.overflow_clamps += s.overflow_clamps;
+        t.exp_rescales += s.exp_rescales;
     }
     return t;
 }
@@ -171,6 +174,10 @@ SegBufferPool::foldInto(SegState &st, const net::ChunkPayload &chunk,
     if (dedupe && !st.contributors.insert(src).second)
         return SlotOutcome::kDuplicate; // retransmission: already folded in
     st.wire_floats = std::max(st.wire_floats, chunk.wire_floats);
+    if (st.count == 0) {
+        st.prec = chunk.prec;
+        st.qexp = chunk.qexp;
+    }
     const std::size_t n = chunk.values.size();
     if (st.acc.size() < n) {
         if (st.acc.capacity() == 0)
@@ -179,8 +186,40 @@ SegBufferPool::foldInto(SegState &st, const net::ChunkPayload &chunk,
     }
     float *__restrict__ a = st.acc.data();
     const float *__restrict__ v = chunk.values.data();
-    for (std::size_t i = 0; i < n; ++i)
-        a[i] += v[i];
+    if (st.prec == net::Precision::kInt32) {
+        // Integer-ALU datapath: saturating int32 adds at the slot's
+        // shared exponent. Equal-exponent contributions commute
+        // bit-identically; a mismatch rescales toward the larger
+        // exponent (max over contributions — itself order-independent)
+        // and is counted as the documented degraded path.
+        SlotPoolStats &js = statsFor(chunk.job);
+        std::uint64_t clamps = 0;
+        if (chunk.qexp != st.qexp) {
+            ++js.exp_rescales;
+            if (chunk.qexp > st.qexp) {
+                clamps += ml::rescaleBlockInt32(a, st.acc.size(), st.qexp,
+                                                chunk.qexp);
+                st.qexp = chunk.qexp;
+            }
+        }
+        if (chunk.qexp < st.qexp) {
+            std::vector<float> tmp(v, v + n);
+            clamps +=
+                ml::rescaleBlockInt32(tmp.data(), n, chunk.qexp, st.qexp);
+            clamps += ml::addBlockInt32(a, tmp.data(), n);
+        } else {
+            clamps += ml::addBlockInt32(a, v, n);
+        }
+        js.overflow_clamps += clamps;
+    } else if (st.prec == net::Precision::kFp16) {
+        // FPISA-style half adders: unpack both packed halves, add in
+        // fp32, round back to fp16 — per-step rounding included.
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] = ml::addHalfWords(a[i], v[i]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] += v[i];
+    }
     ++st.count;
     return st.count >= h ? SlotOutcome::kCompleted : SlotOutcome::kAccepted;
 }
@@ -318,6 +357,8 @@ SegBufferPool::harvest(std::uint64_t key, bool completed)
     st.acc.clear();
     st.count = 0;
     st.wire_floats = 0;
+    st.prec = net::Precision::kFp32;
+    st.qexp = 0;
     st.contributors.clear();
     eraseIndex(key);
     free_.push_back(slot);

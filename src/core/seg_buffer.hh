@@ -19,9 +19,20 @@ namespace isw::core {
 /** Accumulated contributions toward one segment of the gradient. */
 struct SegState
 {
-    std::vector<float> acc;      ///< element-wise running sum
+    /**
+     * Element-wise running sum in the wire's word format: raw float32
+     * adds for kFp32, packed half-pair adds for kFp16, saturating
+     * int32 adds for kInt32 (bit-cast into the float storage) — the
+     * int path is exact and order-independent, which is what a real
+     * integer-ALU switch pipeline computes (DESIGN.md §14).
+     */
+    std::vector<float> acc;
     std::uint32_t count = 0;     ///< contributions received so far
     std::uint32_t wire_floats = 0; ///< wire slots (max over contributions)
+    /** Word format + shared exponent, latched from the first
+     *  contribution; later mismatched exponents are shift-rescaled. */
+    net::Precision prec = net::Precision::kFp32;
+    std::int8_t qexp = 0;
     /** Sources folded in (used only under contributor dedupe). */
     std::unordered_set<std::uint32_t> contributors;
 };
@@ -46,6 +57,8 @@ struct SlotPoolStats
     std::uint64_t busy_drops = 0;  ///< busy-slot rejections (Nacked)
     std::uint64_t unadmitted = 0;  ///< packets from unadmitted jobs
     std::uint64_t reclaimed = 0;   ///< partials dropped on member Leave
+    std::uint64_t overflow_clamps = 0; ///< int32 lanes saturated in adds
+    std::uint64_t exp_rescales = 0; ///< exponent-mismatch contributions
 };
 
 /**
@@ -206,10 +219,11 @@ class SegBufferPool
             (seg + 1) * 0x9E3779B97F4A7C15ULL >> 32);
     }
 
-    /** Fold @p chunk into @p st; Accepted/Completed/Duplicate. */
-    static SlotOutcome foldInto(SegState &st, const net::ChunkPayload &chunk,
-                                std::uint32_t h, std::uint32_t src,
-                                bool dedupe);
+    /** Fold @p chunk into @p st per its wire precision;
+     *  Accepted/Completed/Duplicate. Member (not static) because the
+     *  int32 path books saturation/rescale counters per job. */
+    SlotOutcome foldInto(SegState &st, const net::ChunkPayload &chunk,
+                         std::uint32_t h, std::uint32_t src, bool dedupe);
 
     SlotOutcome offerUnbounded(const net::ChunkPayload &chunk,
                                std::uint32_t h, std::uint32_t src,

@@ -22,9 +22,9 @@ SyncAllReduceJob::SyncAllReduceJob(const JobConfig &cfg) : JobBase(cfg)
         chunks_[c].wire_bytes =
             c + 1 == n ? fmt.wire_bytes - wire_used : base_wire;
         wire_used += chunks_[c].wire_bytes;
-        // The wire share must fit the logical share.
-        const std::uint64_t need =
-            (chunks_[c].log_end - chunks_[c].log_begin) * 4;
+        // The wire share must fit the logical share at our precision.
+        const std::uint64_t need = WireFormat::minWireBytes(
+            fmt.precision, chunks_[c].log_end - chunks_[c].log_begin);
         if (chunks_[c].wire_bytes < need)
             chunks_[c].wire_bytes = need;
     }
@@ -89,8 +89,9 @@ SyncAllReduceJob::sendStep(WorkerCtx &w, std::size_t step)
     const std::size_t chunk = sendChunkAt(w.index, step);
     const ChunkSpec &cs = chunks_[chunk];
     WorkerCtx &next = workers_[(w.index + 1) % workers_.size()];
-    const WireFormat cfmt = WireFormat::forVector(
-        cs.log_end - cs.log_begin, cs.wire_bytes, /*iswitch_plane=*/false);
+    const WireFormat cfmt =
+        WireFormat::forVector(cs.log_end - cs.log_begin, cs.wire_bytes,
+                              /*iswitch_plane=*/false, cfg_.precision);
     WorkerCtx *wp = &w;
     net::Host *dst = next.host;
     const std::uint64_t tid = xferId(rs.round, step);
@@ -100,7 +101,8 @@ SyncAllReduceJob::sendStep(WorkerCtx &w, std::size_t step)
                    /*tos=*/0, tid,
                    std::span<const float>(rs.acc.data() + cs.log_begin,
                                           cs.log_end - cs.log_begin),
-                   cfmt);
+                   cfmt, /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                   wp->ppp.get());
         if (!recoveryEnabled())
             return;
         // Snapshot the chunk as sent: rs.acc mutates as later steps
@@ -131,7 +133,9 @@ SyncAllReduceJob::sendStep(WorkerCtx &w, std::size_t step)
             for (std::uint64_t seg : missing) {
                 sendVectorSegment(*oit->second.src, oit->second.dst->ip(),
                                   kWorkerPort, kWorkerPort, /*tos=*/0, tid,
-                                  oit->second.data, oit->second.fmt, seg);
+                                  oit->second.data, oit->second.fmt, seg,
+                                  /*seg_base=*/0, /*job=*/0,
+                                  /*ver_quota=*/0, wp->ppp.get());
                 ++recovery_.retransmits;
             }
             return missing.size();
@@ -161,7 +165,7 @@ SyncAllReduceJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
         const ChunkSpec &cs = chunks_[c];
         const WireFormat cfmt =
             WireFormat::forVector(cs.log_end - cs.log_begin, cs.wire_bytes,
-                                  /*iswitch_plane=*/false);
+                                  /*iswitch_plane=*/false, cfg_.precision);
         it = rs.inflight.emplace(chunk->transfer_id, VectorAssembler(cfmt))
                  .first;
     }

@@ -24,6 +24,8 @@ AsyncIswitchJob::init()
     for (auto &rx : rx_)
         rx.reset(fmt_);
     lwu_busy_.assign(workers_.size(), false);
+    if (cfg_.precision == net::Precision::kInt32)
+        static_qexp_.assign(fmt_.segments(), ml::kDefaultQexp);
     sent_.assign(workers_.size(), 0);
     last_sent_.resize(workers_.size());
     watch_.resize(workers_.size());
@@ -98,7 +100,8 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
             sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad, leaf] {
                 sendVector(*wp->host, leaf->ip(), kSwitchPort, kWorkerPort,
                            net::kTosData, /*transfer_id=*/0, grad, fmt_,
-                           /*seg_base=*/0, jobId());
+                           /*seg_base=*/0, jobId(), /*ver_quota=*/0,
+                           wp->ppp.get(), static_qexp_);
                 if (recoveryEnabled()) {
                     last_sent_[wp->index] = grad;
                     rearmWatch(*wp);
@@ -193,7 +196,8 @@ AsyncIswitchJob::nudge(WorkerCtx &w)
             sendVectorSegment(*w.host, leaf->ip(), kSwitchPort,
                               kWorkerPort, net::kTosData,
                               /*transfer_id=*/0, last_sent_[w.index],
-                              fmt_, seg, /*seg_base=*/0, jobId());
+                              fmt_, seg, /*seg_base=*/0, jobId(),
+                              /*ver_quota=*/0, w.ppp.get(), static_qexp_);
             ++recovery_.retransmits;
         }
     }

@@ -64,6 +64,15 @@ class AsyncIswitchJob : public JobBase
     std::vector<ml::Vec> last_sent_;
     /** Per-worker stall watchdogs (deque: RetxTimer is pinned). */
     std::deque<RetxTimer> watch_;
+    /**
+     * Static per-segment exponents for the int32 datapath. Async mode
+     * cannot speculate from a previous aggregate — cross-iteration
+     * segment mixing means there is no common broadcast to derive the
+     * next exponent from — so every round encodes at the fixed default
+     * and order-independence is preserved (DESIGN.md §14). Empty
+     * unless cfg_.precision == kInt32.
+     */
+    std::vector<std::int8_t> static_qexp_;
 
   public:
     std::uint64_t gradientsCommitted() const { return committed_; }

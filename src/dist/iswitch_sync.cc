@@ -27,6 +27,10 @@ SyncIswitchJob::init()
         configureTimer(t);
     next_unsent_.assign(workers_.size(), 0);
     nack_streak_.assign(workers_.size(), 0);
+    if (cfg_.precision == net::Precision::kInt32)
+        seg_qexp_.assign(workers_.size(),
+                         std::vector<std::int8_t>(fmt_.segments(),
+                                                  ml::kDefaultQexp));
     // Retransmissions must be idempotent in synchronous mode. On a
     // shared fabric only our own job's traffic may be touched.
     if (jobId() == 0) {
@@ -92,7 +96,8 @@ SyncIswitchJob::sendGradient(WorkerCtx &w)
     if (window == 0) {
         sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
                    net::kTosData, /*transfer_id=*/0, w.pending_grad, fmt_,
-                   segBase(w), jobId(), slotQuota());
+                   segBase(w), jobId(), slotQuota(), w.ppp.get(),
+                   qexpSpan(w));
         next_unsent_[w.index] = fmt_.segments();
     } else {
         // Stream the first window; results self-clock the rest.
@@ -115,7 +120,8 @@ SyncIswitchJob::sendOneSegment(WorkerCtx &w, std::uint64_t seg)
     auto *leaf = cluster_.leafOf(w.index);
     sendVectorSegment(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
                       net::kTosData, /*transfer_id=*/0, w.pending_grad,
-                      fmt_, seg, segBase(w), jobId(), slotQuota());
+                      fmt_, seg, segBase(w), jobId(), slotQuota(),
+                      w.ppp.get(), qexpSpan(w));
 }
 
 void
@@ -202,6 +208,38 @@ SyncIswitchJob::onNack(WorkerCtx &w, std::uint64_t value)
     });
 }
 
+std::span<const std::int8_t>
+SyncIswitchJob::qexpSpan(const WorkerCtx &w) const
+{
+    if (seg_qexp_.empty())
+        return {};
+    return seg_qexp_[w.index];
+}
+
+void
+SyncIswitchJob::speculateNextExponents(WorkerCtx &w)
+{
+    if (seg_qexp_.empty())
+        return;
+    // Derive round r+1's per-segment exponents from round r's decoded
+    // aggregate — a pure function of the broadcast every worker holds,
+    // so all H workers agree without an extra negotiation round
+    // (DESIGN.md §14). Round 0 used the static default from init().
+    const auto &agg = w.rx.vector();
+    const std::uint64_t fps = fmt_.floatsPerSeg();
+    const auto h = static_cast<std::uint32_t>(workers_.size());
+    auto &exps = seg_qexp_[w.index];
+    for (std::uint64_t seg = 0; seg < exps.size(); ++seg) {
+        const std::uint64_t begin = seg * fps;
+        if (begin >= agg.size())
+            break;
+        const std::uint64_t n =
+            std::min<std::uint64_t>(fps, agg.size() - begin);
+        exps[seg] = static_cast<std::int8_t>(
+            ml::speculateExponent(agg.data() + begin, n, h));
+    }
+}
+
 void
 SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
@@ -243,6 +281,7 @@ SyncIswitchJob::onResultComplete(WorkerCtx &w)
             WorkerCtx &w = *wp;
             w.agent->applyAggregatedGradient(
                 w.rx.vector(), static_cast<std::uint32_t>(workers_.size()));
+            speculateNextExponents(w);
             w.rx.reset();
             ++w.round;
             if (w.index == 0)

@@ -66,7 +66,21 @@ class SyncIswitchJob : public JobBase
     void onPacket(WorkerCtx &w, const net::PacketPtr &pkt);
     void onResultComplete(WorkerCtx &w);
 
+    /** Forced per-segment exponents for @p w's sends ({} unless int32). */
+    std::span<const std::int8_t> qexpSpan(const WorkerCtx &w) const;
+    /** Derive next round's exponents from the decoded aggregate. */
+    void speculateNextExponents(WorkerCtx &w);
+
     WireFormat fmt_;
+    /**
+     * Per-worker per-segment shared exponents for the int32 datapath
+     * (DESIGN.md §14). Every worker must encode a segment at the same
+     * exponent so the switch adds equal-scale integers; round r+1's
+     * exponents are speculated from round r's broadcast aggregate — a
+     * pure function of data all workers share — and round 0 uses the
+     * static default. Empty unless cfg_.precision == kInt32.
+     */
+    std::vector<std::vector<std::int8_t>> seg_qexp_;
     /** Per-worker Help timers (deque: RetxTimer is address-pinned). */
     std::deque<RetxTimer> help_;
     /** Per-worker next unsent segment offset (streaming mode only). */

@@ -13,11 +13,12 @@ constexpr std::uint64_t kNoVer = ~0ULL;
 AsyncPsJob::AsyncPsJob(const JobConfig &cfg) : JobBase(cfg)
 {
     fmt_ = gradientWire(/*iswitch_plane=*/false);
+    wfmt_ = gradientWire(/*iswitch_plane=*/false, net::Precision::kFp32);
     srv_rx_.resize(workers_.size());
     for (auto &rx : srv_rx_)
         rx.reset(fmt_);
     for (auto &w : workers_)
-        w.rx.reset(fmt_);
+        w.rx.reset(wfmt_);
     installed_version_.assign(workers_.size(), 0);
     // The server's replica starts from the same weights as everyone.
     workers_.front().agent->getWeights(srv_weights_);
@@ -92,7 +93,7 @@ AsyncPsJob::onPsPacket(const net::PacketPtr &pkt)
         net::Host *dst = workers_[idx].host;
         sim_->after(cfg_.overhead.send, [this, dst, tid] {
             sendVector(*cluster_.ps, dst->ip(), kWorkerPort, kPsPort,
-                       /*tos=*/0, tid, srv_weights_, fmt_);
+                       /*tos=*/0, tid, srv_weights_, wfmt_);
         });
         return;
     }
@@ -179,7 +180,8 @@ AsyncPsJob::lgc(WorkerCtx &w)
                     last_push_[wp->index] = wp->pending_grad;
                 sendVector(*wp->host, cluster_.ps->ip(), kPsPort,
                            kWorkerPort, /*tos=*/0, tid,
-                           wp->pending_grad, fmt_);
+                           wp->pending_grad, fmt_, /*seg_base=*/0,
+                           /*job=*/0, /*ver_quota=*/0, wp->ppp.get());
                 push_retx_[wp->index].arm([this, wp, tid,
                                            seq]() -> std::size_t {
                     const std::size_t i = wp->index;
@@ -199,7 +201,9 @@ AsyncPsJob::lgc(WorkerCtx &w)
                     for (std::uint64_t seg : missing) {
                         sendVectorSegment(*wp->host, cluster_.ps->ip(),
                                           kPsPort, kWorkerPort, /*tos=*/0,
-                                          tid, last_push_[i], fmt_, seg);
+                                          tid, last_push_[i], fmt_, seg,
+                                          /*seg_base=*/0, /*job=*/0,
+                                          /*ver_quota=*/0, wp->ppp.get());
                         ++recovery_.retransmits;
                     }
                     return missing.size();

@@ -34,6 +34,10 @@ class AsyncPsJob : public JobBase
     void onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt);
 
     WireFormat fmt_;
+    /** Weight-pull replies stay raw fp32 regardless of cfg_.precision:
+     *  quantizing installed weights would compound error every pull,
+     *  and the paper's ablation quantizes only the gradient plane. */
+    WireFormat wfmt_;
     ml::Vec srv_weights_;
     std::unique_ptr<ml::Optimizer> srv_opt_;
     std::uint64_t srv_version_ = 0;

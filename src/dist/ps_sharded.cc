@@ -51,17 +51,20 @@ SyncShardedPsJob::SyncShardedPsJob(const JobConfig &cfg) : JobBase(cfg)
         sp.wire_bytes =
             s + 1 == k ? full.wire_bytes - wire_used : base_wire;
         wire_used += sp.wire_bytes;
-        const std::uint64_t need = (sp.log_end - sp.log_begin) * 4;
+        const std::uint64_t need = WireFormat::minWireBytes(
+            full.precision, sp.log_end - sp.log_begin);
         if (sp.wire_bytes < need)
             sp.wire_bytes = need;
         sp.fmt = WireFormat::forVector(sp.log_end - sp.log_begin,
                                        sp.wire_bytes,
-                                       /*iswitch_plane=*/false);
+                                       /*iswitch_plane=*/false,
+                                       full.precision);
     }
 
     state_.resize(k);
     for (auto &st : state_) {
         st.rx.resize(workers_.size());
+        st.ppp = makePipeline();
     }
     for (std::size_t s = 0; s < k; ++s)
         for (auto &rx : state_[s].rx)
@@ -118,7 +121,9 @@ SyncShardedPsJob::beginRound(WorkerCtx &w)
                     sp.log_end - sp.log_begin);
                 sendVector(*wp->host, cluster_.ps_shards[s]->ip(),
                            kPsPort, kWorkerPort, /*tos=*/0,
-                           makeTid(r, wp->index), slice, sp.fmt);
+                           makeTid(r, wp->index), slice, sp.fmt,
+                           /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                           wp->ppp.get());
                 // Guard this slice: the free-ack model reads the
                 // shard's assembler to learn what is still missing.
                 grad_retx_[wp->index * shards_.size() + s].arm(
@@ -136,7 +141,8 @@ SyncShardedPsJob::beginRound(WorkerCtx &w)
                                 std::span<const float>(
                                     wp->pending_grad.data() + sp.log_begin,
                                     sp.log_end - sp.log_begin),
-                                sp.fmt, seg);
+                                sp.fmt, seg, /*seg_base=*/0, /*job=*/0,
+                                /*ver_quota=*/0, wp->ppp.get());
                             ++recovery_.retransmits;
                             ++n;
                         }
@@ -201,7 +207,9 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
                     kResultFlag | makeTid(round, shard);
                 sendVector(*cluster_.ps_shards[shard], wp->host->ip(),
                            kWorkerPort, kPsPort, /*tos=*/0, tid,
-                           state_[shard].sum, shards_[shard].fmt);
+                           state_[shard].sum, shards_[shard].fmt,
+                           /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                           state_[shard].ppp.get());
                 // Guard the result slice; st.sum is stable until every
                 // worker finished this round (a worker missing this
                 // slice cannot have scattered the next round's slice).
@@ -217,7 +225,10 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
                                               wp->host->ip(), kWorkerPort,
                                               kPsPort, /*tos=*/0, tid,
                                               state_[shard].sum,
-                                              shards_[shard].fmt, seg);
+                                              shards_[shard].fmt, seg,
+                                              /*seg_base=*/0, /*job=*/0,
+                                              /*ver_quota=*/0,
+                                              state_[shard].ppp.get());
                             ++recovery_.retransmits;
                             ++n;
                         }

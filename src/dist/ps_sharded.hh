@@ -47,6 +47,9 @@ class SyncShardedPsJob : public JobBase
         std::size_t received = 0;
         std::uint64_t round = 0; ///< round this shard is collecting
         ml::Vec sum;
+        /** The shard's pipeline stage for result sends (per shard:
+         *  sharded runs may execute shards on domain threads). */
+        std::unique_ptr<PrePostProcessor> ppp;
     };
 
     void beginRound(WorkerCtx &w);

@@ -40,6 +40,7 @@ SyncPsJob::SyncPsJob(const JobConfig &cfg) : JobBase(cfg)
     for (auto &w : workers_)
         w.rx.reset(fmt_);
     ps_rng_ = sim_->forkRng();
+    srv_ppp_ = makePipeline();
     grad_retx_.resize(workers_.size());
     result_retx_.resize(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -73,7 +74,8 @@ SyncPsJob::beginRound(WorkerCtx &w)
             const std::uint64_t r = wp->round;
             sendVector(*wp->host, cluster_.ps->ip(), kPsPort, kWorkerPort,
                        /*tos=*/0, gradTid(r, wp->index), wp->pending_grad,
-                       fmt_);
+                       fmt_, /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                       wp->ppp.get());
             // Guard the uplink transfer: on timeout, re-send whatever
             // the server's assembler is still missing (the ack channel
             // is modeled as free; data resends pay full wire cost).
@@ -86,7 +88,9 @@ SyncPsJob::beginRound(WorkerCtx &w)
                     sendVectorSegment(*wp->host, cluster_.ps->ip(), kPsPort,
                                       kWorkerPort, /*tos=*/0,
                                       gradTid(r, wp->index),
-                                      wp->pending_grad, fmt_, seg);
+                                      wp->pending_grad, fmt_, seg,
+                                      /*seg_base=*/0, /*job=*/0,
+                                      /*ver_quota=*/0, wp->ppp.get());
                     ++recovery_.retransmits;
                     ++n;
                 }
@@ -146,7 +150,9 @@ SyncPsJob::serverAggregate()
                 const std::uint64_t tid =
                     kResultFlag | gradTid(round, wp->index);
                 sendVector(*cluster_.ps, wp->host->ip(), kWorkerPort,
-                           kPsPort, /*tos=*/0, tid, ps_sum_, fmt_);
+                           kPsPort, /*tos=*/0, tid, ps_sum_, fmt_,
+                           /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                           srv_ppp_.get());
                 // Guard the downlink transfer; ps_sum_ is stable until
                 // every worker finished this round.
                 result_retx_[wp->index].arm([this, wp, tid,
@@ -157,7 +163,9 @@ SyncPsJob::serverAggregate()
                     for (std::uint64_t seg : wp->rx.missingSegments()) {
                         sendVectorSegment(*cluster_.ps, wp->host->ip(),
                                           kWorkerPort, kPsPort, /*tos=*/0,
-                                          tid, ps_sum_, fmt_, seg);
+                                          tid, ps_sum_, fmt_, seg,
+                                          /*seg_base=*/0, /*job=*/0,
+                                          /*ver_quota=*/0, srv_ppp_.get());
                         ++recovery_.retransmits;
                         ++n;
                     }

@@ -45,6 +45,10 @@ class SyncPsJob : public JobBase
     ml::Vec ps_sum_;
     sim::TimeNs last_server_wu_ = 0;
     sim::Rng ps_rng_;
+    /** The server's own pipeline stage for result sends (workers use
+     *  their per-WorkerCtx processors; endpoint strategies pick each
+     *  chunk's exponent from the data, headroom 1). */
+    std::unique_ptr<PrePostProcessor> srv_ppp_;
     /** Per-worker loss-recovery timers (uplink / downlink). Deque:
      *  RetxTimer is address-pinned (its pending event captures this). */
     std::deque<RetxTimer> grad_retx_;

@@ -135,6 +135,7 @@ JobBase::initWorkers()
                                 /*weight_seed=*/cfg_.seed * 7919 + 17,
                                 /*env_seed=*/cfg_.seed * 104729 + 31 + i);
         w.rng = sim_->forkRng();
+        w.ppp = makePipeline();
         publishWorker(w);
     }
 }
@@ -267,10 +268,22 @@ JobBase::workerAgent(std::size_t i)
 WireFormat
 JobBase::gradientWire(bool iswitch_plane) const
 {
+    return gradientWire(iswitch_plane, cfg_.precision);
+}
+
+WireFormat
+JobBase::gradientWire(bool iswitch_plane, net::Precision precision) const
+{
     const std::uint64_t logical = workers_.front().agent->paramCount();
-    const std::uint64_t wire =
-        cfg_.wire_model_bytes == 0 ? logical * 4 : cfg_.wire_model_bytes;
-    return WireFormat::forVector(logical, wire, iswitch_plane);
+    std::uint64_t wire =
+        cfg_.wire_model_bytes == 0
+            ? WireFormat::minWireBytes(precision, logical)
+            : cfg_.wire_model_bytes;
+    // A paper-sized wire model counts fp32 words; packed halves carry
+    // it in half the bytes (int32 words are the same width as fp32).
+    if (cfg_.wire_model_bytes != 0 && precision == net::Precision::kFp16)
+        wire /= 2;
+    return WireFormat::forVector(logical, wire, iswitch_plane, precision);
 }
 
 void
@@ -529,6 +542,45 @@ JobBase::collectExtras(RunResult &res) const
         for (std::size_t b = 0; b < r.latency_hist.size(); ++b)
             res.extras[kHistKeys[b]] =
                 static_cast<double>(r.latency_hist[b]);
+    }
+    // Quantization observability. Gated on a quantized precision so
+    // fp32 (bypass) runs emit the exact legacy key set.
+    if (cfg_.precision != net::Precision::kFp32) {
+        PipelineStats p;
+        for (const WorkerCtx &w : workers_) {
+            if (w.ppp == nullptr)
+                continue;
+            p.segments += w.ppp->stats().segments;
+            p.value_clamps += w.ppp->stats().value_clamps;
+            p.exp_clamps += w.ppp->stats().exp_clamps;
+        }
+        res.extras["pipeline_segments"] = static_cast<double>(p.segments);
+        res.extras["quant_value_clamps"] =
+            static_cast<double>(p.value_clamps);
+        res.extras["quant_exp_clamps"] = static_cast<double>(p.exp_clamps);
+        if (cluster_.root != nullptr) {
+            // Integer-datapath counters summed over every aggregating
+            // switch (a star's root is also leaves.front(); count each
+            // switch once).
+            core::SlotPoolStats sw;
+            const auto fold = [&sw](core::ProgrammableSwitch *s) {
+                const core::SlotPoolStats t =
+                    s->accelerator().pool().totals();
+                sw.overflow_clamps += t.overflow_clamps;
+                sw.exp_rescales += t.exp_rescales;
+            };
+            fold(cluster_.root);
+            for (core::ProgrammableSwitch *leaf : cluster_.leaves)
+                if (leaf != cluster_.root)
+                    fold(leaf);
+            for (core::ProgrammableSwitch *agg : cluster_.aggs)
+                if (agg != cluster_.root)
+                    fold(agg);
+            res.extras["switch_overflow_clamps"] =
+                static_cast<double>(sw.overflow_clamps);
+            res.extras["switch_exp_rescales"] =
+                static_cast<double>(sw.exp_rescales);
+        }
     }
     if (injector_ != nullptr) {
         const net::FaultStats &f = injector_->stats();

@@ -22,6 +22,7 @@
 
 #include "dist/cluster.hh"
 #include "dist/metrics.hh"
+#include "dist/pipeline.hh"
 #include "dist/timing.hh"
 #include "dist/transport.hh"
 #include "net/fault.hh"
@@ -130,6 +131,17 @@ struct JobConfig
      * updates.
      */
     std::uint32_t agg_threshold = 0;
+    /**
+     * Gradient wire precision — the pre/post-processor pipeline every
+     * strategy runs per chunk (DESIGN.md §14). kFp32 is the lossless
+     * bypass (reports byte-identical to a build without the
+     * pipeline); kFp16 packs two halves per wire word and halves a
+     * paper-sized wire model; kInt32 is block-shared-exponent fixed
+     * point, which the switch accumulates exactly with integer adds.
+     * Async-PS weight pulls always stay fp32 — only gradients
+     * quantize.
+     */
+    net::Precision precision = net::Precision::kFp32;
     StopCondition stop;
     std::size_t curve_every = 10; ///< curve sample period (iterations)
     /**
@@ -213,6 +225,13 @@ class JobBase
         sim::Rng rng; ///< timing jitter stream
         IterationMetrics metrics;
         VectorAssembler rx;
+        /**
+         * This worker's pipeline stage (always present; BypassPpp for
+         * fp32). Per worker, not per job: sharded runs execute
+         * workers on different domain threads and the stage keeps
+         * mutable counters.
+         */
+        std::unique_ptr<PrePostProcessor> ppp;
         ml::Vec pending_grad;     ///< gradient awaiting transmission
         sim::TimeNs lgc_end = 0;  ///< when the last LGC stage finished
         std::uint64_t round = 0;  ///< sync round / iteration index
@@ -259,8 +278,23 @@ class JobBase
 
     bool stopped() const { return stopped_; }
 
-    /** The wire format gradients/weights use on this job. */
+    /** The wire format gradients use on this job (cfg precision). */
     WireFormat gradientWire(bool iswitch_plane) const;
+
+    /**
+     * gradientWire at an explicit precision. Async-PS weight pulls
+     * pass kFp32: the server's reply is authoritative state, not a
+     * gradient, and always travels lossless.
+     */
+    WireFormat gradientWire(bool iswitch_plane,
+                            net::Precision precision) const;
+
+    /** Build a pipeline stage for this job's configured precision. */
+    std::unique_ptr<PrePostProcessor>
+    makePipeline(std::uint32_t headroom = 1) const
+    {
+        return makePrePostProcessor(cfg_.precision, headroom);
+    }
 
     /** Can frames be lost (link loss or an attached fault plan)? */
     bool lossyEnv() const;

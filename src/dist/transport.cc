@@ -2,18 +2,52 @@
 
 #include <algorithm>
 
+#include "dist/pipeline.hh"
+#include "ml/quantize.hh"
 #include "net/packet_pool.hh"
 
 namespace isw::dist {
+
+namespace {
+
+/**
+ * Fill one chunk's wire words from its logical sub-span: the legacy
+ * raw-fp32 copy when @p ppp is null (bit-identical to the
+ * pre-pipeline transport), the processor's encode otherwise. Padding
+ * segments (beyond the logical data) stay empty either way.
+ */
+void
+fillChunk(net::ChunkPayload &chunk, std::span<const float> logical,
+          const WireFormat &fmt, std::uint64_t seg, PrePostProcessor *ppp,
+          std::span<const std::int8_t> seg_qexp)
+{
+    const std::uint64_t fps = fmt.floatsPerSeg();
+    const std::uint64_t begin = seg * fps;
+    if (begin >= logical.size())
+        return;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + fps, logical.size());
+    const auto part = logical.subspan(begin, end - begin);
+    if (ppp != nullptr) {
+        const int forced =
+            seg < seg_qexp.size() ? seg_qexp[seg] : kAutoQexp;
+        ppp->encodeSeg(part, chunk, forced);
+        return;
+    }
+    chunk.values = net::PacketPool::local().acquireFloats(part.size());
+    chunk.values.assign(part.begin(), part.end());
+}
+
+} // namespace
 
 void
 sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
            std::uint16_t src_port, std::uint8_t tos,
            std::uint64_t transfer_id, std::span<const float> logical,
            const WireFormat &fmt, std::uint64_t seg_base, std::uint8_t job,
-           std::uint32_t ver_quota)
+           std::uint32_t ver_quota, PrePostProcessor *ppp,
+           std::span<const std::int8_t> seg_qexp)
 {
-    auto &pool = net::PacketPool::local();
     const std::uint64_t segs = fmt.segments();
     for (std::uint64_t seg = 0; seg < segs; ++seg) {
         net::ChunkPayload chunk;
@@ -24,15 +58,7 @@ sendVector(net::Host &host, net::Ipv4Addr dst_ip, std::uint16_t dst_port,
             chunk.ver = static_cast<std::uint8_t>(
                 (chunk.seg / ver_quota) & 1);
         chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
-        const std::uint64_t begin = seg * core::kFloatsPerSeg;
-        if (begin < logical.size()) {
-            const std::uint64_t end =
-                std::min<std::uint64_t>(begin + core::kFloatsPerSeg,
-                                        logical.size());
-            chunk.values = pool.acquireFloats(end - begin);
-            chunk.values.assign(logical.begin() + begin,
-                                logical.begin() + end);
-        }
+        fillChunk(chunk, logical, fmt, seg, ppp, seg_qexp);
         host.sendTo(dst_ip, dst_port, src_port, tos, std::move(chunk));
     }
 }
@@ -43,7 +69,8 @@ sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
                   std::uint8_t tos, std::uint64_t transfer_id,
                   std::span<const float> logical, const WireFormat &fmt,
                   std::uint64_t seg, std::uint64_t seg_base,
-                  std::uint8_t job, std::uint32_t ver_quota)
+                  std::uint8_t job, std::uint32_t ver_quota,
+                  PrePostProcessor *ppp, std::span<const std::int8_t> seg_qexp)
 {
     net::ChunkPayload chunk;
     chunk.transfer_id = transfer_id;
@@ -53,13 +80,7 @@ sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
         chunk.ver =
             static_cast<std::uint8_t>((chunk.seg / ver_quota) & 1);
     chunk.wire_floats = core::floatsInSeg(seg, fmt.wire_bytes);
-    const std::uint64_t begin = seg * core::kFloatsPerSeg;
-    if (begin < logical.size()) {
-        const std::uint64_t end = std::min<std::uint64_t>(
-            begin + core::kFloatsPerSeg, logical.size());
-        chunk.values = net::PacketPool::local().acquireFloats(end - begin);
-        chunk.values.assign(logical.begin() + begin, logical.begin() + end);
-    }
+    fillChunk(chunk, logical, fmt, seg, ppp, seg_qexp);
     host.sendTo(dst_ip, dst_port, src_port, tos, std::move(chunk));
 }
 
@@ -200,10 +221,34 @@ VectorAssembler::offer(const net::ChunkPayload &chunk, std::uint64_t seg_base)
         return false; // duplicate
     while (seen_.count(first_missing_) != 0)
         ++first_missing_; // advance the contiguous-prefix watermark
-    const std::uint64_t begin = seg * core::kFloatsPerSeg;
-    for (std::size_t i = 0;
-         i < chunk.values.size() && begin + i < data_.size(); ++i) {
-        data_[begin + i] = chunk.values[i];
+    const std::uint64_t begin = seg * fmt_.floatsPerSeg();
+    const std::size_t avail =
+        begin < data_.size() ? data_.size() - begin : 0;
+    switch (fmt_.precision) {
+      case net::Precision::kFp16: {
+        // Post-process: unpack half-pair wire words to fp32.
+        const std::size_t n =
+            std::min<std::size_t>(avail, chunk.values.size() * 2);
+        if (n != 0)
+            ml::unpackHalfWords(chunk.values.data(), n,
+                                data_.data() + begin);
+        break;
+      }
+      case net::Precision::kInt32: {
+        // Post-process: decode int32 words at the chunk's exponent.
+        const std::size_t n =
+            std::min<std::size_t>(avail, chunk.values.size());
+        if (n != 0)
+            ml::decodeBlockInt32(chunk.values.data(), n, chunk.qexp,
+                                 data_.data() + begin);
+        break;
+      }
+      default:
+        for (std::size_t i = 0;
+             i < chunk.values.size() && begin + i < data_.size(); ++i) {
+            data_[begin + i] = chunk.values[i];
+        }
+        break;
     }
     return complete();
 }

@@ -28,6 +28,8 @@
 
 namespace isw::dist {
 
+class PrePostProcessor; // pipeline.hh
+
 /** Host network-stack cost model (per logical message, not packet). */
 struct HostOverhead
 {
@@ -43,19 +45,48 @@ struct WireFormat
     std::uint64_t logical_floats = 0; ///< real data carried
     std::uint64_t wire_bytes = 0;     ///< bytes charged on the network
     bool iswitch_plane = false;       ///< 8-byte vs 16-byte chunk header
+    /** Word encoding of the float payload (DESIGN.md §14). */
+    net::Precision precision = net::Precision::kFp32;
 
     /** Number of segments/packets. */
     std::uint64_t segments() const { return core::segCount(wire_bytes); }
 
+    /**
+     * Logical floats carried by one full segment: fp32 and int32 use
+     * one 4-byte wire word per value; fp16 packs two halves per word,
+     * doubling per-packet capacity.
+     */
+    std::uint64_t floatsPerSeg() const
+    {
+        return precision == net::Precision::kFp16 ? core::kFloatsPerSeg * 2
+                                                  : core::kFloatsPerSeg;
+    }
+
+    /**
+     * Smallest honest wire size for @p logical_floats at @p precision
+     * (the forVector clamp). fp16 rounds an odd count up to a whole
+     * half-pair word; int32 is one word per value like fp32.
+     */
+    static std::uint64_t
+    minWireBytes(net::Precision precision, std::uint64_t logical_floats)
+    {
+        if (precision == net::Precision::kFp16)
+            return (logical_floats + 1) / 2 * 4;
+        return logical_floats * 4;
+    }
+
     /** Clamp so the wire can actually carry the logical data. */
     static WireFormat
     forVector(std::uint64_t logical_floats, std::uint64_t wire_bytes,
-              bool iswitch_plane)
+              bool iswitch_plane,
+              net::Precision precision = net::Precision::kFp32)
     {
         WireFormat f;
         f.logical_floats = logical_floats;
-        f.wire_bytes = std::max(wire_bytes, logical_floats * 4);
+        f.wire_bytes =
+            std::max(wire_bytes, minWireBytes(precision, logical_floats));
         f.iswitch_plane = iswitch_plane;
+        f.precision = precision;
         return f;
     }
 };
@@ -70,26 +101,38 @@ struct WireFormat
  * @param ver_quota When nonzero, each chunk carries the slot-reuse
  *        version bit ((seg_base+seg)/ver_quota)&1 so a bounded switch
  *        pool can tell apart successive occupants of one slot.
+ * @param ppp Optional pre-processor that encodes each segment's
+ *        logical floats into wire words (pipeline.hh). nullptr runs
+ *        the legacy raw-fp32 copy, bit for bit.
+ * @param seg_qexp Optional per-segment forced shared exponents
+ *        (indexed by segment offset within @p fmt), used by
+ *        switch-aggregated int32 runs so every contributor encodes a
+ *        segment at the agreed exponent. Segments beyond the span
+ *        fall back to the processor's auto choice.
  */
 void sendVector(net::Host &host, net::Ipv4Addr dst_ip,
                 std::uint16_t dst_port, std::uint16_t src_port,
                 std::uint8_t tos, std::uint64_t transfer_id,
                 std::span<const float> logical, const WireFormat &fmt,
                 std::uint64_t seg_base = 0, std::uint8_t job = 0,
-                std::uint32_t ver_quota = 0);
+                std::uint32_t ver_quota = 0,
+                PrePostProcessor *ppp = nullptr,
+                std::span<const std::int8_t> seg_qexp = {});
 
 /**
  * Enqueue a single segment of a vector (loss-recovery resends).
  * @p seg is the segment offset within @p fmt; the packet carries
- * seg_base + seg like sendVector would. @p job / @p ver_quota as in
- * sendVector.
+ * seg_base + seg like sendVector would. @p job / @p ver_quota /
+ * @p ppp / @p seg_qexp as in sendVector.
  */
 void sendVectorSegment(net::Host &host, net::Ipv4Addr dst_ip,
                        std::uint16_t dst_port, std::uint16_t src_port,
                        std::uint8_t tos, std::uint64_t transfer_id,
                        std::span<const float> logical, const WireFormat &fmt,
                        std::uint64_t seg, std::uint64_t seg_base = 0,
-                       std::uint8_t job = 0, std::uint32_t ver_quota = 0);
+                       std::uint8_t job = 0, std::uint32_t ver_quota = 0,
+                       PrePostProcessor *ppp = nullptr,
+                       std::span<const std::int8_t> seg_qexp = {});
 
 /**
  * Knobs of the universal retransmission layer (DESIGN.md §10): a
@@ -191,7 +234,13 @@ class RetxTimer
     std::uint32_t retries_ = 0;
 };
 
-/** Reassembles one vector from its segment packets. */
+/**
+ * Reassembles one vector from its segment packets. The receive side
+ * of the pipeline lives here: quantized wire words (fmt.precision)
+ * are decoded back to fp32 as each segment lands, using the chunk's
+ * own precision exponent — so every strategy gets the post-processor
+ * stage for free (DESIGN.md §14).
+ */
 class VectorAssembler
 {
   public:

@@ -126,6 +126,7 @@ SpecKey::of(const dist::JobConfig &cfg)
     kb.u(cfg.staleness_bound);
     kb.u(cfg.ps_shards);
     kb.u(cfg.agg_threshold);
+    kb.u(static_cast<std::uint64_t>(cfg.precision));
     kb.u(cfg.stop.max_iterations);
     kb.d(cfg.stop.target_reward);
     kb.u(cfg.stop.min_episodes);
@@ -473,6 +474,10 @@ configToJson(const dist::JobConfig &cfg)
         static_cast<std::uint64_t>(cfg.staleness_bound);
     v["ps_shards"] = static_cast<std::uint64_t>(cfg.ps_shards);
     v["agg_threshold"] = static_cast<std::uint64_t>(cfg.agg_threshold);
+    // Conditional: absent on fp32 configs so pre-pipeline reports stay
+    // byte-identical.
+    if (cfg.precision != net::Precision::kFp32)
+        v["precision"] = net::precisionName(cfg.precision);
     v["curve_every"] = static_cast<std::uint64_t>(cfg.curve_every);
     v["edge_bandwidth_bps"] = cfg.cluster.edge_link.bandwidth_bps;
     // Conditional: absent on unbounded-pool configs so pre-slot-pool

@@ -1,9 +1,38 @@
 #include "ml/quantize.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
 namespace isw::ml {
+
+namespace {
+
+/** ceil(log2(h)) for h >= 1 (0 for h <= 1). */
+int
+ceilLog2(std::uint32_t h)
+{
+    return h <= 1 ? 0 : std::bit_width(h - 1);
+}
+
+int
+clampExp(int e, QuantStats *st)
+{
+    if (e < kQexpMin) {
+        if (st != nullptr)
+            ++st->exp_clamps;
+        return kQexpMin;
+    }
+    if (e > kQexpMax) {
+        if (st != nullptr)
+            ++st->exp_clamps;
+        return kQexpMax;
+    }
+    return e;
+}
+
+} // namespace
 
 std::uint16_t
 encodeHalf(float f)
@@ -118,6 +147,171 @@ halfRoundTripError(std::span<const float> v)
         worst = std::max(worst,
                          std::fabs(decodeHalf(encodeHalf(x)) - x));
     return worst;
+}
+
+void
+packHalfWords(const float *src, std::size_t n, float *words)
+{
+    for (std::size_t i = 0; i < n; i += 2) {
+        const std::uint32_t lo = encodeHalf(src[i]);
+        const std::uint32_t hi = i + 1 < n ? encodeHalf(src[i + 1]) : 0;
+        words[i / 2] = std::bit_cast<float>(lo | (hi << 16));
+    }
+}
+
+void
+unpackHalfWords(const float *words, std::size_t n, float *dst)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto w = std::bit_cast<std::uint32_t>(words[i / 2]);
+        dst[i] = decodeHalf(
+            static_cast<std::uint16_t>((i & 1) ? w >> 16 : w & 0xFFFF));
+    }
+}
+
+float
+addHalfWords(float a, float b)
+{
+    const auto wa = std::bit_cast<std::uint32_t>(a);
+    const auto wb = std::bit_cast<std::uint32_t>(b);
+    const std::uint32_t lo = encodeHalf(
+        decodeHalf(static_cast<std::uint16_t>(wa & 0xFFFF)) +
+        decodeHalf(static_cast<std::uint16_t>(wb & 0xFFFF)));
+    const std::uint32_t hi = encodeHalf(
+        decodeHalf(static_cast<std::uint16_t>(wa >> 16)) +
+        decodeHalf(static_cast<std::uint16_t>(wb >> 16)));
+    return std::bit_cast<float>(lo | (hi << 16));
+}
+
+int
+blockExponent(const float *v, std::size_t n, std::uint32_t headroom,
+              QuantStats *st)
+{
+    float m = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = std::fabs(v[i]);
+        if (std::isfinite(a) && a > m)
+            m = a;
+    }
+    if (m == 0.0f)
+        return kDefaultQexp;
+    // m = f * 2^e with 0.5 <= f < 1, so every |v| < 2^e and a sum of
+    // `headroom` worst-case addends stays below 2^kQuantFracBits.
+    int e = 0;
+    std::frexp(m, &e);
+    return clampExp(e + ceilLog2(headroom), st);
+}
+
+void
+encodeBlockInt32(const float *src, std::size_t n, int e, float *words,
+                 QuantStats *st)
+{
+    const double scale = std::ldexp(1.0, kQuantFracBits - e);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float f = src[i];
+        std::int32_t q;
+        if (!std::isfinite(f)) {
+            // NaN carries no magnitude -> 0; infinities saturate.
+            q = std::isnan(f) ? 0 : (f > 0.0f ? kQuantMax : kQuantMin);
+            if (st != nullptr)
+                ++st->value_clamps;
+        } else {
+            const long long ll =
+                std::llround(static_cast<double>(f) * scale);
+            if (ll > kQuantMax || ll < kQuantMin) {
+                q = ll > 0 ? kQuantMax : kQuantMin;
+                if (st != nullptr)
+                    ++st->value_clamps;
+            } else {
+                q = static_cast<std::int32_t>(ll);
+            }
+        }
+        words[i] = std::bit_cast<float>(q);
+    }
+}
+
+void
+decodeBlockInt32(const float *words, std::size_t n, int e, float *dst)
+{
+    const double inv = std::ldexp(1.0, e - kQuantFracBits);
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<float>(
+            static_cast<double>(std::bit_cast<std::int32_t>(words[i])) *
+            inv);
+}
+
+std::uint64_t
+addBlockInt32(float *acc, const float *v, std::size_t n)
+{
+    std::uint64_t clamps = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t s =
+            std::int64_t{std::bit_cast<std::int32_t>(acc[i])} +
+            std::int64_t{std::bit_cast<std::int32_t>(v[i])};
+        std::int32_t q;
+        if (s > kQuantMax || s < kQuantMin) {
+            q = s > 0 ? kQuantMax : kQuantMin;
+            ++clamps;
+        } else {
+            q = static_cast<std::int32_t>(s);
+        }
+        acc[i] = std::bit_cast<float>(q);
+    }
+    return clamps;
+}
+
+std::uint64_t
+rescaleBlockInt32(float *words, std::size_t n, int from_e, int to_e)
+{
+    const int d = to_e - from_e;
+    if (d == 0)
+        return 0;
+    std::uint64_t clamps = 0;
+    if (d > 0) {
+        // Raising the exponent: arithmetic right shift (low bits lost).
+        const int shift = std::min(d, 62);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::int64_t s =
+                std::int64_t{std::bit_cast<std::int32_t>(words[i])} >>
+                shift;
+            words[i] = std::bit_cast<float>(static_cast<std::int32_t>(s));
+        }
+        return 0;
+    }
+    const int shift = std::min(-d, 62);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t s =
+            std::int64_t{std::bit_cast<std::int32_t>(words[i])} << shift;
+        std::int32_t q;
+        if (s > kQuantMax || s < kQuantMin) {
+            q = s > 0 ? kQuantMax : kQuantMin;
+            ++clamps;
+        } else {
+            q = static_cast<std::int32_t>(s);
+        }
+        words[i] = std::bit_cast<float>(q);
+    }
+    return clamps;
+}
+
+int
+speculateExponent(const float *aggregate, std::size_t n,
+                  std::uint32_t contributors)
+{
+    float m = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float a = std::fabs(aggregate[i]);
+        if (std::isfinite(a) && a > m)
+            m = a;
+    }
+    if (m == 0.0f)
+        return kDefaultQexp;
+    const std::uint32_t h = std::max<std::uint32_t>(contributors, 1);
+    const double per = static_cast<double>(m) / h;
+    int e = 0;
+    std::frexp(per, &e);
+    // +1 allows gradients to double round-over-round before clamping.
+    return clampExp(e + 1 + ceilLog2(h), nullptr);
 }
 
 } // namespace isw::ml

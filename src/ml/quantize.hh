@@ -1,11 +1,27 @@
 /**
  * @file
- * IEEE 754 half-precision conversion for gradient compression.
+ * Quantization codecs for the gradient wire (DESIGN.md §14).
  *
- * The paper transmits raw float32 gradients; related work (GradiVeQ,
- * cited in §7) compresses them. This module provides a software fp16
- * codec so the `bench_ablation_fp16` experiment can quantify both
- * sides of that trade: wire bytes halve, but gradients lose precision.
+ * The paper transmits raw float32 gradients; real programmable
+ * switches aggregate integers (SwitchML), and related work (GradiVeQ,
+ * cited in §7; FPISA) compresses or reformats them. This module holds
+ * the wire codecs the `dist::PrePostProcessor` pipeline runs per
+ * segment:
+ *
+ *  - an IEEE 754 binary16 codec (two halves packed per 32-bit wire
+ *    word) for the fp16 ablation, and
+ *  - a block-shared-exponent int32 codec: every value of a segment is
+ *    fixed-point with kQuantFracBits fractional bits at one shared
+ *    exponent e, q = round(v * 2^(kQuantFracBits - e)), so the switch
+ *    can accumulate plain integers. Integer addition is associative
+ *    and commutative, which is what makes switch-side aggregation
+ *    bit-identical under arbitrary packet arrival order — as long as
+ *    every contribution to a segment carries the same exponent
+ *    (mismatches are shift-rescaled and counted, a documented
+ *    degraded path that is no longer order-independent).
+ *
+ * Encoded words are bit-cast into float storage so they ride the
+ * existing ChunkPayload / SegState float buffers unchanged.
  */
 
 #ifndef ISW_ML_QUANTIZE_HH
@@ -37,6 +53,100 @@ void quantizeInPlace(std::span<float> v);
 
 /** Max absolute element-wise error of an fp16 round trip over @p v. */
 float halfRoundTripError(std::span<const float> v);
+
+/*
+ * Packed-half wire words: one 32-bit word carries logical values 2i
+ * (low half) and 2i+1 (high half). An odd tail leaves the high half
+ * zero. Words are bit-cast into float storage.
+ */
+
+/** Pack @p n floats into ceil(n/2) half-pair words at @p words. */
+void packHalfWords(const float *src, std::size_t n, float *words);
+
+/** Unpack @p n logical floats from half-pair words at @p words. */
+void unpackHalfWords(const float *words, std::size_t n, float *dst);
+
+/**
+ * Add two half-pair words half-wise: unpack both halves of each,
+ * add in float32, re-encode. This is the FPISA-style switch-side
+ * fp16 accumulate — it rounds after every step, exactly like a
+ * hardware fp16 adder pipeline would.
+ */
+float addHalfWords(float a, float b);
+
+/*
+ * Block-shared-exponent int32 codec. q = round(v * 2^(kQuantFracBits
+ * - e)); decode is v = q * 2^(e - kQuantFracBits). The shared
+ * exponent e covers one wire segment ("block") and rides the Seg
+ * word (core::packSegWord), biased into 5 bits.
+ */
+
+/** Smallest / largest encodable shared exponent (5 biased bits). */
+constexpr int kQexpMin = -16;
+constexpr int kQexpMax = 15;
+/** Fractional bits of the fixed-point representation. */
+constexpr int kQuantFracBits = 30;
+/** Exponent used when a block gives no signal (all zero) and for the
+ *  first round of switch-aggregated runs before speculation kicks in. */
+constexpr int kDefaultQexp = 4;
+/** Saturation rails (symmetric so negation never overflows). */
+constexpr std::int32_t kQuantMax = 0x7FFFFFFF;
+constexpr std::int32_t kQuantMin = -kQuantMax;
+
+/** Deterministic codec counters (exported via RunResult::extras). */
+struct QuantStats
+{
+    std::uint64_t value_clamps = 0; ///< values saturated while encoding
+    std::uint64_t exp_clamps = 0;   ///< exponents clamped to the 5-bit range
+};
+
+/**
+ * Shared exponent for a block: the smallest e such that every |v| and
+ * the sum of @p headroom worst-case contributions still fit in int32.
+ * Non-finite values are ignored; an all-zero block yields
+ * kDefaultQexp. Clamped to [kQexpMin, kQexpMax] (counted in @p st).
+ */
+int blockExponent(const float *v, std::size_t n, std::uint32_t headroom = 1,
+                  QuantStats *st = nullptr);
+
+/**
+ * Encode @p n floats at shared exponent @p e into int32 wire words
+ * (bit-cast into floats) at @p words. Out-of-range values saturate,
+ * NaN encodes as 0, ±inf as ±kQuantMax; all are counted in @p st.
+ */
+void encodeBlockInt32(const float *src, std::size_t n, int e, float *words,
+                      QuantStats *st = nullptr);
+
+/** Decode @p n int32 wire words at shared exponent @p e to floats. */
+void decodeBlockInt32(const float *words, std::size_t n, int e, float *dst);
+
+/**
+ * Saturating element-wise integer add of @p n words of @p v into
+ * @p acc (both int32 bit-cast in float storage, same shared
+ * exponent). Returns the number of saturated lanes.
+ */
+std::uint64_t addBlockInt32(float *acc, const float *v, std::size_t n);
+
+/**
+ * Shift @p n int32 words in place from shared exponent @p from_e to
+ * @p to_e. Raising the exponent arithmetic-shifts right (precision
+ * loss); lowering it shifts left with saturation. Returns the number
+ * of saturated lanes.
+ */
+std::uint64_t rescaleBlockInt32(float *words, std::size_t n, int from_e,
+                                int to_e);
+
+/**
+ * Predict next round's shared exponent from this round's decoded
+ * aggregate: estimate the per-contributor magnitude as max|agg| /
+ * @p contributors, allow one doubling of growth, and add headroom for
+ * @p contributors worst-case addends. Pure — every worker that holds
+ * the same aggregate bytes derives the same exponent, which is how
+ * sync switch-aggregated runs agree on e without an extra negotiation
+ * round (DESIGN.md §14). An all-zero aggregate yields kDefaultQexp.
+ */
+int speculateExponent(const float *aggregate, std::size_t n,
+                      std::uint32_t contributors);
 
 } // namespace isw::ml
 

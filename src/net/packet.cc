@@ -23,6 +23,17 @@ actionName(Action a)
     return "?";
 }
 
+const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::kFp32: return "fp32";
+      case Precision::kFp16: return "fp16";
+      case Precision::kInt32: return "int32";
+    }
+    return "?";
+}
+
 bool
 Packet::isIswitchPlane() const
 {

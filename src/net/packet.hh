@@ -91,6 +91,20 @@ enum class Action : std::uint8_t {
 /** Printable name of a control action. */
 const char *actionName(Action a);
 
+/**
+ * Wire encoding of a chunk's float words (DESIGN.md §14). Tag values
+ * ride bits [63:62] of the Seg word (core::packSegWord), so kFp32
+ * packets stay bit-identical to the legacy format.
+ */
+enum class Precision : std::uint8_t {
+    kFp32 = 0, ///< raw float32 words (lossless legacy wire)
+    kFp16 = 1, ///< two packed IEEE binary16 halves per word
+    kInt32 = 2, ///< block-shared-exponent fixed point (ml/quantize)
+};
+
+/** Printable name of a wire precision ("fp32"/"fp16"/"int32"). */
+const char *precisionName(Precision p);
+
 /** Control message: 1-byte action plus optional 8-byte value. */
 struct ControlPayload
 {
@@ -121,7 +135,15 @@ struct ChunkPayload
      */
     std::uint8_t job = 0; ///< owning training job (0 = sole job)
     std::uint8_t ver = 0; ///< slot-reuse cycle parity (0 when unused)
-    std::vector<float> values;     ///< logical data (size <= wire_floats)
+    /**
+     * Quantized-wire extension (DESIGN.md §14): how `values` encodes
+     * its words and, for kInt32, the block's shared exponent. Both
+     * ride the upper bits of the Seg word (core::packSegWord), so a
+     * kFp32 packet is bit-identical to the pre-extension format.
+     */
+    Precision prec = Precision::kFp32;
+    std::int8_t qexp = 0; ///< shared exponent (kInt32 only, else 0)
+    std::vector<float> values;     ///< wire words (size <= wire_floats)
 
     /** Bytes of UDP payload this chunk occupies. */
     std::size_t wireBytes(bool iswitch_plane) const

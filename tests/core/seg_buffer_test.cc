@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+
 #include "core/seg_buffer.hh"
+#include "ml/quantize.hh"
+#include "sim/random.hh"
 
 namespace isw::core {
 namespace {
@@ -374,6 +379,191 @@ TEST(BoundedSlotPool, UnorderedTrafficSkipsFloor)
     EXPECT_EQ(pool.offer(jobChunk(0, 0, 0, {2}), 1),
               SlotOutcome::kCompleted);
     EXPECT_FLOAT_EQ(pool.harvest(packSegWord(0)).acc[0], 2.0f);
+}
+
+// ---------------------------------------------------------------------
+// Quantized accumulate modes (DESIGN.md §14).
+
+/** Encode @p vals into an int32 chunk at shared exponent @p e. */
+net::ChunkPayload
+int32Chunk(std::uint64_t seg, std::vector<float> vals, int e)
+{
+    net::ChunkPayload c;
+    c.seg = seg;
+    c.prec = net::Precision::kInt32;
+    c.qexp = static_cast<std::int8_t>(e);
+    c.wire_floats = static_cast<std::uint32_t>(vals.size());
+    c.values.resize(vals.size());
+    ml::encodeBlockInt32(vals.data(), vals.size(), e, c.values.data());
+    return c;
+}
+
+TEST(QuantSlotPool, Int32AccumulatesExactIntegers)
+{
+    SegBufferPool pool;
+    const int e = 4;
+    EXPECT_FALSE(pool.accumulate(int32Chunk(0, {0.5f, -0.25f}, e), 2));
+    EXPECT_TRUE(pool.accumulate(int32Chunk(0, {0.25f, 0.25f}, e), 2));
+    SegState st = pool.harvest(0);
+    EXPECT_EQ(st.prec, net::Precision::kInt32);
+    EXPECT_EQ(st.qexp, e);
+    std::vector<float> out(st.acc.size());
+    ml::decodeBlockInt32(st.acc.data(), st.acc.size(), e, out.data());
+    EXPECT_FLOAT_EQ(out[0], 0.75f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_EQ(pool.totals().overflow_clamps, 0u);
+    EXPECT_EQ(pool.totals().exp_rescales, 0u);
+}
+
+TEST(QuantSlotPool, Fp16AccumulatesHalfwise)
+{
+    SegBufferPool pool;
+    net::ChunkPayload a, b;
+    a.seg = b.seg = 0;
+    a.prec = b.prec = net::Precision::kFp16;
+    a.wire_floats = b.wire_floats = 1;
+    const float va[2] = {1.5f, -2.0f}, vb[2] = {0.25f, 8.0f};
+    a.values.resize(1);
+    b.values.resize(1);
+    ml::packHalfWords(va, 2, a.values.data());
+    ml::packHalfWords(vb, 2, b.values.data());
+    pool.accumulate(a, 2);
+    EXPECT_TRUE(pool.accumulate(b, 2));
+    SegState st = pool.harvest(0);
+    EXPECT_EQ(st.prec, net::Precision::kFp16);
+    float out[2];
+    ml::unpackHalfWords(st.acc.data(), 2, out);
+    EXPECT_EQ(out[0], 1.75f);
+    EXPECT_EQ(out[1], 6.0f);
+}
+
+TEST(QuantSlotPool, Int32ArrivalOrderBitIdentical)
+{
+    // The property the int32 datapath exists for: same contributions,
+    // any arrival order, identical aggregated bits.
+    sim::Rng rng(17);
+    const std::uint32_t h = 5;
+    const std::size_t n = 33;
+    std::vector<std::vector<float>> contribs(h);
+    for (auto &c : contribs) {
+        c.resize(n);
+        for (auto &x : c)
+            x = static_cast<float>(rng.uniform(-0.5, 0.5));
+    }
+    const int e = 6;
+    std::vector<std::uint32_t> order(h);
+    for (std::uint32_t w = 0; w < h; ++w)
+        order[w] = w;
+    std::vector<std::int32_t> ref;
+    for (int perm = 0; perm < 6; ++perm) {
+        SegBufferPool pool;
+        bool done = false;
+        for (std::uint32_t w : order)
+            done = pool.accumulate(int32Chunk(9, contribs[w], e), h,
+                                   /*src=*/w, true);
+        EXPECT_TRUE(done);
+        const SegState st = pool.harvest(9);
+        std::vector<std::int32_t> bits(st.acc.size());
+        for (std::size_t i = 0; i < st.acc.size(); ++i)
+            bits[i] = std::bit_cast<std::int32_t>(st.acc[i]);
+        if (ref.empty())
+            ref = bits;
+        else
+            EXPECT_EQ(bits, ref) << "order " << perm;
+        std::rotate(order.begin(), order.begin() + 1, order.end());
+        if (perm == 2)
+            std::reverse(order.begin(), order.end());
+    }
+}
+
+TEST(QuantSlotPool, BoundedPoolArrivalOrderBitIdentical)
+{
+    // 4-slot bounded pool, 8 striped segments, 3 workers: segment
+    // completion order and per-segment contributor order both vary,
+    // yet every harvested accumulator is bit-identical.
+    sim::Rng rng(19);
+    const std::uint32_t h = 3;
+    const std::uint64_t segs = 8;
+    const std::size_t n = 16;
+    const int e = 5;
+    std::vector<std::vector<std::vector<float>>> grads(segs);
+    for (auto &per_seg : grads) {
+        per_seg.resize(h);
+        for (auto &g : per_seg) {
+            g.resize(n);
+            for (auto &x : g)
+                x = static_cast<float>(rng.uniform(-0.25, 0.25));
+        }
+    }
+    auto run = [&](bool worker_major,
+                   bool reverse_workers) -> std::vector<std::int32_t> {
+        SegBufferPool pool;
+        pool.setCapacity(4);
+        std::vector<std::int32_t> all_bits;
+        // Window of 4: slots are direct-mapped seg % 4, so finish a
+        // slot's occupant before its successor arrives.
+        for (std::uint64_t seg = 0; seg < segs; ++seg) {
+            std::vector<std::uint32_t> ws(h);
+            for (std::uint32_t w = 0; w < h; ++w)
+                ws[w] = reverse_workers ? h - 1 - w : w;
+            if (worker_major && seg % 2 == 1)
+                std::rotate(ws.begin(), ws.begin() + 1, ws.end());
+            const auto ver = static_cast<std::uint8_t>((seg / 4) & 1);
+            for (std::uint32_t w : ws) {
+                auto c = int32Chunk(seg, grads[seg][w], e);
+                c.ver = ver;
+                pool.offer(c, h, /*src=*/w, true);
+            }
+            const SegState st = pool.harvest(packSegWord(seg));
+            EXPECT_EQ(st.count, h);
+            for (float f : st.acc)
+                all_bits.push_back(std::bit_cast<std::int32_t>(f));
+        }
+        return all_bits;
+    };
+    const auto a = run(false, false);
+    const auto b = run(false, true);
+    const auto c = run(true, false);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+}
+
+TEST(QuantSlotPool, MixedExponentsRescaleTowardMaxAndCount)
+{
+    SegBufferPool pool;
+    // First contribution at e=4, second at e=6: the slot rescales its
+    // accumulator up to 6 (max is order-independent) and counts it.
+    EXPECT_FALSE(pool.accumulate(int32Chunk(0, {0.5f}, 4), 2));
+    EXPECT_TRUE(pool.accumulate(int32Chunk(0, {0.5f}, 6), 2));
+    SegState st = pool.harvest(0);
+    EXPECT_EQ(st.qexp, 6);
+    EXPECT_EQ(pool.totals().exp_rescales, 1u);
+    float out = 0.0f;
+    ml::decodeBlockInt32(st.acc.data(), 1, 6, &out);
+    EXPECT_FLOAT_EQ(out, 1.0f);
+
+    // Lower-exponent latecomer: incoming rescales up, slot unchanged.
+    SegBufferPool pool2;
+    pool2.accumulate(int32Chunk(0, {0.5f}, 6), 2);
+    pool2.accumulate(int32Chunk(0, {0.5f}, 4), 2);
+    SegState st2 = pool2.harvest(0);
+    EXPECT_EQ(st2.qexp, 6);
+    EXPECT_EQ(pool2.totals().exp_rescales, 1u);
+    ml::decodeBlockInt32(st2.acc.data(), 1, 6, &out);
+    EXPECT_FLOAT_EQ(out, 1.0f);
+}
+
+TEST(QuantSlotPool, OverflowClampsAtRailAndCounts)
+{
+    SegBufferPool pool;
+    // 0.9 at e=0 encodes as ~0.45 * 2^31; the third contribution
+    // pushes the integer sum past the rail and must saturate, not wrap.
+    pool.accumulate(int32Chunk(0, {0.9f}, 0), 3);
+    pool.accumulate(int32Chunk(0, {0.9f}, 0), 3);
+    EXPECT_TRUE(pool.accumulate(int32Chunk(0, {0.9f}, 0), 3));
+    SegState st = pool.harvest(0);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(st.acc[0]), ml::kQuantMax);
+    EXPECT_EQ(pool.totals().overflow_clamps, 1u);
 }
 
 } // namespace

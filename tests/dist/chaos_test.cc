@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "dist/strategy.hh"
 
 namespace isw::dist {
@@ -192,6 +195,41 @@ TEST(ChaosDeterminism, FaultyRunsAreSeedDeterministic)
     EXPECT_EQ(a.final_avg_reward, b.final_avg_reward);
     EXPECT_EQ(a.extras.at("fault_ge_drops"), b.extras.at("fault_ge_drops"));
     EXPECT_EQ(a.extras.at("retx_segments"), b.extras.at("retx_segments"));
+}
+
+TEST(QuantChaos, Int32AggregationIsBitExactUnderDupReorderAndBoundedSlots)
+{
+    // The headline property of the int32 wire (DESIGN.md §14): the
+    // switch sums integers at a shared exponent, so the aggregate is a
+    // pure function of the set of contributions — independent of
+    // arrival order, duplication, retransmission, and slot reuse in a
+    // bounded pool. Unlike the float path (1e-4 tolerance above), the
+    // chaotic run must land on the *bit-identical* final weights.
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncIswitch);
+    cfg.precision = net::Precision::kInt32;
+    const Baseline base = losslessBaseline(cfg);
+
+    JobConfig chaotic = cfg;
+    chaotic.cluster.accel.num_slots = 4; // slot reuse while under fire
+    chaotic.faults.duplicate_prob = 0.05;
+    chaotic.faults.reorder_prob = 0.10;
+    chaotic.faults.extra_loss = 0.01; // losses force re-encoded resends
+    chaotic.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+
+    auto job = makeJob(chaotic);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.iterations, base.iterations);
+    EXPECT_GT(res.extras.at("fault_duplicates") +
+                  res.extras.at("fault_reorders"),
+              0.0);
+    ml::Vec w;
+    job->workerAgent(0).getWeights(w);
+    ASSERT_EQ(w.size(), base.weights.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(w[i]),
+                  std::bit_cast<std::uint32_t>(base.weights[i]))
+            << "weight " << i;
 }
 
 TEST(Churn, AnnouncedCrashDrivesLeaveJoinAndAutoH)

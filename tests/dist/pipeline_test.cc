@@ -1,0 +1,275 @@
+/** @file Pre/post-processor pipeline (DESIGN.md §14): each precision's
+ *  encode path must round-trip through VectorAssembler's decode path,
+ *  the fp32 bypass must be bit-identical to the legacy wire fill, and
+ *  every strategy must finish a short job at every precision with the
+ *  quant counters exported (fp32 exporting none). */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "dist/pipeline.hh"
+#include "dist/strategy.hh"
+#include "dist/transport.hh"
+#include "ml/quantize.hh"
+#include "sim/random.hh"
+
+namespace isw::dist {
+namespace {
+
+std::vector<float>
+randomGrads(std::size_t n, std::uint64_t seed = 11)
+{
+    sim::Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0)) * 0.1f;
+    return v;
+}
+
+/** Push @p logical through @p ppp segment by segment into @p rx,
+ *  exactly as sendVector chunks it. Returns the encoded chunks'
+ *  stamped exponents (one per segment). */
+std::vector<std::int8_t>
+sendThrough(PrePostProcessor &ppp, std::span<const float> logical,
+            const WireFormat &fmt, VectorAssembler &rx,
+            std::span<const std::int8_t> forced = {})
+{
+    std::vector<std::int8_t> exps;
+    const std::uint64_t fps = fmt.floatsPerSeg();
+    for (std::uint64_t seg = 0; seg < fmt.segments(); ++seg) {
+        const std::uint64_t begin = seg * fps;
+        std::span<const float> part;
+        if (begin < logical.size())
+            part = logical.subspan(
+                begin, std::min<std::size_t>(fps, logical.size() - begin));
+        net::ChunkPayload c;
+        c.seg = seg;
+        ppp.encodeSeg(part, c,
+                      seg < forced.size() ? forced[seg] : kAutoQexp);
+        c.wire_floats = static_cast<std::uint32_t>(c.values.size());
+        exps.push_back(c.qexp);
+        rx.offer(c);
+    }
+    return exps;
+}
+
+TEST(PipelineFactory, BuildsTheMatchingProcessor)
+{
+    for (auto prec : {net::Precision::kFp32, net::Precision::kFp16,
+                      net::Precision::kInt32}) {
+        auto ppp = makePrePostProcessor(prec);
+        ASSERT_NE(ppp, nullptr);
+        EXPECT_EQ(ppp->precision(), prec);
+        EXPECT_EQ(ppp->stats().segments, 0u);
+        EXPECT_EQ(ppp->stats().value_clamps, 0u);
+        EXPECT_EQ(ppp->stats().exp_clamps, 0u);
+    }
+}
+
+TEST(PipelineBypass, BitIdenticalRoundTripAndLegacyStamps)
+{
+    const std::vector<float> logical = randomGrads(1000);
+    const WireFormat fmt = WireFormat::forVector(logical.size(), 0, false);
+    BypassPpp ppp;
+    VectorAssembler rx(fmt);
+
+    const std::uint64_t fps = fmt.floatsPerSeg();
+    for (std::uint64_t seg = 0; seg < fmt.segments(); ++seg) {
+        const std::uint64_t begin = seg * fps;
+        const auto part = std::span<const float>(logical).subspan(
+            begin, std::min<std::size_t>(fps, logical.size() - begin));
+        net::ChunkPayload c;
+        c.seg = seg;
+        ppp.encodeSeg(part, c, kAutoQexp);
+        // Legacy wire contract: raw fp32 words, (kFp32, qexp 0) stamps
+        // so the packed Seg word is bit-identical to the old format.
+        EXPECT_EQ(c.prec, net::Precision::kFp32);
+        EXPECT_EQ(c.qexp, 0);
+        ASSERT_EQ(c.values.size(), part.size());
+        for (std::size_t i = 0; i < part.size(); ++i)
+            ASSERT_EQ(std::bit_cast<std::uint32_t>(c.values[i]),
+                      std::bit_cast<std::uint32_t>(part[i]));
+        rx.offer(c);
+    }
+    ASSERT_TRUE(rx.complete());
+    EXPECT_EQ(ppp.stats().segments, fmt.segments());
+    for (std::size_t i = 0; i < logical.size(); ++i)
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(rx.vector()[i]),
+                  std::bit_cast<std::uint32_t>(logical[i]));
+}
+
+TEST(PipelineFp16, OddTailRoundTripsThroughAssembler)
+{
+    // 1001 floats: an odd logical count forces a half-filled final
+    // wire word; fp16 also halves the segment count vs fp32.
+    const std::vector<float> logical = randomGrads(1001);
+    const WireFormat fmt = WireFormat::forVector(logical.size(), 0, false,
+                                                 net::Precision::kFp16);
+    const WireFormat f32 = WireFormat::forVector(logical.size(), 0, false);
+    EXPECT_LT(fmt.segments(), f32.segments());
+
+    Fp16Ppp ppp;
+    VectorAssembler rx(fmt);
+    sendThrough(ppp, logical, fmt, rx);
+    ASSERT_TRUE(rx.complete());
+
+    // floatsPerSeg is even, so per-segment packing pairs the same
+    // halves as packing the whole vector at once.
+    std::vector<float> wire((logical.size() + 1) / 2);
+    std::vector<float> expect(logical.size());
+    ml::packHalfWords(logical.data(), logical.size(), wire.data());
+    ml::unpackHalfWords(wire.data(), logical.size(), expect.data());
+    for (std::size_t i = 0; i < logical.size(); ++i)
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(rx.vector()[i]),
+                  std::bit_cast<std::uint32_t>(expect[i]))
+            << "float " << i;
+}
+
+TEST(PipelineInt32, AutoExponentMatchesReferenceCodec)
+{
+    const std::vector<float> logical = randomGrads(700);
+    const WireFormat fmt = WireFormat::forVector(logical.size(), 0, false,
+                                                 net::Precision::kInt32);
+    Int32Ppp ppp(/*headroom=*/1);
+    VectorAssembler rx(fmt);
+    const std::vector<std::int8_t> exps = sendThrough(ppp, logical, fmt, rx);
+    ASSERT_TRUE(rx.complete());
+
+    // The pipeline must be plumbing, not a second codec: per segment,
+    // its output is bit-identical to ml/quantize applied directly.
+    const std::uint64_t fps = fmt.floatsPerSeg();
+    for (std::uint64_t seg = 0; seg < fmt.segments(); ++seg) {
+        const std::uint64_t begin = seg * fps;
+        const std::size_t n =
+            std::min<std::size_t>(fps, logical.size() - begin);
+        const int e = ml::blockExponent(logical.data() + begin, n, 1);
+        EXPECT_EQ(exps[seg], e);
+        std::vector<float> wire(n), expect(n);
+        ml::encodeBlockInt32(logical.data() + begin, n, e, wire.data());
+        ml::decodeBlockInt32(wire.data(), n, e, expect.data());
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(std::bit_cast<std::uint32_t>(rx.vector()[begin + i]),
+                      std::bit_cast<std::uint32_t>(expect[i]))
+                << "seg " << seg << " float " << i;
+    }
+}
+
+TEST(PipelineInt32, ForcedExponentIsStampedAndDecodedWith)
+{
+    const std::vector<float> logical = randomGrads(96);
+    const WireFormat fmt = WireFormat::forVector(logical.size(), 0, false,
+                                                 net::Precision::kInt32);
+    ASSERT_EQ(fmt.segments(), 1u);
+    Int32Ppp ppp;
+    VectorAssembler rx(fmt);
+    const std::vector<std::int8_t> forced{7};
+    sendThrough(ppp, logical, fmt, rx, forced);
+    ASSERT_TRUE(rx.complete());
+
+    std::vector<float> wire(logical.size()), expect(logical.size());
+    ml::encodeBlockInt32(logical.data(), logical.size(), 7, wire.data());
+    ml::decodeBlockInt32(wire.data(), wire.size(), 7, expect.data());
+    for (std::size_t i = 0; i < logical.size(); ++i)
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(rx.vector()[i]),
+                  std::bit_cast<std::uint32_t>(expect[i]));
+}
+
+TEST(PipelineInt32, TooSmallForcedExponentCountsValueClamps)
+{
+    // Values near 1.0 at forced exponent -10 scale by 2^40: every
+    // nonzero lane saturates at the rail and the stats must say so.
+    std::vector<float> logical(8, 0.9f);
+    net::ChunkPayload c;
+    c.seg = 0;
+    Int32Ppp ppp;
+    ppp.encodeSeg(logical, c, /*forced_qexp=*/-10);
+    EXPECT_EQ(c.qexp, -10);
+    EXPECT_EQ(ppp.stats().value_clamps, logical.size());
+    for (float w : c.values)
+        EXPECT_EQ(std::bit_cast<std::int32_t>(w), ml::kQuantMax);
+}
+
+/** Every strategy must finish a short run at every precision; the
+ *  quant counters appear iff the wire is actually quantized. */
+class PipelineMatrix : public ::testing::TestWithParam<StrategyKind>
+{
+};
+
+TEST_P(PipelineMatrix, AllPrecisionsTrainToCompletion)
+{
+    for (auto prec : {net::Precision::kFp32, net::Precision::kFp16,
+                      net::Precision::kInt32}) {
+        JobConfig cfg = JobConfig::forBenchmark(rl::Algo::kPpo, GetParam(), 4);
+        cfg.wire_model_bytes = 0; // actual model size: fast tests
+        cfg.stop.max_iterations = 4;
+        cfg.curve_every = 4;
+        cfg.precision = prec;
+        const RunResult res = runJob(cfg);
+        ASSERT_TRUE(res.ok())
+            << strategyName(GetParam()) << "/" << net::precisionName(prec)
+            << ": " << res.error;
+        EXPECT_GE(res.iterations, 4u);
+        if (prec == net::Precision::kFp32) {
+            // Bypass runs must look exactly like a pre-pipeline build.
+            EXPECT_EQ(res.extras.count("pipeline_segments"), 0u);
+            EXPECT_EQ(res.extras.count("quant_value_clamps"), 0u);
+        } else {
+            ASSERT_TRUE(res.extras.count("pipeline_segments"))
+                << strategyName(GetParam()) << "/"
+                << net::precisionName(prec);
+            EXPECT_GT(res.extras.at("pipeline_segments"), 0.0);
+            EXPECT_TRUE(res.extras.count("quant_value_clamps"));
+            EXPECT_TRUE(res.extras.count("quant_exp_clamps"));
+        }
+        if (prec == net::Precision::kInt32 &&
+            (GetParam() == StrategyKind::kSyncIswitch ||
+             GetParam() == StrategyKind::kAsyncIswitch)) {
+            // Switch-side exactness counters ride along on int32.
+            EXPECT_TRUE(res.extras.count("switch_overflow_clamps"));
+            EXPECT_TRUE(res.extras.count("switch_exp_rescales"));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PipelineMatrix,
+    ::testing::Values(StrategyKind::kSyncPs, StrategyKind::kSyncAllReduce,
+                      StrategyKind::kSyncIswitch,
+                      StrategyKind::kSyncShardedPs, StrategyKind::kAsyncPs,
+                      StrategyKind::kAsyncIswitch),
+    [](const auto &info) {
+        switch (info.param) {
+          case StrategyKind::kSyncPs: return "SyncPs";
+          case StrategyKind::kSyncAllReduce: return "SyncAr";
+          case StrategyKind::kSyncIswitch: return "SyncIsw";
+          case StrategyKind::kSyncShardedPs: return "ShardedPs";
+          case StrategyKind::kAsyncPs: return "AsyncPs";
+          case StrategyKind::kAsyncIswitch: return "AsyncIsw";
+        }
+        return "?";
+    });
+
+TEST(PipelineWire, Fp16HalvesThePaperWireModel)
+{
+    // The retired bench-side hack divided wire_model_bytes by two;
+    // the pipeline must reproduce that timing model exactly.
+    JobConfig cfg =
+        JobConfig::forBenchmark(rl::Algo::kDqn, StrategyKind::kSyncPs, 4);
+    cfg.stop.max_iterations = 3;
+
+    JobConfig halved = cfg;
+    halved.wire_model_bytes /= 2;
+    const RunResult hacked = runJob(halved);
+
+    cfg.precision = net::Precision::kFp16;
+    const RunResult piped = runJob(cfg);
+
+    ASSERT_TRUE(hacked.ok()) << hacked.error;
+    ASSERT_TRUE(piped.ok()) << piped.error;
+    EXPECT_EQ(piped.total_time, hacked.total_time);
+}
+
+} // namespace
+} // namespace isw::dist

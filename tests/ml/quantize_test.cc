@@ -1,8 +1,11 @@
-/** @file fp16 codec tests, including exhaustive round-trips. */
+/** @file Wire codec tests: fp16, packed halves, block int32. */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "ml/quantize.hh"
 #include "sim/random.hh"
@@ -97,6 +100,248 @@ TEST(Half, VectorHelpers)
     EXPECT_NEAR(q[0], 0.1f, 1e-4f);
     EXPECT_GT(halfRoundTripError(std::vector<float>{0.1f}), 0.0f);
     EXPECT_EQ(halfRoundTripError(v), 0.0f);
+}
+
+TEST(QuantHalfWords, PackUnpackRoundTripsOddTail)
+{
+    // Exactly representable halves survive the packed round trip; the
+    // odd tail's unused high half must encode as zero.
+    const std::vector<float> v{1.0f, -0.5f, 2.0f, 0.25f, -8.0f};
+    std::vector<float> words((v.size() + 1) / 2);
+    packHalfWords(v.data(), v.size(), words.data());
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(words.back()) >> 16, 0u);
+    std::vector<float> back(v.size());
+    unpackHalfWords(words.data(), back.size(), back.data());
+    EXPECT_EQ(back, v);
+}
+
+TEST(QuantHalfWords, AddHalfWordsIsHalfwise)
+{
+    const float a[2] = {1.5f, -2.0f};
+    const float b[2] = {0.25f, 8.0f};
+    float wa, wb;
+    packHalfWords(a, 2, &wa);
+    packHalfWords(b, 2, &wb);
+    const float sum = addHalfWords(wa, wb);
+    float out[2];
+    unpackHalfWords(&sum, 2, out);
+    EXPECT_EQ(out[0], 1.75f);
+    EXPECT_EQ(out[1], 6.0f);
+}
+
+TEST(QuantInt32, ZeroBlockUsesDefaultExponent)
+{
+    const std::vector<float> zeros(64, 0.0f);
+    QuantStats st;
+    EXPECT_EQ(blockExponent(zeros.data(), zeros.size(), 4, &st),
+              kDefaultQexp);
+    EXPECT_EQ(st.exp_clamps, 0u);
+    std::vector<float> words(zeros.size());
+    encodeBlockInt32(zeros.data(), zeros.size(), kDefaultQexp,
+                     words.data(), &st);
+    EXPECT_EQ(st.value_clamps, 0u);
+    for (float w : words)
+        EXPECT_EQ(std::bit_cast<std::int32_t>(w), 0);
+    std::vector<float> back(zeros.size(), 1.0f);
+    decodeBlockInt32(words.data(), words.size(), kDefaultQexp,
+                     back.data());
+    EXPECT_EQ(back, zeros);
+}
+
+TEST(QuantInt32, RoundTripErrorBoundedByOneStep)
+{
+    sim::Rng rng(11);
+    std::vector<float> v(733);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-0.3, 0.3));
+    const int e = blockExponent(v.data(), v.size(), 1);
+    std::vector<float> words(v.size()), back(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data());
+    decodeBlockInt32(words.data(), words.size(), e, back.data());
+    const double step = std::ldexp(1.0, e - kQuantFracBits);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(back[i], v[i], step) << i;
+}
+
+TEST(QuantInt32, AllNegativeBlockRoundTrips)
+{
+    const std::vector<float> v{-0.5f, -0.125f, -0.75f, -0.0625f};
+    const int e = blockExponent(v.data(), v.size(), 1);
+    std::vector<float> words(v.size()), back(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data());
+    decodeBlockInt32(words.data(), words.size(), e, back.data());
+    // Powers of two at this magnitude are exact in the fixed point.
+    EXPECT_EQ(back, v);
+}
+
+TEST(QuantInt32, DenormalsClampExponentAndFlushToZero)
+{
+    const std::vector<float> v(8, 1e-41f); // float denormal
+    QuantStats st;
+    const int e = blockExponent(v.data(), v.size(), 1, &st);
+    EXPECT_EQ(e, kQexpMin);
+    EXPECT_EQ(st.exp_clamps, 1u);
+    std::vector<float> words(v.size()), back(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data(), &st);
+    EXPECT_EQ(st.value_clamps, 0u); // too small to saturate: rounds to 0
+    decodeBlockInt32(words.data(), words.size(), e, back.data());
+    for (float x : back)
+        EXPECT_EQ(x, 0.0f);
+}
+
+TEST(QuantInt32, NonFiniteValuesSaturateOrDrop)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const std::vector<float> v{nan, inf, -inf, 0.25f};
+    QuantStats st;
+    // blockExponent ignores non-finite values: only 0.25 counts.
+    const int e = blockExponent(v.data(), v.size(), 1, &st);
+    std::vector<float> words(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data(), &st);
+    EXPECT_EQ(st.value_clamps, 3u);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[0]), 0);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[1]), kQuantMax);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[2]), kQuantMin);
+}
+
+TEST(QuantInt32, ExponentRangeStraddleSaturatesHugeValues)
+{
+    // A block whose magnitudes straddle the 5-bit exponent range: the
+    // huge value forces e past kQexpMax, where it cannot be
+    // represented and saturates; the tiny one quantizes to zero.
+    const std::vector<float> v{1e30f, 1e-30f, 0.5f};
+    QuantStats st;
+    const int e = blockExponent(v.data(), v.size(), 1, &st);
+    EXPECT_EQ(e, kQexpMax);
+    EXPECT_EQ(st.exp_clamps, 1u);
+    std::vector<float> words(v.size()), back(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data(), &st);
+    EXPECT_EQ(st.value_clamps, 1u);
+    decodeBlockInt32(words.data(), words.size(), e, back.data());
+    EXPECT_LT(back[0], 1e30f); // clamped to the rail's decoded value
+    EXPECT_EQ(back[1], 0.0f);
+    EXPECT_NEAR(back[2], 0.5f, std::ldexp(1.0, e - kQuantFracBits));
+}
+
+TEST(QuantInt32, AccumulateOverflowClampsAndCounts)
+{
+    // Four contributions of ~0.9 at headroom 1 exceed int32: the
+    // saturating add must clamp at the rail and report each lane.
+    const std::vector<float> v(16, 0.9f);
+    const int e = blockExponent(v.data(), v.size(), 1);
+    std::vector<float> words(v.size());
+    encodeBlockInt32(v.data(), v.size(), e, words.data());
+    std::vector<float> acc = words;
+    std::uint64_t clamps = 0;
+    for (int k = 0; k < 3; ++k)
+        clamps += addBlockInt32(acc.data(), words.data(), words.size());
+    EXPECT_GT(clamps, 0u);
+    for (float w : acc)
+        EXPECT_EQ(std::bit_cast<std::int32_t>(w), kQuantMax);
+    // With headroom 4 the same four contributions fit exactly.
+    const int e4 = blockExponent(v.data(), v.size(), 4);
+    EXPECT_GE(e4, e + 2);
+    encodeBlockInt32(v.data(), v.size(), e4, words.data());
+    acc = words;
+    clamps = 0;
+    for (int k = 0; k < 3; ++k)
+        clamps += addBlockInt32(acc.data(), words.data(), words.size());
+    EXPECT_EQ(clamps, 0u);
+    std::vector<float> back(v.size());
+    decodeBlockInt32(acc.data(), acc.size(), e4, back.data());
+    for (float x : back)
+        EXPECT_NEAR(x, 3.6f, 4 * std::ldexp(1.0, e4 - kQuantFracBits));
+}
+
+TEST(QuantInt32, AdditionCommutesBitIdentically)
+{
+    // The property that justifies in-switch integer aggregation:
+    // summing the same contributions in any order yields the same
+    // bits. Property-check several random blocks and orders.
+    sim::Rng rng(23);
+    for (int round = 0; round < 10; ++round) {
+        const std::size_t n = 97;
+        const std::uint32_t h = 8;
+        std::vector<std::vector<float>> contribs(h);
+        std::vector<float> all;
+        for (auto &c : contribs) {
+            c.resize(n);
+            for (auto &x : c)
+                x = static_cast<float>(rng.uniform(-1.0, 1.0));
+            all.insert(all.end(), c.begin(), c.end());
+        }
+        const int e = blockExponent(all.data(), all.size(), h);
+        std::vector<std::vector<float>> words(h);
+        for (std::uint32_t w = 0; w < h; ++w) {
+            words[w].resize(n);
+            encodeBlockInt32(contribs[w].data(), n, e, words[w].data());
+        }
+        std::vector<std::uint32_t> order(h);
+        for (std::uint32_t w = 0; w < h; ++w)
+            order[w] = w;
+        std::vector<float> ref;
+        for (int perm = 0; perm < 8; ++perm) {
+            std::vector<float> acc(n, std::bit_cast<float>(0));
+            std::uint64_t clamps = 0;
+            for (std::uint32_t w : order)
+                clamps += addBlockInt32(acc.data(), words[w].data(), n);
+            EXPECT_EQ(clamps, 0u);
+            if (ref.empty()) {
+                ref = acc;
+            } else {
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(std::bit_cast<std::int32_t>(acc[i]),
+                              std::bit_cast<std::int32_t>(ref[i]))
+                        << i;
+            }
+            // Next sampled order: reverse, then random-ish rotations.
+            if (perm == 0)
+                std::reverse(order.begin(), order.end());
+            else
+                std::rotate(order.begin(),
+                            order.begin() + 1 + (perm % (h - 1)),
+                            order.end());
+        }
+    }
+}
+
+TEST(QuantInt32, RescaleShiftsAndSaturates)
+{
+    std::vector<float> words{std::bit_cast<float>(std::int32_t{1024}),
+                             std::bit_cast<float>(std::int32_t{-1024})};
+    // Raising the exponent by 2 divides by 4 (no clamping possible).
+    EXPECT_EQ(rescaleBlockInt32(words.data(), words.size(), 2, 4), 0u);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[0]), 256);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[1]), -256);
+    // Lowering it back multiplies by 4 exactly.
+    EXPECT_EQ(rescaleBlockInt32(words.data(), words.size(), 4, 2), 0u);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(words[0]), 1024);
+    // Lowering far enough saturates and counts.
+    std::vector<float> big{std::bit_cast<float>(kQuantMax / 2 + 1)};
+    EXPECT_EQ(rescaleBlockInt32(big.data(), big.size(), 4, 2), 1u);
+    EXPECT_EQ(std::bit_cast<std::int32_t>(big[0]), kQuantMax);
+}
+
+TEST(QuantInt32, SpeculateExponentIsPureAndDefaultsOnZero)
+{
+    const std::vector<float> zeros(16, 0.0f);
+    EXPECT_EQ(speculateExponent(zeros.data(), zeros.size(), 4),
+              kDefaultQexp);
+    sim::Rng rng(31);
+    std::vector<float> agg(64);
+    for (auto &x : agg)
+        x = static_cast<float>(rng.uniform(-4.0, 4.0));
+    const int a = speculateExponent(agg.data(), agg.size(), 4);
+    const int b = speculateExponent(agg.data(), agg.size(), 4);
+    EXPECT_EQ(a, b);
+    // The speculated exponent must leave room for H contributions of
+    // the estimated per-worker magnitude: encoding agg itself at the
+    // result never saturates.
+    QuantStats st;
+    std::vector<float> words(agg.size());
+    encodeBlockInt32(agg.data(), agg.size(), a, words.data(), &st);
+    EXPECT_EQ(st.value_clamps, 0u);
 }
 
 } // namespace
