@@ -17,6 +17,10 @@ namespace {
 
 constexpr std::size_t kCurveEvery = 200;
 
+/** Multi-rack worker count for the sharded-engine rows (4 racks of
+ *  3 under the default tree geometry: enough domains to parallelize). */
+constexpr std::size_t kShardWorkers = 12;
+
 harness::ExperimentSpec
 curveSpec(dist::StrategyKind k)
 {
@@ -26,6 +30,51 @@ curveSpec(dist::StrategyKind k)
     spec.tags.push_back("fig14-curve");
     spec.config.curve_every = kCurveEvery;
     return spec;
+}
+
+harness::FabricSpec
+treeFabric(bool shard)
+{
+    harness::FabricSpec fabric;
+    fabric.tree = true;
+    fabric.shard = shard;
+    return fabric;
+}
+
+/** The fig14 timing runs again, on a partitioned multi-rack tree:
+ *  serial engine vs domain-sharded engine. Async rows are the point —
+ *  the sharded engine now runs them (barrier-published staleness
+ *  snapshots), deterministically across shard_threads. */
+void
+shardedAsyncTable()
+{
+    harness::banner("Async timing on the sharded engine (" +
+                    std::to_string(kShardWorkers) + " workers, tree)");
+    harness::Table t(
+        {"Strategy", "Engine", "ms/iter", "sim events/s", "speedup"});
+    for (auto k : {dist::StrategyKind::kAsyncPs,
+                   dist::StrategyKind::kAsyncIswitch}) {
+        const dist::RunResult &serial = bench::runner().run(
+            harness::timingSpec(rl::Algo::kDqn, k, kShardWorkers,
+                                treeFabric(false)));
+        const dist::RunResult &sharded = bench::runner().run(
+            harness::timingSpec(rl::Algo::kDqn, k, kShardWorkers,
+                                treeFabric(true)));
+        const auto eps = [](const dist::RunResult &r) {
+            const auto it = r.perf.find("events_per_sec");
+            return it == r.perf.end() ? 0.0 : it->second;
+        };
+        t.row({dist::strategyName(k), "serial",
+               harness::fmt(serial.perIterationMs(), 3),
+               harness::fmt(eps(serial), 0), "1.00x"});
+        t.row({dist::strategyName(k), "sharded",
+               harness::fmt(sharded.perIterationMs(), 3),
+               harness::fmt(eps(sharded), 0),
+               eps(serial) > 0.0
+                   ? bench::speedupStr(eps(sharded) / eps(serial))
+                   : "n/a"});
+    }
+    t.print();
 }
 
 void
@@ -50,12 +99,22 @@ main(int argc, char **argv)
     bench::initBench(argc, argv);
     bench::printHeader("Figure 14 — async DQN training curves (reward vs time)");
 
-    bench::prefetch({curveSpec(dist::StrategyKind::kAsyncPs),
-                     curveSpec(dist::StrategyKind::kAsyncIswitch),
-                     harness::timingSpec(rl::Algo::kDqn,
-                                         dist::StrategyKind::kAsyncPs),
-                     harness::timingSpec(rl::Algo::kDqn,
-                                         dist::StrategyKind::kAsyncIswitch)});
+    bench::prefetch(
+        {curveSpec(dist::StrategyKind::kAsyncPs),
+         curveSpec(dist::StrategyKind::kAsyncIswitch),
+         harness::timingSpec(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs),
+         harness::timingSpec(rl::Algo::kDqn,
+                             dist::StrategyKind::kAsyncIswitch),
+         harness::timingSpec(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs,
+                             kShardWorkers, treeFabric(false)),
+         harness::timingSpec(rl::Algo::kDqn, dist::StrategyKind::kAsyncPs,
+                             kShardWorkers, treeFabric(true)),
+         harness::timingSpec(rl::Algo::kDqn,
+                             dist::StrategyKind::kAsyncIswitch,
+                             kShardWorkers, treeFabric(false)),
+         harness::timingSpec(rl::Algo::kDqn,
+                             dist::StrategyKind::kAsyncIswitch,
+                             kShardWorkers, treeFabric(true))});
 
     const dist::RunResult &ps =
         bench::runner().run(curveSpec(dist::StrategyKind::kAsyncPs));
@@ -68,6 +127,7 @@ main(int argc, char **argv)
 
     curveTable("Async PS curve", ps, ps_ms);
     curveTable("Async iSW curve", isw, isw_ms);
+    shardedAsyncTable();
 
     std::cout << "\nAsync PS: " << ps.iterations << " updates to reward "
               << harness::fmt(ps.final_avg_reward, 2) << "; Async iSW: "

@@ -106,6 +106,56 @@ BM_ShardedCrossRing(benchmark::State &state)
 BENCHMARK(BM_ShardedCrossRing)->Arg(2)->Arg(8);
 
 /**
+ * All source domains fan into domain 0 every window on the full
+ * thread pool — the adversarial case for the lock-free MPSC mailbox:
+ * each flush CAS-pushes a batch node onto the same inbox head, so
+ * this measures the push/drain path under real producer collisions
+ * (eng.mailboxContention() counts the failed CAS attempts).
+ */
+struct FanIn
+{
+    ShardedEngine *eng;
+    DomainId d;
+    std::size_t left;
+
+    void
+    step()
+    {
+        if (left-- == 0)
+            return;
+        eng->schedule(0, eng->now() + kLookahead, [] {});
+        eng->schedule(d, eng->now() + kLookahead, [this] { step(); });
+    }
+};
+
+void
+BM_ShardedMailboxFanIn(benchmark::State &state)
+{
+    const auto domains = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        ShardPlan plan;
+        plan.domains = domains;
+        plan.lookahead = kLookahead;
+        plan.threads = 0; // hardware concurrency: provoke collisions
+        ShardedEngine eng(plan);
+        std::vector<FanIn> chains(domains);
+        for (std::size_t d = 1; d < domains; ++d) {
+            chains[d] = FanIn{&eng, static_cast<DomainId>(d),
+                              kStepsPerChain};
+            FanIn *c = &chains[d];
+            eng.schedule(c->d, 1, [c] { c->step(); });
+        }
+        eng.runAll();
+        benchmark::DoNotOptimize(eng.mailboxContention());
+        benchmark::DoNotOptimize(eng.crossEvents());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>((state.range(0) - 1) * kStepsPerChain));
+}
+BENCHMARK(BM_ShardedMailboxFanIn)->Arg(8)->UseRealTime();
+
+/**
  * The parallel configuration: local chains on as many threads as the
  * host offers. Real time is the figure of merit (cpu time sums the
  * pool); compare against BM_ShardedLocalChains/16 to see the

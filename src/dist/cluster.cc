@@ -70,6 +70,12 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
     c.workersPerRack = cfg.per_rack;
     const std::size_t racks =
         (cfg.num_workers + cfg.per_rack - 1) / cfg.per_rack;
+    const std::size_t shards =
+        cfg.with_ps ? std::max<std::size_t>(cfg.ps_shards, 1) : 0;
+    if (shards > 250)
+        throw std::invalid_argument(
+            "buildTreeCluster: too many PS shards for the 10.0.254.x "
+            "address plan");
 
     core::ProgrammableSwitchConfig core_cfg;
     core_cfg.base = cfg.switch_cfg;
@@ -82,6 +88,10 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
 
     std::size_t next_worker = 0;
     for (std::size_t r = 0; r < racks; ++r) {
+        // PS shards spread round-robin over racks (shard k on rack
+        // k % racks), so each rack's ToR needs a port per local shard.
+        const std::size_t rack_ps =
+            shards / racks + (r < shards % racks ? 1 : 0);
         core::ProgrammableSwitchConfig tor_cfg;
         tor_cfg.base = cfg.switch_cfg;
         tor_cfg.accel = cfg.accel;
@@ -89,9 +99,11 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
         tor_cfg.udp_port = kSwitchPort;
         tor_cfg.parent = core_cfg.ip;
         tor_cfg.parent_port = kSwitchPort;
-        // Ports: per_rack workers + uplink + optional PS on rack 0.
+        // Ports: per_rack workers + uplink + local PS shards (at least
+        // one spare slot, matching the pre-sharded layout).
         auto *tor = c.topo->addSwitch<core::ProgrammableSwitch>(
-            "tor" + std::to_string(r), cfg.per_rack + 2, tor_cfg);
+            "tor" + std::to_string(r),
+            cfg.per_rack + 1 + std::max<std::size_t>(1, rack_ps), tor_cfg);
         c.leaves.push_back(tor);
 
         tor->setDomain(static_cast<sim::DomainId>(r + 1));
@@ -116,16 +128,18 @@ buildTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
         root->adminJoin(tor->ip(), kSwitchPort, core::MemberType::kSwitch);
     }
 
-    if (cfg.with_ps) {
-        if (cfg.ps_shards > 1)
-            throw std::invalid_argument(
-                "buildTreeCluster: sharded PS is star-only");
-        c.ps = c.topo->addHost("ps", net::Ipv4Addr(10, 0, 254, 2));
-        c.ps->setDomain(1); // rack 0's domain, where it attaches
-        c.topo->connectHost(c.ps, c.leaves[0], cfg.per_rack + 1,
-                            cfg.edge_link);
-        c.ps_shards.push_back(c.ps);
+    for (std::size_t k = 0; k < shards; ++k) {
+        const std::size_t rack = k % racks;
+        net::Host *h = c.topo->addHost(
+            shards == 1 ? "ps" : "ps" + std::to_string(k),
+            net::Ipv4Addr(10, 0, 254, static_cast<std::uint8_t>(2 + k)));
+        h->setDomain(static_cast<sim::DomainId>(rack + 1));
+        c.topo->connectHost(h, c.leaves[rack],
+                            cfg.per_rack + 1 + k / racks, cfg.edge_link);
+        c.ps_shards.push_back(h); // not aggregation members
     }
+    if (!c.ps_shards.empty())
+        c.ps = c.ps_shards.front();
 
     // Shard plan: one domain per rack + domain 0 for the core. The
     // only links crossing domains are the ToR uplinks.
@@ -157,6 +171,12 @@ buildFatTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
             "address plan");
     const std::size_t pods =
         (racks + cfg.racks_per_pod - 1) / cfg.racks_per_pod;
+    const std::size_t shards =
+        cfg.with_ps ? std::max<std::size_t>(cfg.ps_shards, 1) : 0;
+    if (shards > 250)
+        throw std::invalid_argument(
+            "buildFatTreeCluster: too many PS shards for the 10.0.254.x "
+            "address plan");
 
     core::ProgrammableSwitchConfig core_cfg;
     core_cfg.base = cfg.switch_cfg;
@@ -202,9 +222,14 @@ buildFatTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
         tor_cfg.udp_port = kSwitchPort;
         tor_cfg.parent = agg->ip();
         tor_cfg.parent_port = kSwitchPort;
-        // Ports: per_rack workers + uplink + optional PS on rack 0.
+        // Ports: per_rack workers + uplink + local PS shards (shard k
+        // lands on rack k % racks; at least one spare slot, matching
+        // the pre-sharded layout).
+        const std::size_t rack_ps =
+            shards / racks + (r < shards % racks ? 1 : 0);
         auto *tor = c.topo->addSwitch<core::ProgrammableSwitch>(
-            "tor" + std::to_string(r), cfg.per_rack + 2, tor_cfg);
+            "tor" + std::to_string(r),
+            cfg.per_rack + 1 + std::max<std::size_t>(1, rack_ps), tor_cfg);
         tor->setDomain(static_cast<sim::DomainId>(r + 1));
         c.leaves.push_back(tor);
 
@@ -228,16 +253,18 @@ buildFatTreeCluster(sim::Simulation &s, const ClusterConfig &cfg)
         agg->adminJoin(tor->ip(), kSwitchPort, core::MemberType::kSwitch);
     }
 
-    if (cfg.with_ps) {
-        if (cfg.ps_shards > 1)
-            throw std::invalid_argument(
-                "buildFatTreeCluster: sharded PS is star-only");
-        c.ps = c.topo->addHost("ps", net::Ipv4Addr(10, 0, 254, 2));
-        c.ps->setDomain(1); // rack 0's domain, where it attaches
-        c.topo->connectHost(c.ps, c.leaves[0], cfg.per_rack + 1,
-                            cfg.edge_link);
-        c.ps_shards.push_back(c.ps);
+    for (std::size_t k = 0; k < shards; ++k) {
+        const std::size_t rack = k % racks;
+        net::Host *h = c.topo->addHost(
+            shards == 1 ? "ps" : "ps" + std::to_string(k),
+            net::Ipv4Addr(10, 0, 254, static_cast<std::uint8_t>(2 + k)));
+        h->setDomain(static_cast<sim::DomainId>(rack + 1));
+        c.topo->connectHost(h, c.leaves[rack],
+                            cfg.per_rack + 1 + k / racks, cfg.edge_link);
+        c.ps_shards.push_back(h); // not aggregation members
     }
+    if (!c.ps_shards.empty())
+        c.ps = c.ps_shards.front();
 
     // Shard plan: one domain per rack, domain 0 for the AGG + core
     // fabric. Only the ToR uplinks cross domains (AGG <-> core links

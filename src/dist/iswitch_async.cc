@@ -23,7 +23,7 @@ AsyncIswitchJob::init()
     rx_.resize(workers_.size());
     for (auto &rx : rx_)
         rx.reset(fmt_);
-    lwu_busy_.assign(workers_.size(), false);
+    lwu_busy_.assign(workers_.size(), 0);
     if (cfg_.precision == net::Precision::kInt32)
         static_qexp_.assign(fmt_.segments(), ml::kDefaultQexp);
     sent_.assign(workers_.size(), 0);
@@ -92,7 +92,7 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
             sent_[w.index] > w.ts ? sent_[w.index] - w.ts : 0;
         const bool backlog_ok = backlog <= cfg_.staleness_bound;
         if (fresh && backlog_ok) {
-            ++committed_;
+            committed_.fetch_add(1, std::memory_order_relaxed);
             ++sent_[w.index];
             // Nonblocking send (line 9).
             ml::Vec grad = w.pending_grad; // snapshot for transmission
@@ -108,7 +108,7 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
                 }
             });
         } else {
-            ++skipped_;
+            skipped_.fetch_add(1, std::memory_order_relaxed);
         }
         ++w.round;
         lgcLoop(w); // pipeline: the next LGC starts immediately
@@ -208,8 +208,10 @@ void
 AsyncIswitchJob::collectExtras(RunResult &res) const
 {
     JobBase::collectExtras(res);
-    res.extras["gradients_committed"] = static_cast<double>(committed_);
-    res.extras["gradients_skipped"] = static_cast<double>(skipped_);
+    res.extras["gradients_committed"] =
+        static_cast<double>(gradientsCommitted());
+    res.extras["gradients_skipped"] =
+        static_cast<double>(gradientsSkipped());
 }
 
 } // namespace isw::dist

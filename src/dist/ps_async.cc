@@ -30,13 +30,29 @@ AsyncPsJob::AsyncPsJob(const JobConfig &cfg) : JobBase(cfg)
     srv_applied_.assign(workers_.size(), 0);
     srv_asm_seq_.assign(workers_.size(), 0);
     rx_ver_.assign(workers_.size(), kNoVer);
-    pull_outstanding_.assign(workers_.size(), false);
+    pull_outstanding_.assign(workers_.size(), 0);
     push_retx_.resize(workers_.size());
     pull_retx_.resize(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
         configureTimer(push_retx_[i]);
         configureTimer(pull_retx_[i]);
     }
+}
+
+std::uint64_t
+AsyncPsJob::stalenessVersion() const
+{
+    return sim_->sharded()
+               ? srv_version_pub_.load(std::memory_order_relaxed)
+               : srv_version_;
+}
+
+void
+AsyncPsJob::onShardBarrier()
+{
+    // Runs on the coordinator thread between windows; the window join
+    // orders it after every event the server's domain executed.
+    srv_version_pub_.store(srv_version_, std::memory_order_relaxed);
 }
 
 void
@@ -49,8 +65,16 @@ AsyncPsJob::start()
         w.host->setReceiveHandler(
             [this, wp](net::PacketPtr pkt) { onWorkerPacket(*wp, pkt); });
     }
-    for (auto &w : workers_)
-        pullWeights(w);
+    // Anchor each initial pull in its worker's home domain: start()
+    // runs in setup context (events land in domain 0), but the pull
+    // retransmission timer must be armed where done() will later run —
+    // the worker's own domain. Zero-delay wrappers in worker order keep
+    // the serial event sequence (and reports) byte-identical.
+    for (auto &w : workers_) {
+        WorkerCtx *wp = &w;
+        sim_->atInDomain(w.host->domain(), sim_->now(),
+                         [this, wp] { pullWeights(*wp); });
+    }
 }
 
 void
@@ -115,13 +139,27 @@ AsyncPsJob::onPsPacket(const net::PacketPtr &pkt)
         if (!srv_rx_[idx].offer(*chunk))
             return;
         srv_applied_[idx] = seq;
-        push_retx_[idx].done();
+        // The push timer lives in the worker's domain; done() hops.
+        deferDone(push_retx_[idx], workers_[idx].host);
         // Full gradient received: apply it after the update cost.
         const sim::TimeNs wu =
             cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_);
-        workers_[idx].metrics.add(IterComponent::kWeightUpdate, wu);
-        workers_[idx].metrics.add(IterComponent::kGradAggregation,
-                                  sim_->now() - workers_[idx].lgc_end);
+        if (!sim_->sharded()) {
+            workers_[idx].metrics.add(IterComponent::kWeightUpdate, wu);
+            workers_[idx].metrics.add(IterComponent::kGradAggregation,
+                                      sim_->now() - workers_[idx].lgc_end);
+        } else {
+            // lgc_end and the accumulator belong to the worker's
+            // domain: attribute there, against the arrival timestamp.
+            WorkerCtx *wp = &workers_[idx];
+            const sim::TimeNs arrive = sim_->now();
+            inDomainOf(wp->host, [this, wp, wu, arrive] {
+                wp->metrics.add(IterComponent::kWeightUpdate, wu);
+                wp->metrics.add(IterComponent::kGradAggregation,
+                                arrive > wp->lgc_end ? arrive - wp->lgc_end
+                                                     : 0);
+            });
+        }
         const ml::Vec grad = srv_rx_[idx].vector();
         srv_rx_[idx].reset();
         sim_->after(cfg_.overhead.recv + wu, [this, grad] {
@@ -170,8 +208,11 @@ AsyncPsJob::lgc(WorkerCtx &w)
     WorkerCtx *wp = &w;
     scheduleLgc(w, [this, wp, tw] {
         // Algorithm 1's staleness rule, applied to the PS baseline for
-        // a fair comparison: commit only lightly stale gradients.
-        if (srv_version_ - tw <= cfg_.staleness_bound) {
+        // a fair comparison: commit only lightly stale gradients. The
+        // snapshot can lag the version we installed from (tw), so
+        // clamp instead of letting unsigned subtraction wrap.
+        const std::uint64_t v = stalenessVersion();
+        if ((v > tw ? v - tw : 0) <= cfg_.staleness_bound) {
             const std::uint64_t seq = ++push_seq_[wp->index];
             sim_->after(cfg_.overhead.send, [this, wp, seq] {
                 const std::uint64_t tid =
@@ -185,28 +226,68 @@ AsyncPsJob::lgc(WorkerCtx &w)
                 push_retx_[wp->index].arm([this, wp, tid,
                                            seq]() -> std::size_t {
                     const std::size_t i = wp->index;
-                    if (stopped() || push_seq_[i] != seq ||
-                        srv_applied_[i] >= seq)
+                    if (stopped() || push_seq_[i] != seq)
                         return 0;
-                    // If the server never adopted this seq, everything
-                    // is missing; otherwise consult its assembler.
-                    std::vector<std::uint64_t> missing;
-                    if (srv_asm_seq_[i] == seq) {
-                        missing = srv_rx_[i].missingSegments();
-                    } else {
-                        missing.resize(fmt_.segments());
-                        for (std::uint64_t s = 0; s < missing.size(); ++s)
-                            missing[s] = s;
+                    if (!crossDomainFabric()) {
+                        if (srv_applied_[i] >= seq)
+                            return 0;
+                        // If the server never adopted this seq, all of
+                        // it is missing; else consult its assembler.
+                        std::vector<std::uint64_t> missing;
+                        if (srv_asm_seq_[i] == seq) {
+                            missing = srv_rx_[i].missingSegments();
+                        } else {
+                            missing.resize(fmt_.segments());
+                            for (std::uint64_t s = 0; s < missing.size();
+                                 ++s)
+                                missing[s] = s;
+                        }
+                        for (std::uint64_t seg : missing) {
+                            sendVectorSegment(
+                                *wp->host, cluster_.ps->ip(), kPsPort,
+                                kWorkerPort, /*tos=*/0, tid, last_push_[i],
+                                fmt_, seg, /*seg_base=*/0, /*job=*/0,
+                                /*ver_quota=*/0, wp->ppp.get());
+                            ++recovery_.retransmits;
+                        }
+                        return missing.size();
                     }
-                    for (std::uint64_t seg : missing) {
-                        sendVectorSegment(*wp->host, cluster_.ps->ip(),
-                                          kPsPort, kWorkerPort, /*tos=*/0,
-                                          tid, last_push_[i], fmt_, seg,
-                                          /*seg_base=*/0, /*job=*/0,
-                                          /*ver_quota=*/0, wp->ppp.get());
-                        ++recovery_.retransmits;
-                    }
-                    return missing.size();
+                    // Partitioned fabric: probe the server's assembler
+                    // in its home domain, hop back here to resend.
+                    inDomainOf(cluster_.ps, [this, wp, tid, seq] {
+                        const std::size_t i = wp->index;
+                        if (stopped() || srv_applied_[i] >= seq ||
+                            srv_asm_seq_[i] > seq)
+                            return;
+                        std::vector<std::uint64_t> missing;
+                        if (srv_asm_seq_[i] == seq) {
+                            missing = srv_rx_[i].missingSegments();
+                        } else {
+                            missing.resize(fmt_.segments());
+                            for (std::uint64_t s = 0; s < missing.size();
+                                 ++s)
+                                missing[s] = s;
+                        }
+                        if (missing.empty())
+                            return;
+                        inDomainOf(wp->host,
+                                   [this, wp, tid, seq,
+                                    missing = std::move(missing)] {
+                            const std::size_t i = wp->index;
+                            if (stopped() || push_seq_[i] != seq)
+                                return;
+                            for (std::uint64_t seg : missing) {
+                                sendVectorSegment(
+                                    *wp->host, cluster_.ps->ip(), kPsPort,
+                                    kWorkerPort, /*tos=*/0, tid,
+                                    last_push_[i], fmt_, seg,
+                                    /*seg_base=*/0, /*job=*/0,
+                                    /*ver_quota=*/0, wp->ppp.get());
+                                ++recovery_.retransmits;
+                            }
+                        });
+                    });
+                    return 1;
                 });
             });
         }

@@ -1,5 +1,6 @@
 #include "dist/ps_sharded.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace isw::dist {
@@ -79,6 +80,12 @@ SyncShardedPsJob::SyncShardedPsJob(const JobConfig &cfg) : JobBase(cfg)
             per_shard[s].reset(shards_[s].fmt);
     }
     ps_rng_ = sim_->forkRng();
+    if (crossDomainFabric()) {
+        shard_rng_.reserve(k);
+        for (std::size_t s = 0; s < k; ++s)
+            shard_rng_.push_back(sim_->forkRng());
+        shard_wu_.assign(k, 0);
+    }
     grad_retx_.resize(workers_.size() * k);
     result_retx_.resize(workers_.size() * k);
     for (auto &t : grad_retx_)
@@ -128,25 +135,68 @@ SyncShardedPsJob::beginRound(WorkerCtx &w)
                 // shard's assembler to learn what is still missing.
                 grad_retx_[wp->index * shards_.size() + s].arm(
                     [this, wp, s, r]() -> std::size_t {
-                        if (stopped() || state_[s].round != r)
+                        if (stopped())
                             return 0;
-                        const ShardSpec &sp = shards_[s];
-                        std::size_t n = 0;
-                        for (std::uint64_t seg :
-                             state_[s].rx[wp->index].missingSegments()) {
-                            sendVectorSegment(
-                                *wp->host, cluster_.ps_shards[s]->ip(),
-                                kPsPort, kWorkerPort, /*tos=*/0,
-                                makeTid(r, wp->index),
-                                std::span<const float>(
-                                    wp->pending_grad.data() + sp.log_begin,
-                                    sp.log_end - sp.log_begin),
-                                sp.fmt, seg, /*seg_base=*/0, /*job=*/0,
-                                /*ver_quota=*/0, wp->ppp.get());
-                            ++recovery_.retransmits;
-                            ++n;
+                        if (!crossDomainFabric()) {
+                            if (state_[s].round != r)
+                                return 0;
+                            const ShardSpec &sp = shards_[s];
+                            std::size_t n = 0;
+                            for (std::uint64_t seg :
+                                 state_[s].rx[wp->index]
+                                     .missingSegments()) {
+                                sendVectorSegment(
+                                    *wp->host,
+                                    cluster_.ps_shards[s]->ip(), kPsPort,
+                                    kWorkerPort, /*tos=*/0,
+                                    makeTid(r, wp->index),
+                                    std::span<const float>(
+                                        wp->pending_grad.data() +
+                                            sp.log_begin,
+                                        sp.log_end - sp.log_begin),
+                                    sp.fmt, seg, /*seg_base=*/0,
+                                    /*job=*/0, /*ver_quota=*/0,
+                                    wp->ppp.get());
+                                ++recovery_.retransmits;
+                                ++n;
+                            }
+                            return n;
                         }
-                        return n;
+                        // Partitioned fabric: probe the shard's
+                        // assembler in its home domain, hop back to
+                        // the worker's domain to resend.
+                        inDomainOf(cluster_.ps_shards[s],
+                                   [this, wp, s, r] {
+                            if (stopped() || state_[s].round != r)
+                                return;
+                            std::vector<std::uint64_t> missing =
+                                state_[s].rx[wp->index].missingSegments();
+                            if (missing.empty())
+                                return;
+                            inDomainOf(wp->host,
+                                       [this, wp, s, r,
+                                        missing = std::move(missing)] {
+                                if (stopped() || wp->round != r)
+                                    return;
+                                const ShardSpec &sp = shards_[s];
+                                for (std::uint64_t seg : missing) {
+                                    sendVectorSegment(
+                                        *wp->host,
+                                        cluster_.ps_shards[s]->ip(),
+                                        kPsPort, kWorkerPort, /*tos=*/0,
+                                        makeTid(r, wp->index),
+                                        std::span<const float>(
+                                            wp->pending_grad.data() +
+                                                sp.log_begin,
+                                            sp.log_end - sp.log_begin),
+                                        sp.fmt, seg, /*seg_base=*/0,
+                                        /*job=*/0, /*ver_quota=*/0,
+                                        wp->ppp.get());
+                                    ++recovery_.retransmits;
+                                }
+                            });
+                        });
+                        return 1;
                     });
             });
         }
@@ -165,7 +215,9 @@ SyncShardedPsJob::onShardPacket(std::size_t shard, const net::PacketPtr &pkt)
         tidRound(chunk->transfer_id) != st.round)
         return; // stale round (late retransmission): drop
     if (st.rx[widx].offer(*chunk)) {
-        grad_retx_[widx * shards_.size() + shard].done();
+        // The timer lives in the worker's domain; done() hops there.
+        deferDone(grad_retx_[widx * shards_.size() + shard],
+                  workers_[widx].host);
         if (++st.received == workers_.size())
             shardAggregate(shard);
     }
@@ -187,17 +239,28 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
     const auto sum_time = static_cast<sim::TimeNs>(
         sum_bytes / cfg_.ps_sum_bytes_per_sec * 1e9);
     // Every shard performs its slice of the weight update; slices run
-    // in parallel so the visible update cost is one shard's share.
-    last_server_wu_ =
-        cfg_.profile.sample(IterComponent::kWeightUpdate, ps_rng_) /
-        shards_.size();
+    // in parallel so the visible update cost is one shard's share. On
+    // a partitioned fabric each shard samples its own rng fork and
+    // publishes into its own slot (single-writer per domain).
+    sim::TimeNs wu_share;
+    if (crossDomainFabric()) {
+        wu_share = cfg_.profile.sample(IterComponent::kWeightUpdate,
+                                       shard_rng_[shard]) /
+                   shards_.size();
+        shard_wu_[shard] = wu_share;
+    } else {
+        wu_share = cfg_.profile.sample(IterComponent::kWeightUpdate,
+                                       ps_rng_) /
+                   shards_.size();
+        last_server_wu_ = wu_share;
+    }
 
     for (auto &rx : st.rx)
         rx.reset();
     st.received = 0;
     const std::uint64_t round = st.round++;
 
-    sim_->after(cfg_.overhead.recv + sum_time + last_server_wu_,
+    sim_->after(cfg_.overhead.recv + sum_time + wu_share,
                 [this, shard, round] {
         for (std::size_t i = 0; i < workers_.size(); ++i) {
             WorkerCtx *wp = &workers_[i];
@@ -215,24 +278,62 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
                 // slice cannot have scattered the next round's slice).
                 result_retx_[wp->index * shards_.size() + shard].arm(
                     [this, shard, wp, tid, round]() -> std::size_t {
-                        if (stopped() || wp->round != round)
+                        if (stopped())
                             return 0;
-                        std::size_t n = 0;
-                        for (std::uint64_t seg :
-                             worker_rx_[wp->index][shard]
-                                 .missingSegments()) {
-                            sendVectorSegment(*cluster_.ps_shards[shard],
-                                              wp->host->ip(), kWorkerPort,
-                                              kPsPort, /*tos=*/0, tid,
-                                              state_[shard].sum,
-                                              shards_[shard].fmt, seg,
-                                              /*seg_base=*/0, /*job=*/0,
-                                              /*ver_quota=*/0,
-                                              state_[shard].ppp.get());
-                            ++recovery_.retransmits;
-                            ++n;
+                        if (!crossDomainFabric()) {
+                            if (wp->round != round)
+                                return 0;
+                            std::size_t n = 0;
+                            for (std::uint64_t seg :
+                                 worker_rx_[wp->index][shard]
+                                     .missingSegments()) {
+                                sendVectorSegment(
+                                    *cluster_.ps_shards[shard],
+                                    wp->host->ip(), kWorkerPort, kPsPort,
+                                    /*tos=*/0, tid, state_[shard].sum,
+                                    shards_[shard].fmt, seg,
+                                    /*seg_base=*/0, /*job=*/0,
+                                    /*ver_quota=*/0,
+                                    state_[shard].ppp.get());
+                                ++recovery_.retransmits;
+                                ++n;
+                            }
+                            return n;
                         }
-                        return n;
+                        // Probe the worker's assembler in its domain,
+                        // then resend from the shard's domain. The
+                        // round guard on the shard side keeps stale
+                        // resends off a recycled st.sum.
+                        inDomainOf(wp->host, [this, shard, wp, tid,
+                                              round] {
+                            if (stopped() || wp->round != round)
+                                return;
+                            std::vector<std::uint64_t> missing =
+                                worker_rx_[wp->index][shard]
+                                    .missingSegments();
+                            if (missing.empty())
+                                return;
+                            inDomainOf(cluster_.ps_shards[shard],
+                                       [this, shard, wp, tid, round,
+                                        missing = std::move(missing)] {
+                                if (stopped() ||
+                                    state_[shard].round != round + 1)
+                                    return;
+                                for (std::uint64_t seg : missing) {
+                                    sendVectorSegment(
+                                        *cluster_.ps_shards[shard],
+                                        wp->host->ip(), kWorkerPort,
+                                        kPsPort, /*tos=*/0, tid,
+                                        state_[shard].sum,
+                                        shards_[shard].fmt, seg,
+                                        /*seg_base=*/0, /*job=*/0,
+                                        /*ver_quota=*/0,
+                                        state_[shard].ppp.get());
+                                    ++recovery_.retransmits;
+                                }
+                            });
+                        });
+                        return 1;
                     });
             });
         }
@@ -251,7 +352,9 @@ SyncShardedPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
         tidRound(chunk->transfer_id) != w.round)
         return; // stale round (late retransmission): drop
     if (worker_rx_[w.index][shard].offer(*chunk)) {
-        result_retx_[w.index * shards_.size() + shard].done();
+        // The timer lives in the shard's domain; done() hops there.
+        deferDone(result_retx_[w.index * shards_.size() + shard],
+                  cluster_.ps_shards[shard]);
         if (++slices_done_[w.index] == shards_.size())
             onSlicesComplete(w);
     }
@@ -274,11 +377,21 @@ SyncShardedPsJob::onSlicesComplete(WorkerCtx &w)
         }
         slices_done_[w.index] = 0;
 
+        // Partitioned fabrics publish per-shard wu shares; the round's
+        // critical path is the slowest shard. Each shard_wu_ slot is
+        // safely readable here: a shard cannot recycle it for round
+        // r+1 until this worker (among all) scatters r+1.
+        sim::TimeNs server_wu = last_server_wu_;
+        if (crossDomainFabric()) {
+            server_wu = 0;
+            for (sim::TimeNs wu : shard_wu_)
+                server_wu = std::max(server_wu, wu);
+        }
         const sim::TimeNs elapsed = sim_->now() - w.lgc_end;
         const sim::TimeNs agg_time =
-            elapsed > last_server_wu_ ? elapsed - last_server_wu_ : 0;
+            elapsed > server_wu ? elapsed - server_wu : 0;
         chargeAggregation(w, agg_time);
-        w.metrics.add(IterComponent::kWeightUpdate, last_server_wu_);
+        w.metrics.add(IterComponent::kWeightUpdate, server_wu);
         w.agent->applyAggregatedGradient(
             agg, static_cast<std::uint32_t>(workers_.size()));
         ++w.round;

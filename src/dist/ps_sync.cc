@@ -80,21 +80,53 @@ SyncPsJob::beginRound(WorkerCtx &w)
             // the server's assembler is still missing (the ack channel
             // is modeled as free; data resends pay full wire cost).
             grad_retx_[wp->index].arm([this, wp, r]() -> std::size_t {
-                if (stopped() || srv_round_ != r)
+                if (stopped())
                     return 0;
-                std::size_t n = 0;
-                for (std::uint64_t seg :
-                     ps_rx_[wp->index].missingSegments()) {
-                    sendVectorSegment(*wp->host, cluster_.ps->ip(), kPsPort,
-                                      kWorkerPort, /*tos=*/0,
-                                      gradTid(r, wp->index),
-                                      wp->pending_grad, fmt_, seg,
-                                      /*seg_base=*/0, /*job=*/0,
-                                      /*ver_quota=*/0, wp->ppp.get());
-                    ++recovery_.retransmits;
-                    ++n;
+                if (!crossDomainFabric()) {
+                    if (srv_round_ != r)
+                        return 0;
+                    std::size_t n = 0;
+                    for (std::uint64_t seg :
+                         ps_rx_[wp->index].missingSegments()) {
+                        sendVectorSegment(*wp->host, cluster_.ps->ip(),
+                                          kPsPort, kWorkerPort, /*tos=*/0,
+                                          gradTid(r, wp->index),
+                                          wp->pending_grad, fmt_, seg,
+                                          /*seg_base=*/0, /*job=*/0,
+                                          /*ver_quota=*/0, wp->ppp.get());
+                        ++recovery_.retransmits;
+                        ++n;
+                    }
+                    return n;
                 }
-                return n;
+                // Partitioned fabric: the server's assembler lives in
+                // another domain, so the timer probes it there and the
+                // resend hops back to the worker's domain. The timer
+                // stays armed (return 1) until the server's completion
+                // defers a done() to this domain.
+                inDomainOf(cluster_.ps, [this, wp, r] {
+                    if (stopped() || srv_round_ != r)
+                        return;
+                    std::vector<std::uint64_t> missing =
+                        ps_rx_[wp->index].missingSegments();
+                    if (missing.empty())
+                        return;
+                    inDomainOf(wp->host, [this, wp, r,
+                                          missing = std::move(missing)] {
+                        if (stopped() || wp->round != r)
+                            return;
+                        for (std::uint64_t seg : missing) {
+                            sendVectorSegment(
+                                *wp->host, cluster_.ps->ip(), kPsPort,
+                                kWorkerPort, /*tos=*/0,
+                                gradTid(r, wp->index), wp->pending_grad,
+                                fmt_, seg, /*seg_base=*/0, /*job=*/0,
+                                /*ver_quota=*/0, wp->ppp.get());
+                            ++recovery_.retransmits;
+                        }
+                    });
+                });
+                return 1;
             });
         });
     });
@@ -110,7 +142,8 @@ SyncPsJob::onPsPacket(const net::PacketPtr &pkt)
     if (widx >= ps_rx_.size() || tidRound(chunk->transfer_id) != srv_round_)
         return; // stale round (late retransmission): drop
     if (ps_rx_[widx].offer(*chunk)) {
-        grad_retx_[widx].done();
+        // The timer lives in the worker's domain; done() hops there.
+        deferDone(grad_retx_[widx], workers_[widx].host);
         if (++ps_received_ == workers_.size())
             serverAggregate();
     }
@@ -157,19 +190,52 @@ SyncPsJob::serverAggregate()
                 // every worker finished this round.
                 result_retx_[wp->index].arm([this, wp, tid,
                                              round]() -> std::size_t {
-                    if (stopped() || wp->round != round)
+                    if (stopped())
                         return 0;
-                    std::size_t n = 0;
-                    for (std::uint64_t seg : wp->rx.missingSegments()) {
-                        sendVectorSegment(*cluster_.ps, wp->host->ip(),
-                                          kWorkerPort, kPsPort, /*tos=*/0,
-                                          tid, ps_sum_, fmt_, seg,
-                                          /*seg_base=*/0, /*job=*/0,
-                                          /*ver_quota=*/0, srv_ppp_.get());
-                        ++recovery_.retransmits;
-                        ++n;
+                    if (!crossDomainFabric()) {
+                        if (wp->round != round)
+                            return 0;
+                        std::size_t n = 0;
+                        for (std::uint64_t seg : wp->rx.missingSegments()) {
+                            sendVectorSegment(
+                                *cluster_.ps, wp->host->ip(), kWorkerPort,
+                                kPsPort, /*tos=*/0, tid, ps_sum_, fmt_, seg,
+                                /*seg_base=*/0, /*job=*/0, /*ver_quota=*/0,
+                                srv_ppp_.get());
+                            ++recovery_.retransmits;
+                            ++n;
+                        }
+                        return n;
                     }
-                    return n;
+                    // Probe the worker's assembler in its own domain,
+                    // then resend from the server's domain. srv_round_
+                    // guards ps_sum_ liveness: once the next aggregate
+                    // overwrites it, stale resends are pointless (the
+                    // receiver would drop them by round anyway).
+                    inDomainOf(wp->host, [this, wp, tid, round] {
+                        if (stopped() || wp->round != round)
+                            return;
+                        std::vector<std::uint64_t> missing =
+                            wp->rx.missingSegments();
+                        if (missing.empty())
+                            return;
+                        inDomainOf(cluster_.ps,
+                                   [this, wp, tid, round,
+                                    missing = std::move(missing)] {
+                            if (stopped() || srv_round_ != round + 1)
+                                return;
+                            for (std::uint64_t seg : missing) {
+                                sendVectorSegment(
+                                    *cluster_.ps, wp->host->ip(),
+                                    kWorkerPort, kPsPort, /*tos=*/0, tid,
+                                    ps_sum_, fmt_, seg, /*seg_base=*/0,
+                                    /*job=*/0, /*ver_quota=*/0,
+                                    srv_ppp_.get());
+                                ++recovery_.retransmits;
+                            }
+                        });
+                    });
+                    return 1;
                 });
             });
         }
@@ -186,7 +252,8 @@ SyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
         tidRound(chunk->transfer_id) != w.round)
         return; // stale round or misrouted: drop
     if (w.rx.offer(*chunk)) {
-        result_retx_[w.index].done();
+        // The timer was armed in the server's domain; done() hops there.
+        deferDone(result_retx_[w.index], cluster_.ps);
         onWeightsComplete(w);
     }
 }

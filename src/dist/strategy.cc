@@ -120,6 +120,17 @@ JobBase::JobBase(const JobConfig &cfg, const SharedWorld &world) : cfg_(cfg)
     resolveRetx();
 }
 
+JobBase::~JobBase()
+{
+    // An async run can stop with deliveries still queued, and a queued
+    // event's packet recycles into its sealing domain's pool when the
+    // engine's queues unwind. Drop the simulation first so those
+    // recycles land in still-live `domain_pools_` (member order would
+    // destroy the pools before `owned_sim_`).
+    sim_ = nullptr;
+    owned_sim_.reset();
+}
+
 void
 JobBase::initWorkers()
 {
@@ -143,14 +154,6 @@ JobBase::initWorkers()
 void
 JobBase::enableSharding()
 {
-    if (isAsyncStrategy(cfg_.strategy))
-        throw std::invalid_argument(
-            "JobBase: sharded execution requires a synchronous strategy "
-            "(async jobs mutate global weight state from every domain)");
-    if (lossyEnv())
-        throw std::invalid_argument(
-            "JobBase: sharded execution requires a lossless environment "
-            "(loss RNGs and retx timers are cross-domain state)");
     if (cluster_.sim_domains < 2)
         throw std::invalid_argument(
             "JobBase: sharding needs a multi-rack tree/fat-tree cluster "
@@ -168,6 +171,32 @@ JobBase::enableSharding()
             net::PacketPool::setLocalOverride(&domain_pools_[d]);
         },
         [](sim::DomainId) { net::PacketPool::setLocalOverride(nullptr); });
+    // Async staleness snapshots publish at window barriers (the lambda
+    // runs after construction, so the virtual dispatch reaches the
+    // subclass override).
+    sim_->engine()->setBarrierHook([this] { onShardBarrier(); });
+}
+
+void
+JobBase::inDomainOf(const net::Node *n, std::function<void()> fn)
+{
+    if (!crossDomainFabric()) {
+        fn(); // star / single-domain: legacy inline path, bit for bit
+        return;
+    }
+    sim_->atInDomain(n->domain(), sim_->now() + domainHopDelay(),
+                     std::move(fn));
+}
+
+void
+JobBase::deferDone(RetxTimer &t, const net::Node *home)
+{
+    if (!recovery_on_ || !crossDomainFabric()) {
+        t.done(); // no-op when unconfigured: zero events either way
+        return;
+    }
+    sim_->atInDomain(home->domain(), sim_->now() + domainHopDelay(),
+                     [&t] { t.done(); });
 }
 
 void
@@ -240,14 +269,18 @@ JobBase::installFaults()
         core::ProgrammableSwitch *leaf = cluster_.leafOf(c.worker);
         // The Leave departs at the crash instant, inside the injector's
         // grace window, driving the real membership/auto-H machinery;
-        // the Join goes out the moment the link is back up.
-        sim_->at(c.crash_at, [h, leaf] {
+        // the Join goes out the moment the link is back up. Anchored in
+        // the host's home domain: the send must execute on the domain
+        // thread owning the host's NIC queues, and the resulting
+        // membership update then rides the ordinary mailbox path to the
+        // fabric domain. Serial engines ignore the domain.
+        sim_->atInDomain(h->domain(), c.crash_at, [h, leaf] {
             net::ControlPayload leave;
             leave.action = net::Action::kLeave;
             h->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
                       net::kTosControl, leave);
         });
-        sim_->at(c.rejoin_at, [h, leaf] {
+        sim_->atInDomain(h->domain(), c.rejoin_at, [h, leaf] {
             net::ControlPayload join;
             join.action = net::Action::kJoin;
             join.has_value = true;
@@ -481,6 +514,24 @@ JobBase::finishRun(std::string error)
     if (global_iters_ > 0)
         res.perf["allocs_per_iteration"] =
             fresh_allocs / static_cast<double>(global_iters_);
+    // Sharded-engine loop counters. The window/skip/batch counts are
+    // deterministic, but they describe the engine, not the experiment,
+    // and mailbox contention is genuinely scheduling-dependent — so
+    // all of them live in perf (excluded from resultToJson).
+    if (sim_->sharded()) {
+        const sim::ShardedEngine &eng = *sim_->engine();
+        res.perf["shard_windows"] = static_cast<double>(eng.windows());
+        res.perf["shard_windows_serial"] =
+            static_cast<double>(eng.windowsSerialFastPath());
+        res.perf["shard_domains_skipped"] =
+            static_cast<double>(eng.domainsSkipped());
+        res.perf["shard_cross_events"] =
+            static_cast<double>(eng.crossEvents());
+        res.perf["shard_cross_batches"] =
+            static_cast<double>(eng.crossBatches());
+        res.perf["shard_mailbox_contention"] =
+            static_cast<double>(eng.mailboxContention());
+    }
     collectExtras(res);
     return res;
 }

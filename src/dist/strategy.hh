@@ -109,12 +109,14 @@ struct JobConfig
     /**
      * Execute on the domain-sharded parallel engine (sim/shard.hh):
      * one domain per rack, windows bounded by the uplink propagation
-     * delay. Requires a multi-rack tree/fat-tree cluster, a
-     * synchronous strategy, and a lossless environment (throws
-     * otherwise). Reports are byte-identical to the serial engine up
-     * to sub-lookahead event ties, which the millisecond-scale compute
+     * delay. Requires a multi-rack tree/fat-tree cluster (throws
+     * otherwise); every strategy and lossy/faulted environments are
+     * supported (DESIGN.md §15). Sync lossless and sync lossy reports
+     * are byte-identical to the serial engine; async reports are
+     * deterministic across shard_threads. Both hold up to
+     * sub-lookahead event ties, which the millisecond-scale compute
      * jitter makes vanishingly unlikely; the determinism regression
-     * test pins this.
+     * tests pin this.
      */
     bool shard = false;
     /** Worker threads for the sharded engine (0 = one per core). */
@@ -188,7 +190,7 @@ class JobBase
      *  Fault plans and tree clusters are owned-mode only. */
     JobBase(const JobConfig &cfg, const SharedWorld &world);
 
-    virtual ~JobBase() = default;
+    virtual ~JobBase();
 
     JobBase(const JobBase &) = delete;
     JobBase &operator=(const JobBase &) = delete;
@@ -313,6 +315,56 @@ class JobBase
             t.configure(*sim_, retx_, recovery_);
     }
 
+    /**
+     * True when the cluster is partitioned into >= 2 shard domains
+     * (multi-rack tree/fat-tree fabrics) — regardless of the engine
+     * actually in use. The cross-domain hop discipline below keys off
+     * the *fabric*, not off cfg_.shard, so a serial run of a
+     * partitioned fabric behaves identically to its sharded twin
+     * (byte-identical reports), while star clusters keep the legacy
+     * zero-hop paths bit for bit.
+     */
+    bool crossDomainFabric() const { return cluster_.sim_domains >= 2; }
+
+    /**
+     * Fixed delay when deferring work into another node's domain:
+     * the conservative window width, so a mid-window handoff is
+     * always a legal cross-domain schedule (now >= window start =>
+     * now + hop >= window end).
+     */
+    sim::TimeNs domainHopDelay() const
+    {
+        return std::max<sim::TimeNs>(cluster_.domain_lookahead, 1);
+    }
+
+    /**
+     * Run @p fn in the domain owning node @p n. Single-domain fabrics
+     * call it inline (zero new events — star reports unchanged);
+     * partitioned fabrics schedule it at now + domainHopDelay() in
+     * n's domain, on serial *and* sharded engines alike. Used to
+     * introspect another domain's receive state (retransmit probes)
+     * and to resend from the owning side.
+     */
+    void inDomainOf(const net::Node *n, std::function<void()> fn);
+
+    /**
+     * Complete @p t from a foreign domain: defers t.done() into the
+     * domain of @p home (the node whose event chain armed the timer).
+     * Inline on single-domain fabrics or when recovery is off, so
+     * lossless and star runs schedule zero extra events. The deferred
+     * done cannot race a re-arm: re-arming requires a full network
+     * round trip (>> one hop) after the completion that triggered it.
+     */
+    void deferDone(RetxTimer &t, const net::Node *home);
+
+    /**
+     * Window-barrier callback (sharded runs only): invoked on the
+     * owning thread after every conservative window, with all domains
+     * quiescent. Async strategies publish their cross-domain version
+     * snapshots here (DESIGN.md §15).
+     */
+    virtual void onShardBarrier() {}
+
     /** The attached fault injector, or nullptr. */
     net::FaultInjector *faultInjector() const { return injector_.get(); }
 
@@ -353,7 +405,8 @@ class JobBase
     /**
      * Switch sim_ to the domain-sharded engine per the cluster's shard
      * plan and give every domain a private PacketPool. Owned-world
-     * only; throws unless the run is sync, lossless, and multi-rack.
+     * only; throws unless the cluster is multi-rack (any strategy,
+     * lossy or lossless — DESIGN.md §15).
      */
     void enableSharding();
 

@@ -54,6 +54,15 @@ FaultInjector::computeScale(std::size_t worker, sim::TimeNs now) const
     return scale;
 }
 
+FaultStats
+FaultInjector::stats() const
+{
+    FaultStats total;
+    for (const auto &kv : ports_)
+        total += kv.second.stats; // integer sums: order irrelevant
+    return total;
+}
+
 ChannelVerdict
 FaultInjector::onFrame(const Link &link, const PacketPtr &pkt)
 {
@@ -66,7 +75,7 @@ FaultInjector::onFrame(const Link &link, const PacketPtr &pkt)
     const sim::TimeNs now = sim_.now();
 
     if (linkDown(st.worker, now)) {
-        ++stats_.down_drops;
+        ++st.stats.down_drops;
         v.drop = true;
         return v;
     }
@@ -82,21 +91,21 @@ FaultInjector::onFrame(const Link &link, const PacketPtr &pkt)
         }
         const double p = st.ge_bad ? plan_.ge.loss_bad : plan_.ge.loss_good;
         if (p > 0.0 && st.rng.bernoulli(p)) {
-            ++stats_.ge_drops;
+            ++st.stats.ge_drops;
             v.drop = true;
             return v;
         }
     }
 
     if (plan_.extra_loss > 0.0 && st.rng.bernoulli(plan_.extra_loss)) {
-        ++stats_.iid_drops;
+        ++st.stats.iid_drops;
         v.drop = true;
         return v;
     }
 
     if (plan_.duplicate_prob > 0.0 &&
         st.rng.bernoulli(plan_.duplicate_prob)) {
-        ++stats_.duplicates;
+        ++st.stats.duplicates;
         v.duplicate = true;
         // Duplicates trail the original by the reorder delay, so they
         // also exercise out-of-order arrival.
@@ -104,7 +113,7 @@ FaultInjector::onFrame(const Link &link, const PacketPtr &pkt)
     }
 
     if (plan_.reorder_prob > 0.0 && st.rng.bernoulli(plan_.reorder_prob)) {
-        ++stats_.reorders;
+        ++st.stats.reorders;
         v.delay = plan_.reorder_delay;
     }
 

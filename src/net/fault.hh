@@ -118,6 +118,16 @@ struct FaultStats
     std::uint64_t down_drops = 0; ///< dropped inside down/crash windows
     std::uint64_t duplicates = 0;
     std::uint64_t reorders = 0;
+
+    FaultStats &operator+=(const FaultStats &o)
+    {
+        ge_drops += o.ge_drops;
+        iid_drops += o.iid_drops;
+        down_drops += o.down_drops;
+        duplicates += o.duplicates;
+        reorders += o.reorders;
+        return *this;
+    }
 };
 
 /**
@@ -147,21 +157,33 @@ class FaultInjector : public ChannelModel
     double computeScale(std::size_t worker, sim::TimeNs now) const;
 
     const FaultPlan &plan() const { return plan_; }
-    const FaultStats &stats() const { return stats_; }
+    /** Aggregate counters across all attached links. Summed on demand:
+     *  the live counters are per-port so a sharded engine's domains
+     *  never write a shared cache line (each edge link's frames are
+     *  processed entirely within the link's home domain). The sum of
+     *  per-port totals is order-independent, hence deterministic. */
+    FaultStats stats() const;
 
   private:
+    /**
+     * Per-edge-link state: the GE chain, the RNG, and the fault
+     * counters. A link's frames all execute in the link's home domain
+     * (one rack = one domain), so everything here is single-writer —
+     * no atomics needed even when domains run on parallel threads.
+     */
     struct PortState
     {
         std::size_t worker = 0;
         bool ge_bad = false; ///< Gilbert–Elliott chain state
         sim::Rng rng;
+        FaultStats stats;
     };
 
     sim::Simulation &sim_;
     FaultPlan plan_;
     std::uint64_t seed_ = 0;
+    /** Read-only after attach() (runtime lookups never mutate). */
     std::unordered_map<const Link *, PortState> ports_;
-    FaultStats stats_;
 };
 
 } // namespace isw::net

@@ -39,6 +39,15 @@ ShardedEngine::~ShardedEngine()
     gen_.notify_all();
     for (auto &t : pool_)
         t.join();
+    // Free any mailbox nodes left behind by an aborted run.
+    for (auto &d : domains_) {
+        CrossNode *n = d.inbox.exchange(nullptr, std::memory_order_acquire);
+        while (n != nullptr) {
+            CrossNode *next = n->next;
+            delete n;
+            n = next;
+        }
+    }
 }
 
 EventId
@@ -57,12 +66,21 @@ ShardedEngine::schedule(DomainId d, TimeNs when, EventQueue::Callback cb)
         if (when < window_end_.load(std::memory_order_relaxed))
             throw std::logic_error(
                 "ShardedEngine: cross-domain event violates lookahead");
+        // Stage in the *source* domain (thread-private, no contention);
+        // flushed as one batch node per destination when this domain's
+        // window slice ends.
         Domain &src = domains_[tls_domain_];
         const std::uint64_t seq = src.send_seq++;
-        cross_events_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> g(dst.inbox_mu);
-        dst.inbox.push_back(CrossEvent{when, tls_domain_, seq,
-                                       std::move(cb)});
+        for (auto &entry : src.staged) {
+            if (entry.first == d) {
+                entry.second.push_back(
+                    CrossEvent{when, tls_domain_, seq, std::move(cb)});
+                return kInvalidEventId;
+            }
+        }
+        src.staged.emplace_back(d, std::vector<CrossEvent>{});
+        src.staged.back().second.push_back(
+            CrossEvent{when, tls_domain_, seq, std::move(cb)});
         return kInvalidEventId; // mailbox events have no queue key yet
     }
     // Setup / between windows: only the owning thread runs here.
@@ -76,6 +94,24 @@ ShardedEngine::cancelHere(EventId id)
         return false;
     const DomainId d =
         tls_engine_ == this && tls_domain_ != kNoDomain ? tls_domain_ : 0;
+    return domains_[d].q.cancel(id);
+}
+
+bool
+ShardedEngine::cancelIn(DomainId d, EventId id)
+{
+    if (id == kInvalidEventId)
+        return false;
+    if (d >= domains_.size())
+        throw std::out_of_range("ShardedEngine: no such domain");
+    // Inside a window only the executing domain's own queue is safe to
+    // touch: another domain's queue may be mid-run on another thread,
+    // and EventIds are only unique per queue, so a silent cross-domain
+    // cancel would corrupt an unrelated event. Loud beats undefined.
+    if (tls_engine_ == this && tls_domain_ != kNoDomain && tls_domain_ != d)
+        throw std::logic_error(
+            "ShardedEngine: cross-domain cancel mid-window — EventIds "
+            "are queue-local; defer the cancel to its home domain");
     return domains_[d].q.cancel(id);
 }
 
@@ -96,11 +132,15 @@ ShardedEngine::empty() const
 std::size_t
 ShardedEngine::pending() const
 {
+    // Owner-thread only, between windows: mailboxes are quiescent and
+    // staging buffers are flushed, so a plain walk is race-free.
     std::size_t n = 0;
     for (const auto &d : domains_) {
         n += d.q.pending();
-        std::lock_guard<std::mutex> g(d.inbox_mu);
-        n += d.inbox.size();
+        for (const CrossNode *node =
+                 d.inbox.load(std::memory_order_acquire);
+             node != nullptr; node = node->next)
+            n += node->batch.size();
     }
     return n;
 }
@@ -114,24 +154,78 @@ ShardedEngine::executed() const
     return n;
 }
 
+std::uint64_t
+ShardedEngine::domainsSkipped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d.skipped;
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::crossEvents() const
+{
+    // send_seq is a per-source lifetime counter, so the sum is the
+    // total number of handoffs without a shared atomic in the path.
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d.send_seq;
+    return n;
+}
+
+std::uint64_t
+ShardedEngine::crossBatches() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d.batches_out;
+    return n;
+}
+
+void
+ShardedEngine::flushStaged(Domain &src)
+{
+    for (auto &entry : src.staged) {
+        if (entry.second.empty())
+            continue;
+        auto *node = new CrossNode;
+        node->batch = std::move(entry.second);
+        entry.second.clear(); // moved-from: make the reuse explicit
+        Domain &dst = domains_[entry.first];
+        node->next = dst.inbox.load(std::memory_order_relaxed);
+        while (!dst.inbox.compare_exchange_weak(node->next, node,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed))
+            mailbox_contention_.fetch_add(1, std::memory_order_relaxed);
+        ++src.batches_out;
+    }
+}
+
 void
 ShardedEngine::drainInboxes()
 {
     for (auto &dst : domains_) {
-        // No window is running: inboxes are quiescent, but take the
-        // lock anyway so TSan sees the ordering.
-        std::vector<CrossEvent> batch;
-        {
-            std::lock_guard<std::mutex> g(dst.inbox_mu);
-            batch.swap(dst.inbox);
-        }
-        if (batch.empty())
+        // No window is running, but flushes from the just-finished
+        // window were released by other threads: acquire pairs with
+        // their CAS release.
+        CrossNode *head =
+            dst.inbox.exchange(nullptr, std::memory_order_acquire);
+        if (head == nullptr)
             continue;
+        merge_buf_.clear();
+        while (head != nullptr) {
+            for (auto &ce : head->batch)
+                merge_buf_.push_back(std::move(ce));
+            CrossNode *next = head->next;
+            delete head;
+            head = next;
+        }
         // Deterministic merge order: time, then source domain, then
         // the source's send sequence. Queue FIFO tie-breaking then
         // reproduces this order for equal timestamps, independent of
-        // thread interleaving.
-        std::sort(batch.begin(), batch.end(),
+        // thread interleaving and of the stack's node order.
+        std::sort(merge_buf_.begin(), merge_buf_.end(),
                   [](const CrossEvent &a, const CrossEvent &b) {
                       if (a.when != b.when)
                           return a.when < b.when;
@@ -139,9 +233,41 @@ ShardedEngine::drainInboxes()
                           return a.src < b.src;
                       return a.seq < b.seq;
                   });
-        for (auto &ce : batch)
+        for (auto &ce : merge_buf_)
             dst.q.schedule(ce.when, std::move(ce.cb));
     }
+}
+
+void
+ShardedEngine::runDomainSlice(DomainId d, TimeNs end_exclusive)
+{
+    Domain &dom = domains_[d];
+    tls_domain_ = d;
+    if (enter_)
+        enter_(d);
+    // The leave hook must run even when a callback throws (lookahead or
+    // cancel-contract violations surface as exceptions): it restores
+    // thread-local state — e.g. a per-domain packet-pool override — that
+    // would otherwise dangle past the owning job's lifetime.
+    struct LeaveGuard
+    {
+        ShardedEngine *eng;
+        DomainId d;
+        bool fired = false;
+        void
+        fire()
+        {
+            if (fired)
+                return;
+            fired = true;
+            if (eng->leave_)
+                eng->leave_(d);
+        }
+        ~LeaveGuard() { fire(); }
+    } guard{this, d};
+    dom.q.runWindow(end_exclusive);
+    guard.fire();
+    flushStaged(dom);
 }
 
 void
@@ -157,14 +283,11 @@ ShardedEngine::runOwnedDomains(unsigned worker, TimeNs end_exclusive)
     ContextGuard guard;
     for (std::size_t d = worker; d < domains_.size(); d += nthreads_) {
         Domain &dom = domains_[d];
-        if (dom.q.nextTime() >= end_exclusive)
+        if (dom.q.nextTime() >= end_exclusive) {
+            ++dom.skipped; // idle: no event before the window horizon
             continue;
-        tls_domain_ = static_cast<DomainId>(d);
-        if (enter_)
-            enter_(tls_domain_);
-        dom.q.runWindow(end_exclusive);
-        if (leave_)
-            leave_(tls_domain_);
+        }
+        runDomainSlice(static_cast<DomainId>(d), end_exclusive);
     }
 }
 
@@ -207,14 +330,50 @@ ShardedEngine::runWindowParallel(TimeNs end_exclusive)
 }
 
 std::size_t
+ShardedEngine::runWindowSerial(DomainId only, TimeNs end_exclusive)
+{
+    // Only one domain can reach the horizon: run it inline and leave
+    // the worker pool parked (no futex round trip). Behavior matches
+    // runWindowParallel exactly — every other domain would have been
+    // skipped as idle, which is what the counter records.
+    Domain &dom = domains_[only];
+    const std::uint64_t before = dom.q.executed();
+    window_end_.store(end_exclusive, std::memory_order_relaxed);
+    struct ContextGuard
+    {
+        ~ContextGuard() { tls_domain_ = kNoDomain; }
+    };
+    tls_engine_ = this;
+    ContextGuard guard;
+    runDomainSlice(only, end_exclusive);
+    dom.skipped += domains_.size() - 1;
+    ++windows_;
+    ++windows_serial_;
+    return static_cast<std::size_t>(dom.q.executed() - before);
+}
+
+std::size_t
 ShardedEngine::runLoop(TimeNs deadline, std::size_t max_events)
 {
     std::size_t total = 0;
     for (;;) {
         drainInboxes();
+        // One scan finds both the window start (global min) and the
+        // runner-up: when the runner-up lies beyond the horizon, the
+        // window has exactly one active domain and runs serially.
         TimeNs t = EventQueue::kNoEvent;
-        for (auto &d : domains_)
-            t = std::min(t, d.q.nextTime());
+        TimeNs t2 = EventQueue::kNoEvent;
+        std::size_t argmin = 0;
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            const TimeNs next = domains_[d].q.nextTime();
+            if (next < t) {
+                t2 = t;
+                t = next;
+                argmin = d;
+            } else if (next < t2) {
+                t2 = next;
+            }
+        }
         if (t == EventQueue::kNoEvent || t > deadline)
             break;
         TimeNs end = t + lookahead_;
@@ -222,7 +381,12 @@ ShardedEngine::runLoop(TimeNs deadline, std::size_t max_events)
             end = EventQueue::kNoEvent; // overflow clamp
         if (deadline != EventQueue::kNoEvent && end > deadline)
             end = deadline + 1; // deadline-inclusive, like runUntil()
-        total += runWindowParallel(end);
+        if (t2 >= end)
+            total += runWindowSerial(static_cast<DomainId>(argmin), end);
+        else
+            total += runWindowParallel(end);
+        if (barrier_)
+            barrier_();
         if (total >= max_events)
             break;
     }

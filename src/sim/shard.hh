@@ -1,6 +1,6 @@
 /**
  * @file
- * Domain-sharded conservative parallel event engine (DESIGN.md §13).
+ * Domain-sharded conservative parallel event engine (DESIGN.md §13/§15).
  *
  * A large Simulation is split into D *domains*, each owning a private
  * serial EventQueue (so intra-domain ordering, FIFO tie-breaking, and
@@ -19,16 +19,20 @@
  * can therefore run its slice of the window on a separate thread with
  * no event-level synchronization at all.
  *
- * Cross-domain handoffs produced during a window land in the target
- * domain's *inbox* (a mutex-guarded mailbox). Between windows the
- * caller's thread merges every inbox into its queue in (time,
- * source-domain, source-sequence) order, which makes the merged
- * schedule — and hence the whole run — deterministic and independent
- * of thread count and OS scheduling.
+ * Cross-domain handoffs produced during a window are *staged* in the
+ * source domain (thread-private, zero contention) and flushed once per
+ * window slice as a single batch node onto the target domain's
+ * lock-free MPSC mailbox (a Treiber stack of batch nodes). Between
+ * windows the caller's thread pops every mailbox and merges it into
+ * the owning queue in (time, source-domain, source-sequence) order,
+ * which makes the merged schedule — and hence the whole run —
+ * deterministic and independent of thread count and OS scheduling.
  *
  * With a single domain the engine degenerates to "run the one queue
  * on the caller's thread with no windows", which is byte-identical to
- * the serial Simulation.
+ * the serial Simulation. Windows whose horizon only one domain can
+ * reach take a serial fast path that skips the worker-pool wakeup
+ * entirely.
  */
 
 #ifndef ISW_SIM_SHARD_HH
@@ -38,8 +42,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -71,11 +75,11 @@ struct ShardPlan
 };
 
 /**
- * The sharded engine: D serial EventQueues + inboxes + a worker pool.
+ * The sharded engine: D serial EventQueues + mailboxes + a worker pool.
  *
- * Threading contract: schedule()/cancelHere() may be called either
- * from *inside* a domain (a callback executing during a window — the
- * common runtime case) or from the owning thread while no window is
+ * Threading contract: schedule()/cancelHere()/cancelIn() may be called
+ * either from *inside* a domain (a callback executing during a window —
+ * the common runtime case) or from the owning thread while no window is
  * running (setup). runAll()/runUntil() must be called from the owning
  * thread only.
  */
@@ -120,14 +124,31 @@ class ShardedEngine
     /**
      * Cancel an event scheduled in the current thread's domain.
      * Outside any domain context, ids from domain 0 are assumed (the
-     * setup-thread convention); cancelling a foreign domain's id is a
-     * checked error because keys are only unique per queue.
+     * setup-thread convention). EventIds are queue-local: cancelling
+     * an id minted by another domain silently cancels (or misses) an
+     * unrelated event in *this* domain's queue. Callers that know the
+     * owning domain must use cancelIn(), which checks.
      */
     bool cancelHere(EventId id);
+
+    /**
+     * Cancel an event known to live in domain @p d's queue. Safe from
+     * the owning thread between windows (no queue is running) and from
+     * inside domain d itself; calling from inside a *different* domain
+     * mid-window throws std::logic_error — that would be a data race
+     * on d's queue, and EventIds are only unique per queue anyway.
+     */
+    bool cancelIn(DomainId d, EventId id);
 
     /** Clock visible to the current thread (domain clock inside a
      *  window, last committed global time outside). */
     TimeNs now() const;
+
+    /** End (exclusive) of the window currently executing. */
+    TimeNs windowEnd() const
+    {
+        return window_end_.load(std::memory_order_relaxed);
+    }
 
     /** Run windows until every queue drains or @p max_events ran. */
     std::size_t runAll(std::size_t max_events = SIZE_MAX);
@@ -153,12 +174,37 @@ class ShardedEngine
         leave_ = std::move(leave);
     }
 
+    /**
+     * Window-barrier hook, invoked on the owning thread after every
+     * window completes (all domains quiescent, before the next merge).
+     * This is the engine's only globally-ordered point, so it is where
+     * cross-domain snapshots are published: async strategies copy live
+     * version counters into their read-side snapshots here, giving
+     * every domain in the next window the same deterministic view
+     * regardless of thread count. Set before the first run.
+     */
+    void setBarrierHook(std::function<void()> fn)
+    {
+        barrier_ = std::move(fn);
+    }
+
     /** Conservative windows executed so far. */
     std::uint64_t windows() const { return windows_; }
+    /** Windows that took the single-active-domain serial fast path. */
+    std::uint64_t windowsSerialFastPath() const { return windows_serial_; }
+    /** Domain window-slices skipped because the domain had no event
+     *  before the window horizon (idle-domain skip). */
+    std::uint64_t domainsSkipped() const;
     /** Cross-domain mailbox handoffs so far. */
-    std::uint64_t crossEvents() const
+    std::uint64_t crossEvents() const;
+    /** Batch nodes pushed onto mailboxes (handoffs are flushed once
+     *  per source domain, destination, and window). */
+    std::uint64_t crossBatches() const;
+    /** CAS retries while pushing mailbox batches: how often two
+     *  domains raced on the same destination's mailbox head. */
+    std::uint64_t mailboxContention() const
     {
-        return cross_events_.load(std::memory_order_relaxed);
+        return mailbox_contention_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -171,26 +217,51 @@ class ShardedEngine
         EventQueue::Callback cb;
     };
 
+    /** One mailbox node: every handoff a source domain produced for
+     *  one destination during one window slice. */
+    struct CrossNode
+    {
+        std::vector<CrossEvent> batch;
+        CrossNode *next = nullptr;
+    };
+
     /**
      * One domain. alignas keeps hot per-domain state (the queue, the
-     * send counter) on private cache lines across worker threads.
+     * send counter, the staging buffers) on private cache lines across
+     * worker threads. `staged` and the plain counters are only touched
+     * by the thread executing this domain's window slice (one thread
+     * per window, with a barrier between windows) or by the owning
+     * thread between windows — never concurrently. `inbox` is the
+     * lock-free MPSC head other domains push batch nodes onto.
      */
     struct alignas(64) Domain
     {
         EventQueue q;
         std::uint64_t send_seq = 0; ///< stamps outgoing cross events
-        std::size_t ran = 0;        ///< events executed this run call
-        mutable std::mutex inbox_mu;
-        std::vector<CrossEvent> inbox;
+        std::uint64_t batches_out = 0; ///< mailbox nodes pushed
+        std::uint64_t skipped = 0;     ///< idle window-slices skipped
+        /** Outgoing handoffs staged this window, keyed by destination
+         *  (linear scan: fan-out per window is small). */
+        std::vector<std::pair<DomainId, std::vector<CrossEvent>>> staged;
+        std::atomic<CrossNode *> inbox{nullptr};
     };
 
     std::size_t runLoop(TimeNs deadline, std::size_t max_events);
     /** Execute one window on all threads; returns events executed. */
     std::size_t runWindowParallel(TimeNs end_exclusive);
+    /** Execute one window entirely on the calling thread when only
+     *  @p only can reach the horizon (skips the pool wakeup). */
+    std::size_t runWindowSerial(DomainId only, TimeNs end_exclusive);
+    /** Run one domain's slice of the current window (tls context,
+     *  enter/leave hooks, staged-handoff flush). */
+    void runDomainSlice(DomainId d, TimeNs end_exclusive);
     /** Run the window slice owned by worker @p worker. */
     void runOwnedDomains(unsigned worker, TimeNs end_exclusive);
     void workerMain(unsigned worker);
-    /** Merge all inboxes into their queues (serial, deterministic). */
+    /** Push @p src's staged handoffs onto the destination mailboxes
+     *  (one batch node per destination). */
+    void flushStaged(Domain &src);
+    /** Merge all mailboxes into their queues (serial, deterministic). */
     void drainInboxes();
 
     std::deque<Domain> domains_; ///< deque: stable addrs, no moves
@@ -199,6 +270,7 @@ class ShardedEngine
 
     DomainHook enter_;
     DomainHook leave_;
+    std::function<void()> barrier_;
 
     // Worker pool: pool_[i] drives domains {d : d % nthreads_ == i+1};
     // the calling thread doubles as worker 0. Wakeups use C++20
@@ -212,7 +284,9 @@ class ShardedEngine
     std::atomic<bool> quit_{false};
 
     std::uint64_t windows_ = 0;
-    std::atomic<std::uint64_t> cross_events_{0};
+    std::uint64_t windows_serial_ = 0;
+    std::atomic<std::uint64_t> mailbox_contention_{0};
+    std::vector<CrossEvent> merge_buf_; ///< drain scratch (reused)
 
     static thread_local ShardedEngine *tls_engine_;
     static thread_local DomainId tls_domain_;

@@ -113,14 +113,37 @@ class Simulation
 
     /**
      * Cancel an event by handle. Sharded: only valid from the domain
-     * that scheduled it (handles are queue-local); kInvalidEventId is
-     * always a harmless no-op.
+     * that scheduled it (handles are queue-local, so a foreign handle
+     * silently hits an unrelated event); kInvalidEventId is always a
+     * harmless no-op. Callers that may cancel from another domain —
+     * RetxTimer teardown, deferred acks — must record the scheduling
+     * domain (hereDomain() at schedule time) and use cancelEventIn().
      */
     bool cancelEvent(EventId id)
     {
         if (engine_)
             return engine_->cancelHere(id);
         return events_.cancel(id);
+    }
+
+    /**
+     * Cancel an event known to have been scheduled in domain @p d.
+     * Safe between windows and from inside domain d; a cross-domain
+     * cancel mid-window throws std::logic_error instead of silently
+     * corrupting another queue. Un-sharded: plain cancel.
+     */
+    bool cancelEventIn(DomainId d, EventId id)
+    {
+        if (engine_)
+            return engine_->cancelIn(d, id);
+        return events_.cancel(id);
+    }
+
+    /** Domain events scheduled by this thread land in: the executing
+     *  domain during a sharded window, 0 otherwise. */
+    DomainId hereDomain() const
+    {
+        return engine_ ? engine_->hereOr0() : 0;
     }
 
     /** Run everything (bounded by @p max_events as a runaway guard). */

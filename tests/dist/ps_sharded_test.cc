@@ -92,11 +92,20 @@ TEST(ShardedPs, SingleShardBehavesLikePlainPsTiming)
                 rp.perIterationMs() * 0.05);
 }
 
-TEST(ShardedPs, TreeTopologyRejected)
+TEST(ShardedPs, TreeTopologyPlacesShardsAcrossRacks)
 {
-    JobConfig cfg = shardedConfig(4, 1);
+    // Multi-rack fabrics used to reject K > 1; shards now land
+    // round-robin over racks (shard k in rack k % racks), each in its
+    // rack's shard domain.
+    JobConfig cfg = shardedConfig(3, 1);
     cfg.use_tree = true;
-    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+    cfg.cluster.per_rack = 3; // 2 racks
+    auto job = makeJob(cfg);
+    const Cluster &c = job->cluster();
+    ASSERT_EQ(c.ps_shards.size(), 3u);
+    EXPECT_EQ(c.ps_shards[0]->domain(), 1u);
+    EXPECT_EQ(c.ps_shards[1]->domain(), 2u);
+    EXPECT_EQ(c.ps_shards[2]->domain(), 1u); // wraps
 }
 
 } // namespace

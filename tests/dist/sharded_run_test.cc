@@ -90,20 +90,56 @@ TEST(ShardedRun, ShardedRunReportsProgress)
     EXPECT_GT(res.extras.at("packets_sealed"), 0.0);
 }
 
-TEST(ShardedRun, RejectsAsyncStrategies)
+TEST(ShardedRun, AsyncIswitchDeterministicAcrossThreadCounts)
 {
-    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 4);
-    cfg.strategy = StrategyKind::kAsyncIswitch;
+    // Async strategies are version-bookkept via the window barrier, so
+    // a sharded run must reproduce exactly across shard_threads (but
+    // not necessarily match the serial engine, which sees live
+    // versions rather than barrier snapshots).
+    JobConfig cfg = treeConfig(StrategyKind::kAsyncIswitch, 6, 8);
     cfg.shard = true;
-    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+    cfg.shard_threads = 1;
+    JobConfig many = cfg;
+    many.shard_threads = 3;
+    EXPECT_EQ(reportOf(cfg), reportOf(many));
 }
 
-TEST(ShardedRun, RejectsLossyEnvironments)
+TEST(ShardedRun, AsyncPsDeterministicAcrossThreadCounts)
 {
-    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 4);
+    JobConfig cfg = treeConfig(StrategyKind::kAsyncPs, 4, 6);
     cfg.shard = true;
-    cfg.cluster.edge_link.loss_prob = 0.01;
-    EXPECT_THROW(makeJob(cfg), std::invalid_argument);
+    cfg.shard_threads = 1;
+    JobConfig many = cfg;
+    many.shard_threads = 0; // hardware concurrency
+    EXPECT_EQ(reportOf(cfg), reportOf(many));
+}
+
+TEST(ShardedRun, LossySyncRunByteIdenticalToSerial)
+{
+    // Lossy sync paths use the same domain-safe probe/defer machinery
+    // under both engines on a partitioned fabric, so serial and
+    // sharded reports must agree byte-for-byte.
+    JobConfig serial = treeConfig(StrategyKind::kSyncIswitch, 6, 6);
+    serial.cluster.edge_link.loss_prob = 0.01;
+    JobConfig sharded = serial;
+    sharded.shard = true;
+    sharded.shard_threads = 3;
+    EXPECT_EQ(reportOf(serial), reportOf(sharded));
+}
+
+TEST(ShardedRun, ShardedRunReportsPerfCounters)
+{
+    JobConfig cfg = treeConfig(StrategyKind::kSyncIswitch, 6, 6);
+    cfg.shard = true;
+    RunResult res = runJob(cfg);
+    EXPECT_TRUE(res.error.empty()) << res.error;
+    EXPECT_GT(res.perf.at("shard_windows"), 0.0);
+    EXPECT_GT(res.perf.at("shard_cross_events"), 0.0);
+    EXPECT_GT(res.perf.at("shard_cross_batches"), 0.0);
+    // Counters that may legitimately be zero must still be reported.
+    EXPECT_NO_THROW(res.perf.at("shard_windows_serial"));
+    EXPECT_NO_THROW(res.perf.at("shard_domains_skipped"));
+    EXPECT_NO_THROW(res.perf.at("shard_mailbox_contention"));
 }
 
 TEST(ShardedRun, RejectsSingleDomainClusters)

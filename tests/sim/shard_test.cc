@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -143,6 +145,108 @@ TEST(ShardedEngine, DomainHooksWrapEveryWindowSlice)
     eng.runAll();
     EXPECT_EQ(entered, left);
     EXPECT_EQ(entered, (std::vector<int>{0, 1}));
+}
+
+TEST(ShardedEngine, CrossBatchesCountFlushesNotEvents)
+{
+    // A window slice's staged sends to one destination travel as a
+    // single mailbox node: 3 events, 1 batch.
+    ShardedEngine eng(ShardPlan{2, 100, 1});
+    int ran = 0;
+    eng.schedule(1, 10, [&eng, &ran] {
+        for (int i = 0; i < 3; ++i)
+            eng.schedule(0, eng.now() + eng.lookahead(),
+                         [&ran] { ++ran; });
+    });
+    eng.runAll();
+    EXPECT_EQ(ran, 3);
+    EXPECT_EQ(eng.crossEvents(), 3u);
+    EXPECT_EQ(eng.crossBatches(), 1u);
+}
+
+TEST(ShardedEngine, SerialFastPathSkipsIdleDomains)
+{
+    // Only domain 3 ever has work: every window should take the
+    // single-active-domain fast path and count the idle domains as
+    // skipped, without waking the worker pool.
+    ShardedEngine eng(ShardPlan{4, 10, 2});
+    int ran = 0;
+    std::function<void()> chain = [&] {
+        if (++ran < 5)
+            eng.schedule(3, eng.now() + 50, chain);
+    };
+    eng.schedule(3, 10, chain);
+    eng.runAll();
+    EXPECT_EQ(ran, 5);
+    EXPECT_GT(eng.windows(), 0u);
+    EXPECT_EQ(eng.windowsSerialFastPath(), eng.windows());
+    EXPECT_GT(eng.domainsSkipped(), 0u);
+}
+
+TEST(ShardedEngine, BarrierHookRunsAfterEveryWindow)
+{
+    ShardedEngine eng(ShardPlan{2, 50, 2});
+    std::uint64_t barriers = 0;
+    eng.setBarrierHook([&barriers] { ++barriers; });
+    eng.schedule(0, 10, [] {});
+    eng.schedule(1, 10, [] {});
+    eng.schedule(0, 500, [] {});
+    eng.runAll();
+    EXPECT_EQ(barriers, eng.windows());
+    EXPECT_GE(barriers, 2u);
+}
+
+TEST(ShardedEngine, CancelInRejectsForeignDomainMidWindow)
+{
+    ShardedEngine eng(ShardPlan{2, 100, 1});
+    bool target_ran = false;
+    const EventId target =
+        eng.schedule(1, 500, [&target_ran] { target_ran = true; });
+    ASSERT_NE(target, kInvalidEventId);
+    // Mid-window, from domain 0: EventIds are queue-local, so a
+    // cross-domain cancel must fail loudly instead of corrupting the
+    // foreign queue.
+    eng.schedule(0, 10, [&eng, target] { eng.cancelIn(1, target); });
+    EXPECT_THROW(eng.runAll(), std::logic_error);
+}
+
+TEST(ShardedEngine, CancelInWorksFromSetupAndOwningDomain)
+{
+    ShardedEngine eng(ShardPlan{2, 100, 1});
+    bool a_ran = false;
+    bool b_ran = false;
+    const EventId a = eng.schedule(1, 500, [&a_ran] { a_ran = true; });
+    // Setup context (no domain pinned yet): any domain is cancellable.
+    EXPECT_TRUE(eng.cancelIn(1, a));
+    // Mid-window, from the owning domain: also fine.
+    eng.schedule(1, 10, [&eng, &b_ran] {
+        const EventId b =
+            eng.schedule(1, eng.now() + 5, [&b_ran] { b_ran = true; });
+        EXPECT_TRUE(eng.cancelIn(1, b));
+    });
+    // A cancelled-slot id is a polite no-op, as is kInvalidEventId.
+    EXPECT_FALSE(eng.cancelIn(1, kInvalidEventId));
+    eng.runAll();
+    EXPECT_FALSE(a_ran);
+    EXPECT_FALSE(b_ran);
+}
+
+TEST(SimulationShard, CancelEventInTargetsTheHomeDomain)
+{
+    Simulation s{1};
+    s.shard(ShardPlan{3, 10, 1});
+    bool ran = false;
+    const EventId id = s.atInDomain(2, 50, [&ran] { ran = true; });
+    EXPECT_TRUE(s.cancelEventIn(2, id));
+    s.run();
+    EXPECT_FALSE(ran);
+    // Serial simulations route cancelEventIn to the single queue.
+    Simulation serial{1};
+    bool serial_ran = false;
+    const EventId sid = serial.at(50, [&serial_ran] { serial_ran = true; });
+    EXPECT_TRUE(serial.cancelEventIn(0, sid));
+    serial.run();
+    EXPECT_FALSE(serial_ran);
 }
 
 TEST(SimulationShard, RoutesThroughShardedEngine)
