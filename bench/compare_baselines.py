@@ -72,6 +72,56 @@ def check_fault_recovery(base_path, fresh_path, failures):
     print(f"# fault-recovery: {checked}/{len(base)} runs healthy")
 
 
+FAILOVER_KEYS = (
+    "failover_heartbeats",
+    "failover_beats_missed",
+    "failover_promote_ms",
+    "failover_repl_frames",
+    "fault_switch_drops",
+)
+
+
+def check_failover(base_path, fresh_path, failures):
+    """Hard gate for the switch-failover rows of the fault bench.
+
+    Every "/failover-" run named in the committed baseline must be
+    present in the fresh report, error-free, show real training
+    progress, and report exactly one promotion (failover_events == 1 —
+    a run that finished without ever failing over did not test
+    failover). Counter drift only warns, as with the fault rows.
+    """
+    with open(base_path) as f:
+        base = {r["name"]: r for r in json.load(f).get("runs", [])}
+    rows = {n: r for n, r in base.items() if "/failover-" in n}
+    if not rows:
+        failures.append((base_path.name, "baseline names no failover runs"))
+        return
+    with open(fresh_path) as f:
+        fresh = {r["name"]: r for r in json.load(f).get("runs", [])}
+    checked = 0
+    for name, b in sorted(rows.items()):
+        r = fresh.get(name)
+        if r is None:
+            failures.append((name, "missing from fresh failover report"))
+            continue
+        if r.get("error"):
+            failures.append((name, f"errored: {r['error']}"))
+            continue
+        if r.get("iterations", 0) <= 0:
+            failures.append((name, "zero iterations across the failover"))
+            continue
+        if r.get("extras", {}).get("failover_events") != 1:
+            failures.append((name, "run never promoted the backup"))
+            continue
+        checked += 1
+        for key in FAILOVER_KEYS:
+            want = b.get("extras", {}).get(key)
+            got = r.get("extras", {}).get(key)
+            if want != got:
+                print(f"WARN  {name}: {key} drifted {want} -> {got}")
+    print(f"# failover: {checked}/{len(rows)} runs healthy")
+
+
 def check_sharded_async(base_path, fresh_path, failures):
     """Hard gate for the sharded-async rows of the fig14 bench.
 
@@ -184,6 +234,7 @@ def main():
     if recovery_base.exists():
         if recovery_fresh.exists():
             check_fault_recovery(recovery_base, recovery_fresh, failures)
+            check_failover(recovery_base, recovery_fresh, failures)
         else:
             print("WARN: no fresh report for BENCH_fault_recovery.json")
     async_base = args.baselines / "BENCH_fig14_async_curves.json"

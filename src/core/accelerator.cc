@@ -72,6 +72,8 @@ Accelerator::afterAccumulate(const net::ChunkPayload &chunk,
                                         dedupeFor(chunk.job));
     if (out == SlotOutcome::kCompleted)
         emitSeg(packSegWord(chunk.seg, chunk.job));
+    else if (out == SlotOutcome::kAccepted && accept_)
+        accept_(packSegWord(chunk.seg, chunk.job));
     else if (out == SlotOutcome::kBusy && nack_)
         nack_(chunk.job, chunk.seg, src);
 }

@@ -68,6 +68,11 @@ class Accelerator
     using NackFn = std::function<void(std::uint8_t job, std::uint64_t seg,
                                       std::uint32_t src)>;
 
+    /** Called after a contribution is folded into a still-incomplete
+     *  segment (HA primary streams the updated partial to its backup;
+     *  completions replicate via the result path instead). */
+    using AcceptFn = std::function<void(std::uint64_t key)>;
+
     Accelerator(sim::Simulation &s, AcceleratorConfig cfg = {});
 
     /** Install the emission callback (owned by the switch). */
@@ -75,6 +80,9 @@ class Accelerator
 
     /** Install the busy-slot rejection callback. */
     void setNack(NackFn fn) { nack_ = std::move(fn); }
+
+    /** Install the partial-accepted callback (HA replication). */
+    void setAccept(AcceptFn fn) { accept_ = std::move(fn); }
 
     /** Aggregation threshold H (contributions per segment), job 0. */
     void setThreshold(std::uint32_t h) { threshold_ = h; }
@@ -161,6 +169,7 @@ class Accelerator
     std::uint32_t threshold_ = 1;
     EmitFn emit_;
     NackFn nack_;
+    AcceptFn accept_;
     sim::TimeNs busy_until_ = 0;
     bool dedupe_ = false;
     /** Per-job overrides; .set false = fall back to the globals. */

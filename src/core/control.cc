@@ -168,6 +168,21 @@ ControlPlane::handle(net::Ipv4Addr src_ip, std::uint16_t src_port,
         ack(src_ip, src_port, true);
         break;
       }
+      case net::Action::kHeartbeat: {
+        // Liveness beat from the HA primary: feed the monitor, no ack
+        // (acking would double the control-plane load for no benefit —
+        // a lost beat is exactly what the monitor exists to notice).
+        if (hooks_.heartbeat)
+            hooks_.heartbeat(src_ip);
+        break;
+      }
+      case net::Action::kFailover: {
+        // The backup promoted itself; re-home to it. No ack: the
+        // promotion is fail-stop and the backup retries nothing.
+        if (hooks_.failover)
+            hooks_.failover();
+        break;
+      }
       case net::Action::kAck:
       case net::Action::kNack:
         break; // confirmations/rejections terminate here

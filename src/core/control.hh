@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/time.hh"
 
 namespace isw::core {
 
@@ -123,6 +124,68 @@ class MembershipTable
 };
 
 /**
+ * Heartbeat-based failure detector (HA layer, DESIGN.md §16). The
+ * primary beats every `period`; the backup calls check() on its own
+ * timer and classifies the primary by consecutive missed periods:
+ * alive (< 2 misses — one miss is normal jitter between the beat and
+ * check phases), suspect (>= 2), confirmed dead (>= miss_threshold).
+ * Pure bookkeeping — no events, no network — so it is trivially
+ * domain-safe: beat() and check() both run in the backup's domain.
+ */
+class HeartbeatMonitor
+{
+  public:
+    enum class State : std::uint8_t { kAlive, kSuspect, kDead };
+
+    void
+    configure(sim::TimeNs period, std::uint32_t miss_threshold,
+              sim::TimeNs now)
+    {
+        period_ = period;
+        miss_threshold_ = miss_threshold;
+        last_beat_ = now; // baseline: primary assumed alive at start
+    }
+
+    /** A beat arrived from the primary. */
+    void
+    beat(sim::TimeNs now)
+    {
+        last_beat_ = now;
+        peak_misses_ = 0;
+        ++beats_;
+    }
+
+    /** Re-evaluate the primary's state at @p now. */
+    State
+    check(sim::TimeNs now)
+    {
+        const std::uint64_t misses =
+            period_ > 0 && now > last_beat_
+                ? static_cast<std::uint64_t>((now - last_beat_) / period_)
+                : 0;
+        if (misses > peak_misses_) {
+            missed_ += misses - peak_misses_;
+            peak_misses_ = misses;
+        }
+        if (misses >= miss_threshold_)
+            return State::kDead;
+        return misses >= 2 ? State::kSuspect : State::kAlive;
+    }
+
+    std::uint64_t beats() const { return beats_; }
+    std::uint64_t missed() const { return missed_; }
+    sim::TimeNs lastBeat() const { return last_beat_; }
+
+  private:
+    sim::TimeNs period_ = 0;
+    std::uint32_t miss_threshold_ = 3;
+    sim::TimeNs last_beat_ = 0;
+    std::uint64_t peak_misses_ = 0; ///< misses already booked since last beat
+    std::uint64_t beats_ = 0;
+    std::uint64_t missed_ = 0;
+};
+
+/**
  * Control-plane logic, decoupled from the switch through callbacks so
  * it can be unit-tested without a network.
  */
@@ -166,6 +229,13 @@ class ControlPlane
          * round end.
          */
         std::function<void(const Member &)> member_left;
+        /** A liveness beat arrived (HA backup role). No ack. */
+        std::function<void(net::Ipv4Addr)> heartbeat;
+        /**
+         * A kFailover frame arrived: the backup promoted itself and
+         * this switch must re-home to it (flip its uplink). No ack.
+         */
+        std::function<void()> failover;
     };
 
     explicit ControlPlane(Hooks hooks) : hooks_(std::move(hooks)) {}

@@ -1,5 +1,6 @@
 #include "core/programmable_switch.hh"
 
+#include <bit>
 #include <utility>
 
 #include "net/packet_pool.hh"
@@ -43,6 +44,13 @@ ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
               },
           .clear_segment =
               [this](std::uint64_t key) {
+                  // A promoted backup keeps the replicated partial:
+                  // state frames carry the full contributor set, so
+                  // deduped retransmissions fold in exactly the
+                  // missing contributions (DESIGN.md §16).
+                  if (ha_promoted_ && accel_.pool().has(key) &&
+                      accel_.dedupeFor(segWordJob(key)))
+                      return;
                   if (accel_.pool().has(key))
                       (void)accel_.harvestPartial(key);
               },
@@ -56,6 +64,12 @@ ProgrammableSwitch::ProgrammableSwitch(sim::Simulation &s, std::string name,
                   if (n != 0)
                       counters_.reclaimed.inc(n);
               },
+          .heartbeat =
+              [this](net::Ipv4Addr) {
+                  if (ha_backup_)
+                      ha_monitor_.beat(sim_.now());
+              },
+          .failover = [this] { adoptFailoverUplink(); },
       }),
       mac_(net::MacAddr(0x02EE'0000'0000ULL | cfg.ip.bits())),
       counters_{
@@ -117,7 +131,25 @@ ProgrammableSwitch::interceptIngress(const net::PacketPtr &pkt,
       case net::kTosData: {
         // Contribution plane: aggregate regardless of addressing;
         // every iSwitch hop on the path folds tagged gradients in.
-        if (std::holds_alternative<net::ChunkPayload>(pkt->payload)) {
+        if (const auto *chunk =
+                std::get_if<net::ChunkPayload>(&pkt->payload)) {
+            // Promoted backup: a contribution for a segment whose
+            // result already replicated means the round completed on
+            // the failed primary but the downward broadcast died with
+            // it — the contributor's whole subtree re-aggregated and
+            // is waiting. Re-serve the cached result instead of
+            // folding a duplicate round into the pool.
+            if (ha_promoted_) {
+                const std::uint64_t key =
+                    packSegWord(chunk->seg, chunk->job);
+                const auto it = result_cache_.find(key);
+                if (it != result_cache_.end()) {
+                    const auto m = ctrl_.table().find(pkt->ip.src);
+                    if (m)
+                        sendResultTo(*m, key, it->second);
+                    return true;
+                }
+            }
             accel_.ingest(pkt);
             counters_.data_in.inc();
         }
@@ -137,6 +169,13 @@ ProgrammableSwitch::interceptIngress(const net::PacketPtr &pkt,
         }
         return false; // worker-addressed result: forward normally
       }
+      case net::kTosRepl: {
+        if (pkt->ip.dst == cfg_.ip) {
+            onRepl(pkt);
+            return true;
+        }
+        return false; // replication for someone else: forward
+      }
       default:
         return false;
     }
@@ -148,6 +187,20 @@ ProgrammableSwitch::onControl(const net::PacketPtr &pkt)
     if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
         counters_.ctrl_in.inc();
         ctrl_.handle(pkt->ip.src, pkt->udp.src_port, *c);
+        // HA primary: mirror membership events to the backup so its
+        // table (and auto-H) tracks ours. Duplicate Joins mirror too —
+        // the backup's join() is idempotent, like ours.
+        if (ha_primary_ && (c->action == net::Action::kJoin ||
+                            c->action == net::Action::kLeave)) {
+            const std::uint64_t jv =
+                c->action == net::Action::kJoin
+                    ? (c->has_value
+                           ? c->value
+                           : encodeJoinValue(pkt->udp.src_port,
+                                             MemberType::kWorker))
+                    : 0;
+            repl_->onMembership(c->action, pkt->ip.src.bits(), jv);
+        }
     }
 }
 
@@ -217,6 +270,12 @@ ProgrammableSwitch::onEmit(std::uint64_t key, SegState sum)
     CachedResult res{std::move(sum.acc), sum.wire_floats, sum.count,
                      ++seg_completions_[key], sum.prec, sum.qexp};
     broadcastResult(key, res);
+    // HA primary: completions replicate via the result path (the
+    // backup installs the result cache entry and drops any partial
+    // replica — its pool never holds completed segments).
+    if (ha_primary_)
+        repl_->onResult(key, res.values, res.wire_floats, res.count,
+                        res.seq, res.prec, res.qexp);
     result_cache_[key] = std::move(res);
     pruneCache(key);
 }
@@ -284,6 +343,171 @@ ProgrammableSwitch::sendControlTo(const Member &m, net::ControlPayload msg)
     pkt.udp.dst_port = m.udp_port;
     pkt.payload = msg;
     forward(net::makePacket(std::move(pkt)));
+}
+
+void
+ProgrammableSwitch::enableHaPrimary(net::Ipv4Addr backup_ip,
+                                    std::uint16_t backup_port,
+                                    ReplicationConfig repl)
+{
+    ha_primary_ = true;
+    ha_peer_ip_ = backup_ip;
+    ha_peer_port_ = backup_port;
+    repl_ = std::make_unique<ReplicatedAccelerator>(
+        sim_, accel_, repl,
+        [this](net::Payload p) { sendReplPayload(std::move(p)); });
+    accel_.setAccept([this](std::uint64_t key) { repl_->onAccept(key); });
+}
+
+void
+ProgrammableSwitch::enableHaBackup(sim::TimeNs heartbeat_period,
+                                   std::uint32_t miss_threshold)
+{
+    ha_backup_ = true;
+    ha_monitor_.configure(heartbeat_period, miss_threshold, sim_.now());
+}
+
+void
+ProgrammableSwitch::setFailoverUplink(net::Ipv4Addr new_parent,
+                                      std::size_t port)
+{
+    ha_has_failover_uplink_ = true;
+    ha_failover_parent_ = new_parent;
+    ha_failover_port_ = port;
+}
+
+void
+ProgrammableSwitch::haBeat()
+{
+    if (!ha_primary_)
+        return;
+    repl_->pump();
+    net::Packet pkt;
+    pkt.eth.src = mac_;
+    pkt.ip.src = cfg_.ip;
+    pkt.ip.dst = ha_peer_ip_;
+    pkt.ip.tos = net::kTosControl;
+    pkt.udp.src_port = cfg_.udp_port;
+    pkt.udp.dst_port = ha_peer_port_;
+    net::ControlPayload hb;
+    hb.action = net::Action::kHeartbeat;
+    pkt.payload = hb;
+    forward(net::makePacket(std::move(pkt)));
+}
+
+bool
+ProgrammableSwitch::haCheckPeer()
+{
+    if (!ha_backup_ || ha_promoted_)
+        return false;
+    if (ha_monitor_.check(sim_.now()) != HeartbeatMonitor::State::kDead)
+        return false;
+    promote();
+    return true;
+}
+
+void
+ProgrammableSwitch::promote()
+{
+    // Fail-stop promotion: once dead, the primary stays dead (no
+    // failback, no split-brain — the fault model drops every frame the
+    // old primary could send, and plans that rejoin it are rejected by
+    // the harness for HA runs).
+    ha_promoted_ = true;
+    ha_promote_time_ = sim_.now();
+    net::ControlPayload fo;
+    fo.action = net::Action::kFailover;
+    for (const Member &m : ctrl_.table().members())
+        sendControlTo(m, fo);
+}
+
+void
+ProgrammableSwitch::adoptFailoverUplink()
+{
+    if (!ha_has_failover_uplink_ || ha_failed_over_)
+        return; // not wired for failover, or already flipped
+    ha_failed_over_ = true;
+    cfg_.parent = ha_failover_parent_;
+    setDefaultPort(ha_failover_port_);
+}
+
+void
+ProgrammableSwitch::sendReplPayload(net::Payload payload)
+{
+    net::Packet pkt;
+    pkt.eth.src = mac_;
+    pkt.ip.src = cfg_.ip;
+    pkt.ip.dst = ha_peer_ip_;
+    pkt.ip.tos = net::kTosRepl;
+    pkt.udp.src_port = cfg_.udp_port;
+    pkt.udp.dst_port = ha_peer_port_;
+    pkt.payload = std::move(payload);
+    forward(net::makePacket(std::move(pkt)));
+}
+
+void
+ProgrammableSwitch::onRepl(const net::PacketPtr &pkt)
+{
+    if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
+        // Mirrored membership event. Applied straight to the table —
+        // not through ControlPlane::handle — so no acks flow and the
+        // mirrored event can carry the member's IP instead of the
+        // frame's source address.
+        const net::Ipv4Addr mip(replMemberIp(c->value));
+        if (c->action == net::Action::kJoin) {
+            const std::uint64_t jv = replMemberJoinValue(c->value);
+            ctrl_.table().join(mip, joinValuePort(jv), joinValueType(jv),
+                               joinValueJob(jv));
+            refreshThreshold();
+        } else if (c->action == net::Action::kLeave) {
+            if (ctrl_.table().leave(mip)) {
+                const std::size_t n = accel_.reclaimFrom(mip.bits());
+                if (n != 0)
+                    counters_.reclaimed.inc(n);
+                refreshThreshold();
+            }
+        }
+        ++ha_members_applied_;
+        return;
+    }
+    const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
+    if (chunk == nullptr)
+        return;
+    const std::uint64_t key = packSegWord(chunk->seg, chunk->job);
+    if ((chunk->transfer_id & kReplResultBit) != 0) {
+        // Completed result: install in the cache, advance the
+        // completion floor, and drop any partial replica — the pool
+        // must never hold a completed segment.
+        const std::uint64_t seq = replResultSeq(chunk->transfer_id);
+        CachedResult res{chunk->values, chunk->wire_floats,
+                         replCount(chunk->transfer_id), seq, chunk->prec,
+                         chunk->qexp};
+        std::uint64_t &floor = seg_completions_[key];
+        floor = std::max(floor, seq);
+        if (accel_.pool().has(key))
+            (void)accel_.harvestPartial(key);
+        result_cache_[key] = std::move(res);
+        pruneCache(key);
+        ++ha_results_applied_;
+        return;
+    }
+    // State frame: rebuild the segment replica wholesale (replace
+    // semantics — see replication.hh). The contributor set rides after
+    // the accumulator words.
+    SegState st;
+    const std::uint32_t nc = replContributors(chunk->transfer_id);
+    st.count = replCount(chunk->transfer_id);
+    st.wire_floats = chunk->wire_floats;
+    st.prec = chunk->prec;
+    st.qexp = chunk->qexp;
+    const std::size_t accn = chunk->values.size() - nc;
+    st.acc.assign(chunk->values.begin(),
+                  chunk->values.begin() + static_cast<std::ptrdiff_t>(accn));
+    for (std::size_t i = 0; i < nc; ++i)
+        st.contributors.insert(
+            std::bit_cast<std::uint32_t>(chunk->values[accn + i]));
+    accel_.pool().installReplica(key, std::move(st));
+    ++ha_state_applied_;
 }
 
 } // namespace isw::core

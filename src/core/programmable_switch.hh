@@ -14,10 +14,12 @@
 #ifndef ISW_CORE_PROGRAMMABLE_SWITCH_HH
 #define ISW_CORE_PROGRAMMABLE_SWITCH_HH
 
+#include <memory>
 #include <unordered_map>
 
 #include "core/accelerator.hh"
 #include "core/control.hh"
+#include "core/replication.hh"
 #include "net/switch.hh"
 
 namespace isw::core {
@@ -70,6 +72,50 @@ class ProgrammableSwitch : public net::EthSwitch
     /** Completed results re-sendable via Help, keyed by segment. */
     std::size_t cachedResults() const { return result_cache_.size(); }
 
+    // ----- High-availability roles (DESIGN.md §16) -----
+
+    /**
+     * Make this switch the HA primary: every accepted partial,
+     * completed result, and membership event streams to the backup at
+     * @p backup_ip as kTosRepl frames (a route to the backup must be
+     * installed by the builder).
+     */
+    void enableHaPrimary(net::Ipv4Addr backup_ip,
+                         std::uint16_t backup_port, ReplicationConfig repl);
+
+    /**
+     * Make this switch the HA backup: it applies replication frames,
+     * feeds heartbeats into a HeartbeatMonitor, and on confirmed
+     * primary death promotes itself — broadcasting kFailover to every
+     * member so they re-home.
+     */
+    void enableHaBackup(sim::TimeNs heartbeat_period,
+                        std::uint32_t miss_threshold);
+
+    /**
+     * Pre-wire the failover uplink of a child switch under an HA
+     * root: on receiving kFailover it re-parents to @p new_parent and
+     * makes @p port its default (uplink) port.
+     */
+    void setFailoverUplink(net::Ipv4Addr new_parent, std::size_t port);
+
+    /** One primary HA tick: lazy-replication pump plus a heartbeat. */
+    void haBeat();
+
+    /** One backup HA tick: re-evaluate the primary's liveness.
+     *  Returns true exactly once — on the call that promotes. */
+    bool haCheckPeer();
+
+    bool haPromoted() const { return ha_promoted_; }
+    sim::TimeNs haPromoteTime() const { return ha_promote_time_; }
+    const HeartbeatMonitor &haMonitor() const { return ha_monitor_; }
+    /** Primary-side replication counters (nullptr unless primary). */
+    const ReplicatedAccelerator *replication() const { return repl_.get(); }
+    /** Backup-side apply counters. */
+    std::uint64_t haStateApplied() const { return ha_state_applied_; }
+    std::uint64_t haResultsApplied() const { return ha_results_applied_; }
+    std::uint64_t haMembersApplied() const { return ha_members_applied_; }
+
   protected:
     bool interceptIngress(const net::PacketPtr &pkt,
                           std::size_t in_port) override;
@@ -90,6 +136,18 @@ class ProgrammableSwitch : public net::EthSwitch
     void onEmit(std::uint64_t key, SegState sum);
     void onControl(const net::PacketPtr &pkt);
     void onResult(const net::PacketPtr &pkt);
+
+    /** Apply one replication frame (backup role). */
+    void onRepl(const net::PacketPtr &pkt);
+
+    /** Backup self-promotion: broadcast kFailover to all members. */
+    void promote();
+
+    /** Child-switch failover: flip the uplink to the promoted backup. */
+    void adoptFailoverUplink();
+
+    /** Egress one replication payload toward the backup. */
+    void sendReplPayload(net::Payload payload);
 
     /** Fan a completed segment out to its job's members (result plane).
      *  @p key is the packed Seg word. */
@@ -135,6 +193,25 @@ class ProgrammableSwitch : public net::EthSwitch
         sim::Counter &reclaimed;
     };
     HotCounters counters_;
+
+    // ----- HA state (all roles default to off) -----
+    std::unique_ptr<ReplicatedAccelerator> repl_; ///< primary role
+    bool ha_primary_ = false;
+    bool ha_backup_ = false;
+    net::Ipv4Addr ha_peer_ip_;          ///< the backup (primary role)
+    std::uint16_t ha_peer_port_ = 9000;
+    HeartbeatMonitor ha_monitor_;       ///< backup role
+    bool ha_promoted_ = false;
+    sim::TimeNs ha_promote_time_ = 0;
+    /** Pre-wired failover uplink (child switches of an HA root). */
+    bool ha_has_failover_uplink_ = false;
+    bool ha_failed_over_ = false;
+    net::Ipv4Addr ha_failover_parent_;
+    std::size_t ha_failover_port_ = 0;
+    /** Backup-side apply counters (observability). */
+    std::uint64_t ha_state_applied_ = 0;
+    std::uint64_t ha_results_applied_ = 0;
+    std::uint64_t ha_members_applied_ = 0;
 };
 
 } // namespace isw::core

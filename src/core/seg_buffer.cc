@@ -323,6 +323,25 @@ SegBufferPool::has(std::uint64_t key) const
     return count(key) != 0;
 }
 
+const SegState *
+SegBufferPool::peek(std::uint64_t key) const
+{
+    if (bounded())
+        return nullptr; // HA replication runs unbounded only
+    const std::uint32_t slot = findSlot(key);
+    return slot == kNoSlot ? nullptr : &slab_[slot];
+}
+
+void
+SegBufferPool::installReplica(std::uint64_t key, SegState st)
+{
+    if (bounded())
+        throw std::logic_error(
+            "SegBufferPool::installReplica: bounded pools unsupported "
+            "(HA backups run the unbounded dedicated-switch model)");
+    slab_[findOrInsert(key)] = std::move(st);
+}
+
 SegState
 SegBufferPool::harvest(std::uint64_t key, bool completed)
 {

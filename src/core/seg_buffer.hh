@@ -159,6 +159,24 @@ class SegBufferPool
      */
     SegState harvest(std::uint64_t key, bool completed = true);
 
+    /**
+     * Read-only view of Seg word @p key's partial state, or nullptr.
+     * The HA primary snapshots replication frames from this; the
+     * pointer is invalidated by any mutating call. Unbounded mode only
+     * (bounded pools always return nullptr — HA requires unbounded).
+     */
+    const SegState *peek(std::uint64_t key) const;
+
+    /**
+     * Install a replicated snapshot of Seg word @p key, replacing any
+     * existing partial wholesale (replication frames carry the full
+     * accumulator and contributor set, so replace semantics make
+     * re-applied or reordered frames idempotent). Unbounded mode only;
+     * throws std::logic_error on a bounded pool — HA backups run the
+     * paper's dedicated-switch model.
+     */
+    void installReplica(std::uint64_t key, SegState st);
+
     /** Drop all partial state (control-plane Reset). */
     void clear();
 

@@ -195,6 +195,8 @@ SyncAllReduceJob::sendStep(WorkerCtx &w, std::size_t step)
 void
 SyncAllReduceJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
+    if (checkFailoverFrame(pkt))
+        return;
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
     if (chunk == nullptr)
         return;

@@ -36,6 +36,25 @@ constexpr std::uint16_t kWorkerPort = 9999;
 /** Parameter-server UDP port. */
 constexpr std::uint16_t kPsPort = 9998;
 
+/**
+ * High-availability layer (DESIGN.md §16): a designated backup switch
+ * mirrors the root's membership and segment state and takes over on
+ * confirmed primary death. Star fabrics get a shadow switch with
+ * dual-homed hosts; tree/fat-tree fabrics get a second root-level
+ * switch with pre-wired failover uplinks from the root's children.
+ */
+struct HaConfig
+{
+    bool with_backup = false;
+    core::ReplicationMode repl_mode = core::ReplicationMode::kPerHarvest;
+    /** Max age of un-replicated state (kBatchedLazy mode only). */
+    sim::TimeNs staleness_window = 2 * sim::kMsec;
+    /** Primary heartbeat period; also the backup's check cadence. */
+    sim::TimeNs heartbeat_period = 5 * sim::kMsec;
+    /** Consecutive missed periods before confirmed-dead. */
+    std::uint32_t miss_threshold = 3;
+};
+
 /** Knobs shared by both builders. */
 struct ClusterConfig
 {
@@ -57,6 +76,8 @@ struct ClusterConfig
      * equal num_workers; worker i adminJoins with job worker_jobs[i].
      */
     std::vector<std::uint8_t> worker_jobs;
+    /** High-availability primary/backup configuration. */
+    HaConfig ha;
 };
 
 /** A built cluster: topology plus the handles strategies need. */
@@ -73,6 +94,15 @@ struct Cluster
     std::vector<core::ProgrammableSwitch *> aggs;
     /** Aggregation root (== leaves[0] for a star). */
     core::ProgrammableSwitch *root = nullptr;
+    /** HA backup switch (nullptr unless ClusterConfig::ha.with_backup). */
+    core::ProgrammableSwitch *backup = nullptr;
+    /**
+     * Every link touching the primary (root) switch, recorded so fault
+     * plans with switch crashes / control partitions can attach the
+     * injector. Backup-side links are deliberately excluded — they
+     * must stay up through a primary crash.
+     */
+    std::vector<net::Link *> primary_links;
 
     /** Leaf switch worker @p i attaches to. */
     core::ProgrammableSwitch *leafOf(std::size_t i) const;

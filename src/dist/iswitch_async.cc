@@ -51,6 +51,8 @@ AsyncIswitchJob::init()
                 leaf->setManualThreshold(h_);
             if (cluster_.root != cluster_.leaves.front())
                 cluster_.root->setManualThreshold(h_);
+            if (cluster_.backup != nullptr)
+                cluster_.backup->setManualThreshold(h_);
         } else {
             // Shared fabric: pin only our own job's threshold.
             cluster_.root->accelerator().setJobThreshold(jobId(), h_);
@@ -96,9 +98,10 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
             ++sent_[w.index];
             // Nonblocking send (line 9).
             ml::Vec grad = w.pending_grad; // snapshot for transmission
-            auto *leaf = cluster_.leafOf(w.index);
-            sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad, leaf] {
-                sendVector(*wp->host, leaf->ip(), kSwitchPort, kWorkerPort,
+            // Aggregation target resolved at send time, not commit
+            // time, so a failover between the two re-homes the send.
+            sim_->after(cfg_.iswitch_overhead.send, [this, wp, grad] {
+                sendVector(*wp->host, aggIpOf(*wp), kSwitchPort, kWorkerPort,
                            net::kTosData, /*transfer_id=*/0, grad, fmt_,
                            /*seg_base=*/0, jobId(), /*ver_quota=*/0,
                            wp->ppp.get(), static_qexp_);
@@ -118,6 +121,8 @@ AsyncIswitchJob::lgcLoop(WorkerCtx &w)
 void
 AsyncIswitchJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
+    if (checkFailoverFrame(pkt))
+        return;
     if (pkt->ip.tos != net::kTosResult)
         return;
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
@@ -183,17 +188,17 @@ AsyncIswitchJob::nudge(WorkerCtx &w)
     // the count back to H even under a global stall.
     const std::vector<std::uint64_t> missing =
         rx_[w.index].missingFront();
-    auto *leaf = cluster_.leafOf(w.index);
+    const net::Ipv4Addr agg = aggIpOf(w);
     for (std::uint64_t seg : missing) {
         net::ControlPayload fb;
         fb.action = net::Action::kFBcast;
         fb.has_value = true;
         fb.value = seg;
-        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+        w.host->sendTo(agg, kSwitchPort, kWorkerPort,
                        net::kTosControl, fb);
         ++recovery_.fbcasts;
         if (!last_sent_[w.index].empty()) {
-            sendVectorSegment(*w.host, leaf->ip(), kSwitchPort,
+            sendVectorSegment(*w.host, agg, kSwitchPort,
                               kWorkerPort, net::kTosData,
                               /*transfer_id=*/0, last_sent_[w.index],
                               fmt_, seg, /*seg_base=*/0, jobId(),

@@ -37,6 +37,10 @@ SyncIswitchJob::init()
         for (auto *leaf : cluster_.leaves)
             leaf->accelerator().setDedupeContributors(true);
         cluster_.root->accelerator().setDedupeContributors(true);
+        // An HA backup aggregates the same traffic after promotion,
+        // so it needs the same idempotence discipline.
+        if (cluster_.backup != nullptr)
+            cluster_.backup->accelerator().setDedupeContributors(true);
     } else {
         cluster_.root->accelerator().setJobDedupe(jobId(), true);
     }
@@ -91,10 +95,10 @@ SyncIswitchJob::beginRound(WorkerCtx &w)
 void
 SyncIswitchJob::sendGradient(WorkerCtx &w)
 {
-    auto *leaf = cluster_.leafOf(w.index);
+    const net::Ipv4Addr agg = aggIpOf(w);
     const std::uint64_t window = windowSegments();
     if (window == 0) {
-        sendVector(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
+        sendVector(*w.host, agg, kSwitchPort, kWorkerPort,
                    net::kTosData, /*transfer_id=*/0, w.pending_grad, fmt_,
                    segBase(w), jobId(), slotQuota(), w.ppp.get(),
                    qexpSpan(w));
@@ -117,8 +121,7 @@ SyncIswitchJob::sendGradient(WorkerCtx &w)
 void
 SyncIswitchJob::sendOneSegment(WorkerCtx &w, std::uint64_t seg)
 {
-    auto *leaf = cluster_.leafOf(w.index);
-    sendVectorSegment(*w.host, leaf->ip(), kSwitchPort, kWorkerPort,
+    sendVectorSegment(*w.host, aggIpOf(w), kSwitchPort, kWorkerPort,
                       net::kTosData, /*transfer_id=*/0, w.pending_grad,
                       fmt_, seg, segBase(w), jobId(), slotQuota(),
                       w.ppp.get(), qexpSpan(w));
@@ -147,7 +150,7 @@ SyncIswitchJob::requestHelp(WorkerCtx &w)
 {
     if (w.rx.complete())
         return 0;
-    auto *leaf = cluster_.leafOf(w.index);
+    const net::Ipv4Addr agg = aggIpOf(w);
     // Ask the switch for each missing segment (Table 2: Help). Each
     // striped index identifies exactly one (round, offset), so a
     // cached completion can be served unambiguously. In streaming mode
@@ -161,7 +164,7 @@ SyncIswitchJob::requestHelp(WorkerCtx &w)
         help.action = net::Action::kHelp;
         help.has_value = true;
         help.value = core::helpValue(1, segBase(w) + seg);
-        w.host->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
+        w.host->sendTo(agg, kSwitchPort, kWorkerPort,
                        net::kTosControl, help);
         ++recovery_.help_requests;
         ++n;
@@ -256,7 +259,9 @@ SyncIswitchJob::onPacket(WorkerCtx &w, const net::PacketPtr &pkt)
         }
     } else if (pkt->ip.tos == net::kTosControl) {
         if (const auto *c = std::get_if<net::ControlPayload>(&pkt->payload)) {
-            if (c->action == net::Action::kHelp && c->has_value) {
+            if (c->action == net::Action::kFailover) {
+                handleFailover();
+            } else if (c->action == net::Action::kHelp && c->has_value) {
                 // The switch relays retransmission requests when a
                 // segment never completed: resend our contribution if
                 // the request targets our current round.

@@ -173,6 +173,8 @@ AsyncPsJob::onPsPacket(const net::PacketPtr &pkt)
 void
 AsyncPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
+    if (checkFailoverFrame(pkt))
+        return;
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
     if (chunk == nullptr)
         return;

@@ -343,6 +343,8 @@ SyncShardedPsJob::shardAggregate(std::size_t shard)
 void
 SyncShardedPsJob::onWorkerPacket(WorkerCtx &w, const net::PacketPtr &pkt)
 {
+    if (checkFailoverFrame(pkt))
+        return;
     const auto *chunk = std::get_if<net::ChunkPayload>(&pkt->payload);
     if (chunk == nullptr || (chunk->transfer_id & kResultFlag) == 0)
         return;

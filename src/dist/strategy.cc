@@ -261,6 +261,9 @@ JobBase::installFaults()
                                                      cfg_.seed);
     for (std::size_t i = 0; i < workers_.size(); ++i)
         injector_->attach(i, *cluster_.workers[i]->link(0));
+    if (cfg_.faults.hasSwitchFaults())
+        for (net::Link *l : cluster_.primary_links)
+            injector_->attachSwitchLink(*l);
 
     for (const net::WorkerCrash &c : cfg_.faults.crashes) {
         if (!c.announce || c.worker >= workers_.size())
@@ -280,6 +283,8 @@ JobBase::installFaults()
             h->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
                       net::kTosControl, leave);
         });
+        if (c.rejoin_at == 0)
+            continue; // permanent fail-stop: the worker never rejoins
         sim_->atInDomain(h->domain(), c.rejoin_at, [h, leaf] {
             net::ControlPayload join;
             join.action = net::Action::kJoin;
@@ -289,6 +294,69 @@ JobBase::installFaults()
             h->sendTo(leaf->ip(), kSwitchPort, kWorkerPort,
                       net::kTosControl, join);
         });
+    }
+}
+
+void
+JobBase::scheduleHaTick()
+{
+    if (cluster_.backup == nullptr)
+        return;
+    const sim::TimeNs period =
+        std::max<sim::TimeNs>(cfg_.cluster.ha.heartbeat_period, 1);
+    // Root and backup both live in domain 0 on every fabric.
+    sim_->atInDomain(0, sim_->now() + period, [this] { haTick(); });
+}
+
+void
+JobBase::haTick()
+{
+    if (stopped_)
+        return; // let the queue drain once the run is over
+    // A promoted backup is authoritative and fail-stop: stop beating
+    // the old primary so a rejoined one cannot stream stale state.
+    if (!cluster_.backup->haPromoted())
+        cluster_.root->haBeat();
+    cluster_.backup->haCheckPeer();
+    scheduleHaTick();
+}
+
+net::Ipv4Addr
+JobBase::aggIpOf(const WorkerCtx &w) const
+{
+    core::ProgrammableSwitch *leaf = cluster_.leafOf(w.index);
+    if (leaf == cluster_.root && cluster_.backup != nullptr &&
+        ha_failed_over_.load(std::memory_order_relaxed))
+        return cluster_.backup->ip();
+    return leaf->ip();
+}
+
+bool
+JobBase::checkFailoverFrame(const net::PacketPtr &pkt)
+{
+    if (pkt->ip.tos != net::kTosControl)
+        return false;
+    const auto *c = std::get_if<net::ControlPayload>(&pkt->payload);
+    if (c == nullptr || c->action != net::Action::kFailover)
+        return false;
+    handleFailover();
+    return true;
+}
+
+void
+JobBase::handleFailover()
+{
+    if (ha_failed_over_.exchange(true, std::memory_order_relaxed))
+        return;
+    if (cluster_.workersPerRack == 0) {
+        // Star fabric: every dual-homed host (workers and PS shards
+        // alike — the PS is not an aggregation member, so it never
+        // sees the kFailover broadcast itself) flips to the backup
+        // NIC. Single-domain, so flipping them all here is safe.
+        for (net::Host *h : cluster_.workers)
+            h->setActiveUplink(1);
+        for (net::Host *h : cluster_.ps_shards)
+            h->setActiveUplink(1);
     }
 }
 
@@ -439,6 +507,7 @@ JobBase::beginRun()
     run_events0_ = sim_->eventsExecuted();
     run_t0_ = std::chrono::steady_clock::now();
     start();
+    scheduleHaTick();
 }
 
 RunResult
@@ -640,6 +709,38 @@ JobBase::collectExtras(RunResult &res) const
         res.extras["fault_down_drops"] = static_cast<double>(f.down_drops);
         res.extras["fault_duplicates"] = static_cast<double>(f.duplicates);
         res.extras["fault_reorders"] = static_cast<double>(f.reorders);
+        // Switch-fault counters only when the plan schedules switch
+        // faults: plans without them keep the exact legacy key set.
+        if (cfg_.faults.hasSwitchFaults()) {
+            res.extras["fault_switch_drops"] =
+                static_cast<double>(f.switch_drops);
+            res.extras["fault_partition_drops"] =
+                static_cast<double>(f.partition_drops);
+        }
+    }
+    // HA observability, strictly conditional on a backup existing so
+    // every pre-HA report keeps its exact key set.
+    if (cluster_.backup != nullptr) {
+        const core::ProgrammableSwitch &bk = *cluster_.backup;
+        res.extras["failover_events"] = bk.haPromoted() ? 1.0 : 0.0;
+        res.extras["failover_heartbeats"] =
+            static_cast<double>(bk.haMonitor().beats());
+        res.extras["failover_beats_missed"] =
+            static_cast<double>(bk.haMonitor().missed());
+        res.extras["failover_promote_ms"] =
+            bk.haPromoted() ? sim::toMillis(bk.haPromoteTime()) : 0.0;
+        if (const core::ReplicatedAccelerator *r =
+                cluster_.root->replication()) {
+            const core::ReplicationStats &rs = r->stats();
+            res.extras["failover_repl_frames"] = static_cast<double>(
+                rs.state_frames + rs.result_frames + rs.member_frames);
+            res.extras["failover_repl_results"] =
+                static_cast<double>(rs.result_frames);
+        }
+        res.extras["failover_repl_applied"] = static_cast<double>(
+            bk.haStateApplied() + bk.haMembersApplied());
+        res.extras["failover_repl_results_applied"] =
+            static_cast<double>(bk.haResultsApplied());
     }
 }
 

@@ -368,6 +368,38 @@ class JobBase
     /** The attached fault injector, or nullptr. */
     net::FaultInjector *faultInjector() const { return injector_.get(); }
 
+    // ----- High-availability failover (DESIGN.md §16) -----
+
+    /** Has the backup taken over (kFailover observed by this job)? */
+    bool
+    failedOver() const
+    {
+        return ha_failed_over_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Aggregation-plane address worker @p w targets: its leaf switch,
+     * or the promoted backup once an HA root has failed over (star
+     * fabrics re-home directly; tree/fat-tree workers keep their ToR,
+     * whose uplink re-parents instead).
+     */
+    net::Ipv4Addr aggIpOf(const WorkerCtx &w) const;
+
+    /**
+     * Strategy packet-handler front door: a kFailover control frame
+     * re-homes the job (handleFailover) and returns true (the frame
+     * carries no other payload). Everything else returns false.
+     */
+    bool checkFailoverFrame(const net::PacketPtr &pkt);
+
+    /**
+     * Re-home the job onto the promoted backup. Idempotent. Star
+     * fabrics flip every dual-homed host's active uplink; tree/fat
+     * fabrics need no host action (their child switches re-parent via
+     * ControlPlane failover hooks).
+     */
+    void handleFailover();
+
     /** Job id stamped on this job's packets (0 for owned worlds). */
     std::uint8_t jobId() const { return job_id_; }
 
@@ -401,6 +433,11 @@ class JobBase
     void resolveRetx();
     void checkStop();
     void installFaults();
+
+    /** Arm the periodic HA tick (no-op without a backup). */
+    void scheduleHaTick();
+    /** One HA tick: primary heartbeat + backup liveness check. */
+    void haTick();
 
     /**
      * Switch sim_ to the domain-sharded engine per the cluster's shard
@@ -440,6 +477,8 @@ class JobBase
     bool recovery_on_ = false;
     std::uint8_t job_id_ = 0;
     std::uint32_t slot_quota_ = 0;
+    /** Atomic: kFailover frames can land on any domain's thread. */
+    std::atomic<bool> ha_failed_over_{false};
 
     /** beginRun() snapshots, consumed by finishRun(). */
     std::uint64_t run_pool_sealed0_ = 0;

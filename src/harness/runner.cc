@@ -117,6 +117,11 @@ SpecKey::of(const dist::JobConfig &cfg)
     kb.u(c.worker_jobs.size());
     for (const std::uint8_t j : c.worker_jobs)
         kb.u(j);
+    kb.u(c.ha.with_backup ? 1 : 0);
+    kb.u(static_cast<std::uint64_t>(c.ha.repl_mode));
+    kb.u(c.ha.staleness_window);
+    kb.u(c.ha.heartbeat_period);
+    kb.u(c.ha.miss_threshold);
 
     kb.u(cfg.use_tree ? 1 : 0);
     kb.u(cfg.use_fat_tree ? 1 : 0);
@@ -166,6 +171,16 @@ SpecKey::of(const dist::JobConfig &cfg)
         kb.d(s.slowdown);
         kb.u(s.from);
         kb.u(s.until);
+    }
+    kb.u(f.switch_crashes.size());
+    for (const net::SwitchCrash &sc : f.switch_crashes) {
+        kb.u(sc.crash_at);
+        kb.u(sc.rejoin_at);
+    }
+    kb.u(f.control_partitions.size());
+    for (const net::ControlPartition &p : f.control_partitions) {
+        kb.u(p.from);
+        kb.u(p.until);
     }
 
     return SpecKey{std::move(kb.words)};

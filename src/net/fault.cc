@@ -30,6 +30,13 @@ FaultInjector::attach(std::size_t worker, Link &link)
     link.setChannel(this);
 }
 
+void
+FaultInjector::attachSwitchLink(Link &link)
+{
+    switch_links_.insert(&link);
+    link.setChannel(this);
+}
+
 bool
 FaultInjector::linkDown(std::size_t worker, sim::TimeNs now) const
 {
@@ -38,7 +45,25 @@ FaultInjector::linkDown(std::size_t worker, sim::TimeNs now) const
             return true;
     for (const WorkerCrash &c : plan_.crashes)
         if (c.worker == worker && now >= c.crash_at + kCrashGrace &&
-            now < c.rejoin_at)
+            (c.rejoin_at == 0 || now < c.rejoin_at))
+            return true; // rejoin_at == 0: permanent fail-stop
+    return false;
+}
+
+bool
+FaultInjector::switchDown(sim::TimeNs now) const
+{
+    for (const SwitchCrash &c : plan_.switch_crashes)
+        if (now >= c.crash_at && (c.rejoin_at == 0 || now < c.rejoin_at))
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::controlPartitioned(sim::TimeNs now) const
+{
+    for (const ControlPartition &p : plan_.control_partitions)
+        if (now >= p.from && now < p.until)
             return true;
     return false;
 }
@@ -46,6 +71,14 @@ FaultInjector::linkDown(std::size_t worker, sim::TimeNs now) const
 double
 FaultInjector::computeScale(std::size_t worker, sim::TimeNs now) const
 {
+    // Crash beats straggler: a crashed worker sends nothing, so there
+    // is no slowed-but-delivered traffic inside a crash window. Without
+    // this check an overlapping straggler window would stretch the
+    // worker's LGC past its rejoin and distort the recovery timeline.
+    for (const WorkerCrash &c : plan_.crashes)
+        if (c.worker == worker && now >= c.crash_at &&
+            (c.rejoin_at == 0 || now < c.rejoin_at))
+            return 1.0;
     double scale = 1.0;
     for (const Straggler &s : plan_.stragglers)
         if (s.worker == worker && now >= s.from && now < s.until &&
@@ -60,14 +93,33 @@ FaultInjector::stats() const
     FaultStats total;
     for (const auto &kv : ports_)
         total += kv.second.stats; // integer sums: order irrelevant
+    total.switch_drops = switch_drops_.load(std::memory_order_relaxed);
+    total.partition_drops =
+        partition_drops_.load(std::memory_order_relaxed);
     return total;
 }
 
 ChannelVerdict
 FaultInjector::onFrame(const Link &link, const PacketPtr &pkt)
 {
-    (void)pkt;
     ChannelVerdict v;
+    // Switch-crash/partition checks come first and are stateless: a
+    // switch link transmits from both endpoints' domains, so only
+    // plan-timestamp predicates plus atomic counters are domain-safe
+    // here (the per-port state below is single-writer by contract).
+    if (!switch_links_.empty() && switch_links_.count(&link) != 0) {
+        const sim::TimeNs snow = sim_.now();
+        if (switchDown(snow)) {
+            switch_drops_.fetch_add(1, std::memory_order_relaxed);
+            v.drop = true;
+            return v;
+        }
+        if (pkt->ip.tos == kTosControl && controlPartitioned(snow)) {
+            partition_drops_.fetch_add(1, std::memory_order_relaxed);
+            v.drop = true;
+            return v;
+        }
+    }
     auto it = ports_.find(&link);
     if (it == ports_.end())
         return v; // not a link we manage

@@ -23,9 +23,11 @@
 #ifndef ISW_NET_FAULT_HH
 #define ISW_NET_FAULT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/link.hh"
@@ -62,7 +64,11 @@ struct LinkDownWindow
     sim::TimeNs up_at = 0;
 };
 
-/** Fail-stop crash at crash_at, warm rejoin at rejoin_at. */
+/**
+ * Fail-stop crash at crash_at, warm rejoin at rejoin_at.
+ * rejoin_at == 0 means *permanent* fail-stop: the worker never comes
+ * back (the long-soak scenario behind switch failover testing).
+ */
 struct WorkerCrash
 {
     std::size_t worker = 0;
@@ -75,6 +81,30 @@ struct WorkerCrash
      * a silent partition (the cluster must ride it out via recovery).
      */
     bool announce = true;
+};
+
+/**
+ * Crash of the primary aggregation switch: every frame touching the
+ * switch (data, control, results, heartbeats, replication) is dropped
+ * during [crash_at, rejoin_at). rejoin_at == 0 means the switch never
+ * rejoins — the expected shape for failover runs, since the HA layer
+ * is fail-stop (a promoted backup never demotes).
+ */
+struct SwitchCrash
+{
+    sim::TimeNs crash_at = 0;
+    sim::TimeNs rejoin_at = 0;
+};
+
+/**
+ * Control-plane partition: only control frames (kTosControl — joins,
+ * leaves, helps, heartbeats) touching the primary switch are dropped
+ * during [from, until); the data plane keeps flowing.
+ */
+struct ControlPartition
+{
+    sim::TimeNs from = 0;
+    sim::TimeNs until = 0;
 };
 
 /** Scale @p worker's local compute by @p slowdown during a window. */
@@ -100,13 +130,23 @@ struct FaultPlan
     std::vector<LinkDownWindow> link_down;
     std::vector<WorkerCrash> crashes;
     std::vector<Straggler> stragglers;
+    std::vector<SwitchCrash> switch_crashes;
+    std::vector<ControlPartition> control_partitions;
 
     bool
     empty() const
     {
         return !ge.enabled() && extra_loss <= 0.0 &&
                duplicate_prob <= 0.0 && reorder_prob <= 0.0 &&
-               link_down.empty() && crashes.empty() && stragglers.empty();
+               link_down.empty() && crashes.empty() &&
+               stragglers.empty() && switch_crashes.empty() &&
+               control_partitions.empty();
+    }
+
+    bool
+    hasSwitchFaults() const
+    {
+        return !switch_crashes.empty() || !control_partitions.empty();
     }
 };
 
@@ -118,6 +158,8 @@ struct FaultStats
     std::uint64_t down_drops = 0; ///< dropped inside down/crash windows
     std::uint64_t duplicates = 0;
     std::uint64_t reorders = 0;
+    std::uint64_t switch_drops = 0;    ///< dropped by switch-crash windows
+    std::uint64_t partition_drops = 0; ///< control frames dropped by partitions
 
     FaultStats &operator+=(const FaultStats &o)
     {
@@ -126,6 +168,8 @@ struct FaultStats
         down_drops += o.down_drops;
         duplicates += o.duplicates;
         reorders += o.reorders;
+        switch_drops += o.switch_drops;
+        partition_drops += o.partition_drops;
         return *this;
     }
 };
@@ -148,10 +192,24 @@ class FaultInjector : public ChannelModel
     /** Register @p link as @p worker's edge link and install self. */
     void attach(std::size_t worker, Link &link);
 
+    /**
+     * Register @p link as one of the primary switch's links and
+     * install self. Switch links may also be registered edge links (a
+     * star fabric's worker links *are* the switch's links): the
+     * switch-crash check runs first, then the per-worker machinery.
+     */
+    void attachSwitchLink(Link &link);
+
     ChannelVerdict onFrame(const Link &link, const PacketPtr &pkt) override;
 
     /** Is @p worker unreachable right now (crash or down window)? */
     bool linkDown(std::size_t worker, sim::TimeNs now) const;
+
+    /** Is the primary switch inside a crash window at @p now? */
+    bool switchDown(sim::TimeNs now) const;
+
+    /** Is the control plane partitioned from the switch at @p now? */
+    bool controlPartitioned(sim::TimeNs now) const;
 
     /** Straggler compute multiplier for @p worker at @p now (>= 1). */
     double computeScale(std::size_t worker, sim::TimeNs now) const;
@@ -184,6 +242,15 @@ class FaultInjector : public ChannelModel
     std::uint64_t seed_ = 0;
     /** Read-only after attach() (runtime lookups never mutate). */
     std::unordered_map<const Link *, PortState> ports_;
+    /**
+     * The primary switch's links. Unlike edge links, a switch link's
+     * frames execute from *two* domains (each endpoint transmits from
+     * its own), so the crash/partition checks are stateless timestamp
+     * predicates and the counters are atomics — never PortState.
+     */
+    std::unordered_set<const Link *> switch_links_;
+    std::atomic<std::uint64_t> switch_drops_{0};
+    std::atomic<std::uint64_t> partition_drops_{0};
 };
 
 } // namespace isw::net

@@ -13,14 +13,19 @@
 
 namespace isw::net {
 
-/** A server node with one NIC port. */
+/**
+ * A server node with one NIC port — or several when dual-homed for HA
+ * (port 0 to the primary switch, port 1 to the backup). All traffic
+ * egresses the active uplink; failover flips it.
+ */
 class Host : public Node
 {
   public:
     using ReceiveHandler = std::function<void(PacketPtr)>;
 
-    Host(sim::Simulation &s, std::string name, MacAddr mac, Ipv4Addr ip)
-        : Node(s, std::move(name), 1), mac_(mac), ip_(ip)
+    Host(sim::Simulation &s, std::string name, MacAddr mac, Ipv4Addr ip,
+         std::size_t num_ports = 1)
+        : Node(s, std::move(name), num_ports), mac_(mac), ip_(ip)
     {}
 
     MacAddr mac() const { return mac_; }
@@ -29,8 +34,12 @@ class Host : public Node
     /** Install the application-layer receive callback. */
     void setReceiveHandler(ReceiveHandler h) { handler_ = std::move(h); }
 
-    /** Transmit a packet out of the NIC. */
-    void send(PacketPtr pkt) { sendOut(0, std::move(pkt)); }
+    /** NIC port all egress uses (0 unless failed over). */
+    std::size_t activeUplink() const { return active_uplink_; }
+    void setActiveUplink(std::size_t port) { active_uplink_ = port; }
+
+    /** Transmit a packet out of the active NIC port. */
+    void send(PacketPtr pkt) { sendOut(active_uplink_, std::move(pkt)); }
 
     /**
      * Convenience builder: stamp this host's addresses as source and
@@ -49,6 +58,7 @@ class Host : public Node
   private:
     MacAddr mac_;
     Ipv4Addr ip_;
+    std::size_t active_uplink_ = 0;
     ReceiveHandler handler_;
     std::uint64_t rx_frames_ = 0;
     std::uint64_t tx_frames_ = 0;

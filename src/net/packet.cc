@@ -19,6 +19,8 @@ actionName(Action a)
       case Action::kHalt: return "Halt";
       case Action::kAck: return "Ack";
       case Action::kNack: return "Nack";
+      case Action::kHeartbeat: return "Heartbeat";
+      case Action::kFailover: return "Failover";
     }
     return "?";
 }
@@ -38,7 +40,7 @@ bool
 Packet::isIswitchPlane() const
 {
     return ip.tos == kTosControl || ip.tos == kTosData ||
-           ip.tos == kTosResult;
+           ip.tos == kTosResult || ip.tos == kTosRepl;
 }
 
 std::size_t

@@ -72,6 +72,8 @@ struct UdpHeader
 constexpr std::uint8_t kTosControl = 0xC0;
 constexpr std::uint8_t kTosData = 0xC4;
 constexpr std::uint8_t kTosResult = 0xC8;
+/** HA replication frames (primary -> backup switch, DESIGN.md §16). */
+constexpr std::uint8_t kTosRepl = 0xCC;
 
 /** iSwitch control actions (paper Table 2, plus the slot-pool Nack
  *  extension: the switch rejects a contribution whose aggregator slot
@@ -86,6 +88,8 @@ enum class Action : std::uint8_t {
     kHalt,
     kAck,
     kNack,
+    kHeartbeat, ///< primary -> backup liveness beat (HA, DESIGN.md §16)
+    kFailover,  ///< backup -> members: re-home to me, the primary died
 };
 
 /** Printable name of a control action. */

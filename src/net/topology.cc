@@ -5,9 +5,11 @@
 namespace isw::net {
 
 Host *
-Topology::addHost(const std::string &name, Ipv4Addr ip)
+Topology::addHost(const std::string &name, Ipv4Addr ip,
+                  std::size_t num_ports)
 {
-    auto host = std::make_unique<Host>(sim_, name, MacAddr(next_mac_++), ip);
+    auto host = std::make_unique<Host>(sim_, name, MacAddr(next_mac_++), ip,
+                                       num_ports);
     Host *raw = host.get();
     nodes_.push_back(std::move(host));
     return raw;
@@ -74,6 +76,25 @@ Topology::connectSwitches(EthSwitch *child, std::size_t child_port,
         via_port = it->second.parent_port;
         cur = it->second.parent;
     }
+    return l;
+}
+
+Link *
+Topology::connectHostPort(Host *host, std::size_t host_port, EthSwitch *sw,
+                          std::size_t sw_port, LinkConfig cfg)
+{
+    Link *l = makeLink(host->name() + "<->" + sw->name(), cfg);
+    l->connect(host, host_port, sw, sw_port);
+    sw->addRoute(host->ip(), sw_port);
+    return l;
+}
+
+Link *
+Topology::connectPeers(EthSwitch *a, std::size_t a_port, EthSwitch *b,
+                       std::size_t b_port, LinkConfig cfg)
+{
+    Link *l = makeLink(a->name() + "<->" + b->name(), cfg);
+    l->connect(a, a_port, b, b_port);
     return l;
 }
 

@@ -28,8 +28,10 @@ class Topology
   public:
     explicit Topology(sim::Simulation &s) : sim_(s) {}
 
-    /** Create a host with an automatically assigned MAC. */
-    Host *addHost(const std::string &name, Ipv4Addr ip);
+    /** Create a host with an automatically assigned MAC. @p num_ports
+     *  is > 1 only for dual-homed HA hosts (port 1 -> backup). */
+    Host *addHost(const std::string &name, Ipv4Addr ip,
+                  std::size_t num_ports = 1);
 
     /**
      * Create and own a switch of any EthSwitch-derived type.
@@ -62,6 +64,23 @@ class Topology
     Link *connectSwitches(EthSwitch *child, std::size_t child_port,
                           EthSwitch *parent, std::size_t parent_port,
                           LinkConfig cfg = {});
+
+    /**
+     * Wire a *secondary* NIC port of @p host to @p sw. Installs the
+     * host route on the switch but does not touch subtree bookkeeping
+     * or ancestor routes: backup links are invisible to the primary
+     * routing fabric by design.
+     */
+    Link *connectHostPort(Host *host, std::size_t host_port, EthSwitch *sw,
+                          std::size_t sw_port, LinkConfig cfg = {});
+
+    /**
+     * Wire two switches as peers (HA primary <-> backup). No uplink
+     * relationship, no default port, no route propagation — callers
+     * install whatever routes the protocol needs.
+     */
+    Link *connectPeers(EthSwitch *a, std::size_t a_port, EthSwitch *b,
+                       std::size_t b_port, LinkConfig cfg = {});
 
     /** All hosts reachable below @p sw (including directly attached). */
     const std::vector<Host *> &subtreeHosts(EthSwitch *sw) const;

@@ -257,6 +257,186 @@ TEST(Churn, AnnouncedCrashDrivesLeaveJoinAndAutoH)
     EXPECT_EQ(job->cluster().root->accelerator().threshold(), 4u);
 }
 
+// ---------------------------------------------------------------------
+// High-availability failover (DESIGN.md §16): a backup switch shadows
+// the primary's aggregation state; when the primary crashes mid-round,
+// heartbeat misses promote the backup, workers re-home, and the round
+// finishes from the replicated partials + retransmissions.
+
+/** Like expectSurvives, but the fault is a *switch* crash and the run
+ *  must additionally report exactly one failover. The sync weight
+ *  contract is unchanged: recovery through the backup is exact. */
+void
+expectFailsOver(const JobConfig &faulty, const Baseline &base)
+{
+    JobConfig cfg = faulty;
+    cfg.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+    auto job = makeJob(cfg);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GE(res.iterations, cfg.stop.max_iterations);
+    ASSERT_TRUE(res.extras.count("failover_events"));
+    EXPECT_EQ(res.extras.at("failover_events"), 1.0);
+    EXPECT_GT(res.extras.at("failover_heartbeats"), 0.0);
+    EXPECT_GT(res.extras.at("failover_beats_missed"), 0.0);
+    EXPECT_GT(res.extras.at("failover_promote_ms"), 0.0);
+    // Only the iSwitch plane replicates aggregation state; for PS/AR
+    // strategies the backup is pure routing + membership shadow.
+    if (cfg.strategy == StrategyKind::kSyncIswitch ||
+        cfg.strategy == StrategyKind::kAsyncIswitch)
+        EXPECT_GT(res.extras.at("failover_repl_frames"), 0.0);
+    ASSERT_TRUE(res.extras.count("fault_switch_drops"));
+    EXPECT_GT(res.extras.at("fault_switch_drops"), 0.0);
+    if (isAsyncStrategy(cfg.strategy))
+        return; // async: liveness through the failover is the contract
+    EXPECT_EQ(res.iterations, base.iterations);
+    ml::Vec w;
+    job->workerAgent(0).getWeights(w);
+    ASSERT_EQ(w.size(), base.weights.size());
+    const float tol =
+        cfg.strategy == StrategyKind::kSyncIswitch ? 1e-4f : 1e-6f;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        ASSERT_NEAR(w[i], base.weights[i], tol)
+            << strategyName(cfg.strategy) << " weight " << i;
+}
+
+class FailoverMatrix : public ::testing::TestWithParam<StrategyKind>
+{
+};
+
+TEST_P(FailoverMatrix, MidTrainingSwitchCrashFailsOverToBackup)
+{
+    const JobConfig cfg = chaosConfig(GetParam());
+    const Baseline base = losslessBaseline(cfg); // no HA, no faults
+    JobConfig crashy = cfg;
+    crashy.cluster.ha.with_backup = true;
+    // Fail-stop: the primary dies mid-training and never returns.
+    crashy.faults.switch_crashes.push_back(
+        net::SwitchCrash{base.total_time * 3 / 10, 0});
+    expectFailsOver(crashy, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreStrategies, FailoverMatrix,
+    ::testing::Values(StrategyKind::kSyncPs, StrategyKind::kSyncIswitch,
+                      StrategyKind::kAsyncIswitch),
+    [](const auto &info) {
+        switch (info.param) {
+          case StrategyKind::kSyncPs: return "SyncPs";
+          case StrategyKind::kSyncIswitch: return "SyncIsw";
+          case StrategyKind::kAsyncIswitch: return "AsyncIsw";
+          default: return "?";
+        }
+    });
+
+TEST(Failover, BatchedLazyReplicationAlsoRecovers)
+{
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncIswitch);
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig crashy = cfg;
+    crashy.cluster.ha.with_backup = true;
+    crashy.cluster.ha.repl_mode = core::ReplicationMode::kBatchedLazy;
+    crashy.faults.switch_crashes.push_back(
+        net::SwitchCrash{base.total_time * 3 / 10, 0});
+    expectFailsOver(crashy, base);
+}
+
+TEST(Failover, BackupReplicatesWithoutDisturbingLosslessTraining)
+{
+    // Replication rides a dedicated peer link, so it never contends
+    // with training traffic for bandwidth; its events do interleave
+    // with same-timestamp data events though, which reassociates the
+    // switch's float sums. The training outcome must be unaffected:
+    // same iteration count, weights within the reassociation
+    // tolerance, and zero failovers.
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncIswitch);
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig ha = cfg;
+    ha.cluster.ha.with_backup = true;
+    auto job = makeJob(ha);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_EQ(res.iterations, base.iterations);
+    EXPECT_EQ(res.extras.at("failover_events"), 0.0);
+    EXPECT_GT(res.extras.at("failover_repl_frames"), 0.0);
+    EXPECT_GT(res.extras.at("failover_repl_applied"), 0.0);
+    EXPECT_GT(res.extras.at("failover_repl_results_applied"), 0.0);
+    ml::Vec w;
+    job->workerAgent(0).getWeights(w);
+    ASSERT_EQ(w.size(), base.weights.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        ASSERT_NEAR(w[i], base.weights[i], 1e-4f) << "weight " << i;
+}
+
+TEST(Failover, BatchedLazyModeSendsFewerStateFrames)
+{
+    JobConfig eager = chaosConfig(StrategyKind::kSyncIswitch);
+    eager.cluster.ha.with_backup = true;
+    JobConfig lazy = eager;
+    lazy.cluster.ha.repl_mode = core::ReplicationMode::kBatchedLazy;
+    const RunResult re = runJob(eager);
+    const RunResult rl = runJob(lazy);
+    ASSERT_TRUE(re.ok()) << re.error;
+    ASSERT_TRUE(rl.ok()) << rl.error;
+    // Same completions replicate either way; the lazy mode coalesces
+    // the per-accept state stream into per-window dirty flushes.
+    EXPECT_EQ(re.extras.at("failover_repl_results"),
+              rl.extras.at("failover_repl_results"));
+    EXPECT_GT(re.extras.at("failover_repl_frames"),
+              rl.extras.at("failover_repl_frames"));
+}
+
+TEST(Failover, SwitchCrashWithoutBackupFailsLoudly)
+{
+    // Acceptance: no backup provisioned means a mid-training switch
+    // crash must end in a diagnosable error, never a silent hang.
+    JobConfig cfg = chaosConfig(StrategyKind::kSyncIswitch);
+    const Baseline base = losslessBaseline(cfg);
+    JobConfig crashy = cfg;
+    crashy.faults.switch_crashes.push_back(
+        net::SwitchCrash{base.total_time * 3 / 10, 0});
+    crashy.stop.max_sim_time = 30 * sim::kSec;
+    const RunResult res = runJob(crashy);
+    EXPECT_FALSE(res.ok());
+    EXPECT_TRUE(res.error.find("stalled") != std::string::npos ||
+                res.error.find("watchdog") != std::string::npos)
+        << res.error;
+    ASSERT_TRUE(res.extras.count("fault_switch_drops"));
+    EXPECT_GT(res.extras.at("fault_switch_drops"), 0.0);
+    // No backup, no failover keys: the extras stay strictly honest.
+    EXPECT_EQ(res.extras.count("failover_events"), 0u);
+}
+
+TEST(Failover, LosslessRunExposesNoFailoverKeys)
+{
+    // Without a backup and without switch faults, the failover/switch
+    // extras must be absent entirely (BENCH baseline contract).
+    const RunResult res = runJob(chaosConfig(StrategyKind::kSyncIswitch));
+    EXPECT_EQ(res.extras.count("failover_events"), 0u);
+    EXPECT_EQ(res.extras.count("failover_heartbeats"), 0u);
+    EXPECT_EQ(res.extras.count("failover_repl_frames"), 0u);
+    EXPECT_EQ(res.extras.count("fault_switch_drops"), 0u);
+    EXPECT_EQ(res.extras.count("fault_partition_drops"), 0u);
+}
+
+TEST(Churn, PermanentAnnouncedCrashNeverRejoins)
+{
+    // rejoin_at == 0 is fail-stop: the Leave shrinks auto-H to 3 and
+    // no Join is ever scheduled, so the table stays shrunk and the
+    // dead worker's link drops frames to the end of the run.
+    JobConfig cfg = chaosConfig(StrategyKind::kAsyncIswitch, 16);
+    const Baseline base = losslessBaseline(cfg);
+    cfg.faults.crashes.push_back(
+        net::WorkerCrash{3, base.total_time * 3 / 10, 0, true});
+    cfg.stop.max_sim_time = base.total_time * 100 + sim::kSec;
+    auto job = makeJob(cfg);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GE(res.iterations, 16u);
+    EXPECT_EQ(job->cluster().root->accelerator().threshold(), 3u);
+    EXPECT_GT(res.extras.at("fault_down_drops"), 0.0);
+}
+
 TEST(Watchdog, UnprotectedLossyRunDiagnosesInsteadOfHanging)
 {
     JobConfig cfg = chaosConfig(StrategyKind::kSyncPs, 50);

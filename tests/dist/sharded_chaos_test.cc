@@ -120,6 +120,78 @@ INSTANTIATE_TEST_SUITE_P(
         return "?";
     });
 
+/** Switch-crash failover on the tree fabric (DESIGN.md §16): the core
+ *  switch fail-stops mid-training, ToRs re-home to the backup core,
+ *  and the run finishes. Sync runs must stay serial/sharded
+ *  byte-identical *through* the failover and land on the lossless
+ *  weights; async runs must stay live and thread-deterministic. */
+class ShardedFailoverMatrix : public ::testing::TestWithParam<StrategyKind>
+{
+};
+
+TEST_P(ShardedFailoverMatrix, CoreSwitchCrashFailsOverSharded)
+{
+    const JobConfig cfg = shardedChaosConfig(GetParam());
+    // Lossless no-HA serial baseline anchors the weight contract.
+    auto basejob = makeJob(cfg);
+    const RunResult baseres = basejob->run();
+    ASSERT_TRUE(baseres.ok()) << baseres.error;
+
+    JobConfig crashy = cfg;
+    crashy.cluster.ha.with_backup = true;
+    crashy.faults.switch_crashes.push_back(
+        net::SwitchCrash{baseres.total_time * 3 / 10, 0});
+
+    JobConfig one = crashy;
+    one.shard = true;
+    one.shard_threads = 1;
+    JobConfig two = one;
+    two.shard_threads = 2;
+    const std::string base = reportOf(one);
+    EXPECT_EQ(base, reportOf(two));
+    if (!isAsyncStrategy(crashy.strategy)) {
+        EXPECT_EQ(base, reportOf(crashy)); // serial engine parity
+    }
+
+    auto job = makeJob(one);
+    const RunResult res = job->run();
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GE(res.iterations, crashy.stop.max_iterations);
+    ASSERT_TRUE(res.extras.count("failover_events"));
+    EXPECT_EQ(res.extras.at("failover_events"), 1.0);
+    EXPECT_GT(res.extras.at("failover_beats_missed"), 0.0);
+    // Only the iSwitch plane replicates aggregation state; for PS
+    // strategies the backup is pure routing + membership shadow.
+    if (crashy.strategy == StrategyKind::kSyncIswitch ||
+        crashy.strategy == StrategyKind::kAsyncIswitch)
+        EXPECT_GT(res.extras.at("failover_repl_frames"), 0.0);
+    EXPECT_GT(res.extras.at("fault_switch_drops"), 0.0);
+    if (isAsyncStrategy(crashy.strategy))
+        return;
+    EXPECT_EQ(res.iterations, baseres.iterations);
+    ml::Vec bw, w;
+    basejob->workerAgent(0).getWeights(bw);
+    job->workerAgent(0).getWeights(w);
+    ASSERT_EQ(w.size(), bw.size());
+    const float tol =
+        crashy.strategy == StrategyKind::kSyncIswitch ? 1e-4f : 1e-6f;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        ASSERT_NEAR(w[i], bw[i], tol) << "weight " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreStrategies, ShardedFailoverMatrix,
+    ::testing::Values(StrategyKind::kSyncPs, StrategyKind::kSyncIswitch,
+                      StrategyKind::kAsyncIswitch),
+    [](const auto &info) {
+        switch (info.param) {
+          case StrategyKind::kSyncPs: return "SyncPs";
+          case StrategyKind::kSyncIswitch: return "SyncIsw";
+          case StrategyKind::kAsyncIswitch: return "AsyncIsw";
+          default: return "?";
+        }
+    });
+
 TEST(ShardedChaos, MultiShardPsPlacesShardsAcrossRacks)
 {
     // Tree builders spread PS shards round-robin over racks: shard k

@@ -246,6 +246,27 @@ TEST(SpecKey, EveryReportedFieldChangesTheKey)
     c = base;
     c.agent.lr *= 0.5;
     EXPECT_FALSE(SpecKey::of(c) == k0);
+
+    c = base;
+    c.cluster.ha.with_backup = true;
+    EXPECT_FALSE(SpecKey::of(c) == k0);
+
+    c = base;
+    c.cluster.ha.repl_mode = core::ReplicationMode::kBatchedLazy;
+    EXPECT_FALSE(SpecKey::of(c) == k0);
+
+    c = base;
+    c.cluster.ha.staleness_window *= 2;
+    EXPECT_FALSE(SpecKey::of(c) == k0);
+
+    c = base;
+    c.faults.switch_crashes.push_back(net::SwitchCrash{sim::kSec, 0});
+    EXPECT_FALSE(SpecKey::of(c) == k0);
+
+    c = base;
+    c.faults.control_partitions.push_back(
+        net::ControlPartition{sim::kSec, 2 * sim::kSec});
+    EXPECT_FALSE(SpecKey::of(c) == k0);
 }
 
 TEST(Runner, FaultySpecDoesNotAbortTheSweep)

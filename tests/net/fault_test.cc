@@ -120,6 +120,98 @@ TEST_F(FaultFixture, CrashWindowStartsAfterGraceAndEndsAtRejoin)
     EXPECT_FALSE(inj.linkDown(0, 2 * sim::kMsec));
 }
 
+TEST_F(FaultFixture, PermanentCrashNeverRejoins)
+{
+    // rejoin_at == 0 is *permanent* fail-stop, not an empty window.
+    FaultPlan plan;
+    plan.crashes.push_back(WorkerCrash{0, 100 * sim::kUsec, 0, false});
+    FaultInjector inj(s, plan, 7);
+    inj.attach(0, l);
+    EXPECT_FALSE(inj.linkDown(0, 100 * sim::kUsec));
+    EXPECT_TRUE(
+        inj.linkDown(0, 100 * sim::kUsec + FaultInjector::kCrashGrace));
+    EXPECT_TRUE(inj.linkDown(0, 1 * sim::kSec));
+    EXPECT_TRUE(inj.linkDown(0, 1000 * sim::kSec));
+    // 50 frames at 10us spacing: indices 0..10 beat the grace deadline,
+    // everything after is gone forever.
+    const std::size_t got = pump(50);
+    EXPECT_EQ(got, 11u);
+    EXPECT_EQ(inj.stats().down_drops, 39u);
+}
+
+TEST_F(FaultFixture, CrashWindowOverridesOverlappingStraggler)
+{
+    // A crashed worker sends nothing, so the straggler slowdown must
+    // not stretch its compute inside the crash window.
+    FaultPlan plan;
+    plan.stragglers.push_back(Straggler{0, 4.0, 0, 10 * sim::kMsec});
+    plan.crashes.push_back(
+        WorkerCrash{0, 2 * sim::kMsec, 3 * sim::kMsec, false});
+    FaultInjector inj(s, plan, 7);
+    EXPECT_DOUBLE_EQ(inj.computeScale(0, 1 * sim::kMsec), 4.0);
+    EXPECT_DOUBLE_EQ(inj.computeScale(0, 2500 * sim::kUsec), 1.0);
+    EXPECT_DOUBLE_EQ(inj.computeScale(0, 3 * sim::kMsec), 4.0);
+    // A permanent crash suppresses the straggler forever after.
+    FaultPlan perm;
+    perm.stragglers.push_back(Straggler{0, 4.0, 0, 10 * sim::kMsec});
+    perm.crashes.push_back(WorkerCrash{0, 2 * sim::kMsec, 0, false});
+    FaultInjector inj2(s, perm, 7);
+    EXPECT_DOUBLE_EQ(inj2.computeScale(0, 1 * sim::kMsec), 4.0);
+    EXPECT_DOUBLE_EQ(inj2.computeScale(0, 5 * sim::kMsec), 1.0);
+}
+
+TEST_F(FaultFixture, SwitchCrashWindowDropsEverythingOnSwitchLinks)
+{
+    FaultPlan plan;
+    plan.switch_crashes.push_back(
+        SwitchCrash{100 * sim::kUsec, 300 * sim::kUsec});
+    FaultInjector inj(s, plan, 7);
+    inj.attachSwitchLink(l);
+    EXPECT_FALSE(inj.switchDown(99 * sim::kUsec));
+    EXPECT_TRUE(inj.switchDown(100 * sim::kUsec));
+    EXPECT_TRUE(inj.switchDown(299 * sim::kUsec));
+    EXPECT_FALSE(inj.switchDown(300 * sim::kUsec));
+    // 50 frames at 10us spacing: indices 10..29 fall inside the window.
+    const std::size_t got = pump(50);
+    EXPECT_EQ(inj.stats().switch_drops, 20u);
+    EXPECT_EQ(got, 30u);
+}
+
+TEST_F(FaultFixture, PermanentSwitchCrashNeverLifts)
+{
+    FaultPlan plan;
+    plan.switch_crashes.push_back(SwitchCrash{100 * sim::kUsec, 0});
+    FaultInjector inj(s, plan, 7);
+    inj.attachSwitchLink(l);
+    EXPECT_TRUE(inj.switchDown(100 * sim::kUsec));
+    EXPECT_TRUE(inj.switchDown(1000 * sim::kSec));
+    EXPECT_EQ(pump(50), 10u);
+    EXPECT_EQ(inj.stats().switch_drops, 40u);
+}
+
+TEST_F(FaultFixture, ControlPartitionDropsOnlyControlFrames)
+{
+    FaultPlan plan;
+    plan.control_partitions.push_back(ControlPartition{0, 1 * sim::kSec});
+    FaultInjector inj(s, plan, 7);
+    inj.attachSwitchLink(l);
+    std::size_t got = 0;
+    b.setReceiveHandler([&](PacketPtr) { ++got; });
+    s.at(0, [this] {
+        a.send(raw()); // data plane: passes
+        Packet p;
+        p.ip.src = a.ip();
+        p.ip.dst = b.ip();
+        p.ip.tos = kTosControl;
+        p.payload = RawPayload{100, 0};
+        a.send(makePacket(std::move(p))); // control plane: dropped
+    });
+    s.run();
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(inj.stats().partition_drops, 1u);
+    EXPECT_EQ(inj.stats().switch_drops, 0u);
+}
+
 TEST_F(FaultFixture, DuplicationDeliversFrameTwice)
 {
     FaultPlan plan;
@@ -199,6 +291,16 @@ TEST_F(FaultFixture, PlanEmptyReflectsEveryKnob)
     FaultPlan slow;
     slow.stragglers.push_back(Straggler{0, 2.0, 0, 100});
     EXPECT_FALSE(slow.empty());
+    FaultPlan swc;
+    swc.switch_crashes.push_back(SwitchCrash{1, 0});
+    EXPECT_FALSE(swc.empty());
+    EXPECT_TRUE(swc.hasSwitchFaults());
+    FaultPlan part;
+    part.control_partitions.push_back(ControlPartition{1, 2});
+    EXPECT_FALSE(part.empty());
+    EXPECT_TRUE(part.hasSwitchFaults());
+    EXPECT_FALSE(crash.hasSwitchFaults());
+    EXPECT_FALSE(FaultPlan{}.hasSwitchFaults());
 }
 
 } // namespace
